@@ -1,0 +1,43 @@
+// Routing ablation (packet-level DES): minimal vs. Valiant vs. UGAL
+// adaptive routing under uniform, adversarial-shift, and hotspot traffic.
+// Context for §II-A: Cray XC routes adaptively, yet variability remains;
+// this bench reproduces the classic dragonfly routing trade-offs that
+// motivate adaptive routing in the first place.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "net/packet_sim.hpp"
+
+int main() {
+  using namespace dfv;
+  bench::print_header("Ablation: routing policies",
+                      "Packet-level DES, 9-group tapered dragonfly");
+
+  net::DragonflyConfig cfg = net::DragonflyConfig::small(9);
+  cfg.global_ports_per_router = 1;  // tapered global bandwidth
+  const net::Topology topo(cfg);
+
+  for (auto pattern : {net::TrafficPattern::Uniform, net::TrafficPattern::AdversarialShift,
+                       net::TrafficPattern::Hotspot}) {
+    std::cout << "traffic pattern: " << net::to_string(pattern) << " (offered load 0.30)\n";
+    Table t({"policy", "mean latency (us)", "p99 latency (us)", "mean hops",
+             "throughput (GB/s)"});
+    for (auto policy : {net::RoutingPolicy::Minimal, net::RoutingPolicy::Valiant,
+                        net::RoutingPolicy::Ugal}) {
+      net::PacketSimParams params;
+      params.policy = policy;
+      net::PacketSim sim(topo, params, 42);
+      const auto stats = sim.run_synthetic(pattern, 0.30, 600);
+      t.add_row({net::to_string(policy), format_double(stats.mean_latency * 1e6, 2),
+                 format_double(stats.p99_latency * 1e6, 2),
+                 format_double(stats.mean_hops, 2),
+                 format_double(stats.throughput / 1e9, 2)});
+    }
+    std::cout << t.str() << "\n";
+  }
+  std::cout << "Expected shape: minimal wins under uniform traffic; adversarial\n"
+               "group-shift traffic collapses minimal while Valiant/UGAL keep latency\n"
+               "bounded; UGAL tracks the better of the two in each regime.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Congestion-aware scheduling ablation: the paper's future-work proposal
+// quantified. Run the same MILC job stream under (a) immediate admission,
+// (b) the blame gate (Table III users), (c) blame + congestion-probe
+// gates, and compare run-time distributions and the queueing delay paid.
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sched/workload.hpp"
+#include "sim/congestion_aware.hpp"
+
+namespace {
+
+using namespace dfv;
+
+sim::Cluster make_cluster(std::uint64_t seed) {
+  net::DragonflyConfig machine = net::DragonflyConfig::small(8);
+  machine.nodes_per_router = 4;
+  auto users = sched::default_user_population(6);
+  for (auto& u : users) {
+    u.min_nodes = std::min(u.min_nodes, 48);
+    u.max_nodes = std::min(u.max_nodes, 96);
+  }
+  sim::ClusterParams params;
+  params.max_bg_utilization = 0.6;
+  return sim::Cluster(machine, params, std::move(users), seed);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfv;
+  bench::print_header("Ablation: congestion-aware scheduling",
+                      "Immediate vs. blame-gated vs. blame+probe admission (MILC, 128 nodes)");
+
+  const auto milc = apps::make_milc(128);
+  const int trials = 10;
+
+  struct PolicyRow {
+    const char* name;
+    sim::CongestionAwarePolicy policy;
+  };
+  sim::CongestionAwarePolicy none;
+  none.blamed_users = {};
+  none.max_predicted_slowdown = 0.0;  // disabled: admit immediately
+  sim::CongestionAwarePolicy blame;
+  blame.blamed_users = sched::ground_truth_aggressors();
+  blame.min_blamed_nodes = 48;
+  blame.max_predicted_slowdown = 0.0;
+  sim::CongestionAwarePolicy full = blame;
+  full.max_predicted_slowdown = 1.30;
+
+  const PolicyRow rows[] = {{"immediate", none}, {"blame gate", blame},
+                            {"blame + probe", full}};
+
+  Table t({"admission policy", "mean run (s)", "p90 run (s)", "mean wait (h)",
+           "mean run+wait (s)"});
+  for (const auto& row : rows) {
+    std::vector<double> runs, waits;
+    for (int trial = 0; trial < trials; ++trial) {
+      sim::Cluster cluster = make_cluster(900 + std::uint64_t(trial));
+      cluster.slurm().advance_to(8 * 3600.0);
+      sim::CongestionAwareScheduler sched(cluster, row.policy);
+      const sim::AwareRun r = sched.run_when_clear(*milc);
+      runs.push_back(r.record.total_time_s());
+      waits.push_back(r.decision.waited_s);
+    }
+    t.add_row({row.name, format_double(stats::mean(runs), 1),
+               format_double(stats::percentile(runs, 0.9), 1),
+               format_double(stats::mean(waits) / 3600.0, 2),
+               format_double(stats::mean(runs) + stats::mean(waits), 1)});
+  }
+  std::cout << t.str();
+  std::cout << "\nReading: gating on the paper's blamed-user list and on a placement\n"
+               "congestion probe trades queue wait for shorter, more predictable\n"
+               "runs — the quantified version of the paper's scheduling proposal.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// VC/buffer ablation (credit-based DES): how input-buffer depth and the
+// number of virtual channels shape latency and the credit-stall counters
+// that the Table II PT/RT_*_STL_* hardware counters measure. The classic
+// result: shallow buffers back-pressure early (stalls explode, latency
+// rises); extra VCs help until the buffer budget is the binding limit.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "net/vc_sim.hpp"
+
+int main() {
+  using namespace dfv;
+  bench::print_header("Ablation: VC count and buffer depth",
+                      "Credit-based DES, uniform traffic at 0.6 offered load");
+
+  const net::Topology topo(net::DragonflyConfig::small(6));
+
+  std::cout << "buffer-depth sweep (8 VCs):\n";
+  Table bt({"buffer (flits/VC)", "mean latency (us)", "p99 (us)",
+            "stall cycles (1e6)", "deadlocked"});
+  for (int buffer : {4, 8, 16, 48, 128}) {
+    net::VcSimParams params;
+    params.buffer_flits = buffer;
+    net::VcPacketSim sim(topo, params, 11);
+    const auto s = sim.run_synthetic(net::TrafficPattern::Uniform, 0.6, 250);
+    bt.add_row({std::to_string(buffer), format_double(s.mean_latency * 1e6, 2),
+                format_double(s.p99_latency * 1e6, 2),
+                format_double(s.total_stall_cycles() / 1e6, 2),
+                s.deadlocked ? "YES" : "no"});
+  }
+  std::cout << bt.str() << "\n";
+
+  std::cout << "VC-count sweep (16 flits/VC):\n";
+  Table vt({"VCs", "mean latency (us)", "p99 (us)", "stall cycles (1e6)", "deadlocked"});
+  for (int vcs : {2, 4, 8, 12}) {
+    net::VcSimParams params;
+    params.vcs = vcs;
+    params.buffer_flits = 16;
+    net::VcPacketSim sim(topo, params, 13);
+    const auto s = sim.run_synthetic(net::TrafficPattern::Uniform, 0.6, 250);
+    vt.add_row({std::to_string(vcs), format_double(s.mean_latency * 1e6, 2),
+                format_double(s.p99_latency * 1e6, 2),
+                format_double(s.total_stall_cycles() / 1e6, 2),
+                s.deadlocked ? "YES" : "no"});
+  }
+  std::cout << vt.str();
+  std::cout << "\nExpected shape: latency and credit stalls fall as buffers deepen,\n"
+               "with diminishing returns; very few VCs risk head-of-line blocking\n"
+               "and (below the hop count) deadlock.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared infrastructure for the experiment harnesses: the canonical
+// campaign configuration (Cori-scale, Dec-Apr, 1-2 jobs/day/dataset) and
+// a cached accessor so the six datasets are generated once and shared by
+// every bench binary through an on-disk cache.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace dfv::bench {
+
+/// The campaign configuration every bench binary uses. ~190 runs per
+/// dataset on the 34-group Cori topology.
+[[nodiscard]] sim::CampaignConfig paper_campaign_config();
+
+/// Directory for the shared dataset cache (DFV_CACHE_DIR env overrides
+/// the build-tree default).
+[[nodiscard]] std::string cache_dir();
+
+/// Study over the canonical campaign (generates or loads the cache).
+[[nodiscard]] core::VariabilityStudy make_study();
+
+/// Print the standard bench header (experiment id + paper reference).
+void print_header(const std::string& experiment, const std::string& description);
+
+/// Figures 4-5 panel: compute vs. MPI split (best/average/worst run) and
+/// the per-routine MPI breakdown of one dataset.
+void print_mpi_breakdown(const sim::Dataset& ds);
+
+}  // namespace dfv::bench

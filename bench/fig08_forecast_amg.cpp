@@ -1,0 +1,37 @@
+// Figure 8: forecasting MAPE for the AMG 128- and 512-node datasets for
+// m = {3, 8} (temporal context) and k = {5, 10} (horizon), with feature
+// sets {app, app+placement}. Paper: larger m lowers MAPE significantly;
+// larger k amortizes bursts; 512-node errors slightly higher; placement
+// features give no significant improvement (io/sys omitted: overfitting).
+#include <iostream>
+
+#include "analysis/forecast.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace dfv;
+  bench::print_header("Figure 8", "Forecasting MAPE: AMG, m={3,8}, k={5,10}");
+  auto study = bench::make_study();
+
+  analysis::ForecastConfig fcfg;  // defaults: 3-fold run-grouped CV
+  for (int nodes : {128, 512}) {
+    std::cout << "AMG " << nodes << " nodes:\n";
+    Table t({"m", "k", "features", "attention MAPE (%)", "persistence (%)", "mean (%)"});
+    for (int k : {5, 10})
+      for (int m : {3, 8})
+        for (auto fs : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacement}) {
+          const analysis::WindowConfig wcfg{m, k, fs};
+          const auto eval = study.forecast("AMG", nodes, wcfg, fcfg);
+          t.add_row({std::to_string(m), std::to_string(k), analysis::to_string(fs),
+                     format_double(eval.mape_attention, 2),
+                     format_double(eval.mape_persistence, 2),
+                     format_double(eval.mape_mean, 2)});
+        }
+    std::cout << t.str() << "\n";
+  }
+  std::cout << "Shape to match: MAPE drops with larger m and larger k; placement\n"
+               "features change little; all cells in the low-single-digit to ~10%\n"
+               "range as in the paper's Fig. 8.\n";
+  return 0;
+}

@@ -1,0 +1,182 @@
+// google-benchmark microbenchmarks for the substrates: topology path
+// construction, adaptive path choice, flow-model transfers, background
+// routing, counter synthesis, packet DES throughput, GBR fitting, and
+// attention training steps. These quantify the engineering claims in
+// DESIGN.md (e.g. "one campaign step in well under a millisecond").
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/registry.hpp"
+#include "common/rng.hpp"
+#include "ml/attention.hpp"
+#include "ml/gbr.hpp"
+#include "mon/counter_model.hpp"
+#include "net/flow_model.hpp"
+#include "net/packet_sim.hpp"
+#include "sched/allocator.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace dfv;
+
+const net::Topology& cori() {
+  static const net::Topology topo(net::DragonflyConfig::cori());
+  return topo;
+}
+
+void BM_TopologyConstructCori(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Topology topo(net::DragonflyConfig::cori());
+    benchmark::DoNotOptimize(topo.num_links());
+  }
+}
+BENCHMARK(BM_TopologyConstructCori)->Unit(benchmark::kMillisecond);
+
+void BM_MinimalPath(benchmark::State& state) {
+  const auto& topo = cori();
+  Rng rng(1);
+  const int R = topo.config().num_routers();
+  for (auto _ : state) {
+    const auto src = net::RouterId(rng.uniform_index(R));
+    const auto dst = net::RouterId(rng.uniform_index(R));
+    benchmark::DoNotOptimize(topo.minimal_path(src, dst, 0));
+  }
+}
+BENCHMARK(BM_MinimalPath);
+
+void BM_UgalChoice(benchmark::State& state) {
+  const auto& topo = cori();
+  net::PathChooser chooser(topo);
+  std::vector<double> load(std::size_t(topo.num_links()), 1e8);
+  Rng rng(2);
+  const int R = topo.config().num_routers();
+  for (auto _ : state) {
+    const auto src = net::RouterId(rng.uniform_index(R));
+    const auto dst = net::RouterId(rng.uniform_index(R));
+    benchmark::DoNotOptimize(
+        chooser.choose(src, dst, net::RoutingPolicy::Ugal, load, rng));
+  }
+}
+BENCHMARK(BM_UgalChoice);
+
+void BM_FlowTransferMilcStep(benchmark::State& state) {
+  const auto& topo = cori();
+  const net::FlowModel flow(topo);
+  sched::NodeAllocator alloc(topo);
+  Rng rng(3);
+  const auto placement =
+      sched::make_placement(alloc.allocate(128, sched::AllocPolicy::Clustered, rng), topo);
+  const auto milc = apps::make_milc(128);
+  const auto spec = milc->step(40, placement, topo, rng);
+  net::RateLoads bg;
+  bg.resize(topo);
+  for (auto _ : state) {
+    Rng r(4);
+    benchmark::DoNotOptimize(
+        flow.transfer(spec.phases[0].demands, net::RoutingPolicy::Ugal, bg, r));
+  }
+}
+BENCHMARK(BM_FlowTransferMilcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_BackgroundRoute512NodeJob(benchmark::State& state) {
+  const auto& topo = cori();
+  const net::FlowModel flow(topo);
+  sched::NodeAllocator alloc(topo);
+  Rng rng(5);
+  const auto placement =
+      sched::make_placement(alloc.allocate(512, sched::AllocPolicy::Clustered, rng), topo);
+  sched::TrafficSpec spec;
+  spec.net_bytes_per_node_per_s = 1e9;
+  const auto demands = sched::generate_background_demands(
+      placement, spec, {}, topo, rng);
+  for (auto _ : state) {
+    net::RateLoads out;
+    out.resize(topo);
+    Rng r(6);
+    flow.route_background(demands, net::RoutingPolicy::Ugal, 1.0, r, out);
+    benchmark::DoNotOptimize(out.link_rate.data());
+  }
+}
+BENCHMARK(BM_BackgroundRoute512NodeJob)->Unit(benchmark::kMicrosecond);
+
+void BM_CounterSynthesis128Routers(benchmark::State& state) {
+  const auto& topo = cori();
+  const mon::CounterModel model(topo);
+  net::RateLoads bg;
+  bg.resize(topo);
+  net::ByteLoads job;
+  job.resize(topo);
+  std::vector<net::RouterId> routers;
+  for (int r = 0; r < 128; ++r) routers.push_back(net::RouterId(r * 3));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.aggregate(routers, bg, job, 7.0));
+}
+BENCHMARK(BM_CounterSynthesis128Routers)->Unit(benchmark::kMicrosecond);
+
+void BM_PacketSimUniform(benchmark::State& state) {
+  const net::Topology topo(net::DragonflyConfig::small(6));
+  for (auto _ : state) {
+    net::PacketSimParams params;
+    net::PacketSim sim(topo, params, 7);
+    benchmark::DoNotOptimize(sim.run_synthetic(net::TrafficPattern::Uniform, 0.2, 50));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 50 *
+                          net::DragonflyConfig::small(6).num_routers());
+}
+BENCHMARK(BM_PacketSimUniform)->Unit(benchmark::kMillisecond);
+
+void BM_GbrFit(benchmark::State& state) {
+  Rng rng(8);
+  ml::Matrix x(4000, 13);
+  std::vector<double> y(4000);
+  for (std::size_t i = 0; i < 4000; ++i) {
+    for (std::size_t c = 0; c < 13; ++c) x(i, c) = rng.normal();
+    y[i] = x(i, 3) * 2.0 + std::sin(x(i, 7));
+  }
+  for (auto _ : state) {
+    ml::GradientBoostedRegressor gbr;
+    gbr.fit(x, y);
+    benchmark::DoNotOptimize(gbr.predict_one(x.row(0)));
+  }
+}
+BENCHMARK(BM_GbrFit)->Unit(benchmark::kMillisecond);
+
+void BM_AttentionEpoch(benchmark::State& state) {
+  Rng rng(9);
+  const int m = 30, F = 23;
+  ml::Matrix x(2000, std::size_t(m * F));
+  std::vector<double> y(2000);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    for (std::size_t c = 0; c < std::size_t(m * F); ++c) x(i, c) = rng.normal();
+    y[i] = rng.normal();
+  }
+  ml::AttentionParams params;
+  params.epochs = 1;
+  for (auto _ : state) {
+    ml::AttentionForecaster model(m, F, params);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.predict_one(x.row(0)));
+  }
+}
+BENCHMARK(BM_AttentionEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterMilcStep(benchmark::State& state) {
+  // One full instrumented MILC-128 run on a loaded Cori: the unit of
+  // campaign generation (~80 steps per iteration here).
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Cluster cluster(net::DragonflyConfig::cori(), {},
+                         sched::default_user_population(24), 10);
+    cluster.slurm().advance_to(86400.0);
+    const auto milc = apps::make_milc(128);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cluster.run_app(*milc));
+  }
+}
+BENCHMARK(BM_ClusterMilcStep)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Table I: application versions and their inputs.
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace dfv;
+  bench::print_header("Table I", "Application versions and their inputs");
+
+  Table t({"Application", "Version", "No. of Nodes", "Input Parameters", "Time steps"});
+  for (const auto& info : apps::table1_rows())
+    t.add_row({info.name, info.version, std::to_string(info.nodes), info.input_params,
+               std::to_string(info.time_steps)});
+  std::cout << t.str();
+  std::cout << "\nEach row is an independent dataset; runs use "
+            << apps::table1_rows().front().ranks_per_node
+            << " of 68 KNL cores per node (4 reserved for OS daemons).\n";
+  return 0;
+}

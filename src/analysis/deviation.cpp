@@ -1,0 +1,59 @@
+#include "analysis/deviation.hpp"
+
+#include "common/check.hpp"
+
+namespace dfv::analysis {
+
+CenteredSamples build_centered_samples(const sim::Dataset& ds) {
+  DFV_CHECK_MSG(!ds.runs.empty(), "dataset has no runs");
+  const int T = ds.steps_per_run();
+  const std::size_t N = ds.runs.size();
+
+  // Per-step mean trends over runs, for the target and for each counter
+  // (the paper removes these because mean counter values track the mean
+  // step-time curve — Fig. 7).
+  const std::vector<double> mean_time = ds.mean_step_curve();
+  std::vector<std::vector<double>> mean_counter(mon::kNumCounters,
+                                                std::vector<double>(std::size_t(T), 0.0));
+  for (const auto& run : ds.runs)
+    for (int t = 0; t < T; ++t)
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        mean_counter[std::size_t(c)][std::size_t(t)] +=
+            run.step_counters[std::size_t(t)][std::size_t(c)] / double(N);
+
+  CenteredSamples out;
+  out.x = ml::Matrix(N * std::size_t(T), mon::kNumCounters);
+  out.y.reserve(N * std::size_t(T));
+  out.mean_offset.reserve(N * std::size_t(T));
+  out.run_of.reserve(N * std::size_t(T));
+
+  std::size_t row = 0;
+  for (std::size_t r = 0; r < N; ++r) {
+    const auto& run = ds.runs[r];
+    for (int t = 0; t < T; ++t, ++row) {
+      auto dst = out.x.row(row);
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        dst[std::size_t(c)] = run.step_counters[std::size_t(t)][std::size_t(c)] -
+                              mean_counter[std::size_t(c)][std::size_t(t)];
+      out.y.push_back(run.step_times[std::size_t(t)] - mean_time[std::size_t(t)]);
+      out.mean_offset.push_back(mean_time[std::size_t(t)]);
+      out.run_of.push_back(r);
+    }
+  }
+  return out;
+}
+
+DeviationResult analyze_deviation(const sim::Dataset& ds, const DeviationConfig& config) {
+  const CenteredSamples samples = build_centered_samples(ds);
+  const ml::RfeResult rfe = ml::rfe_cv(samples.x, samples.y, config.rfe,
+                                       samples.mean_offset, samples.run_of);
+  DeviationResult result;
+  result.relevance = rfe.relevance;
+  result.survival = rfe.survival;
+  result.cv_mape = rfe.cv_mape_full;
+  result.cv_mape_linear = rfe.cv_mape_linear;
+  result.samples = samples.y.size();
+  return result;
+}
+
+}  // namespace dfv::analysis

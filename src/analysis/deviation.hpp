@@ -1,0 +1,48 @@
+// Deviation prediction (§IV-B, §V-B, Fig. 9): treat every time step of
+// every run as an independent sample; remove the per-step mean trends
+// from both counters and execution times; fit GBR with 10-fold CV and
+// recursive feature elimination; report per-counter relevance scores and
+// the CV MAPE of the reconstructed (mean + deviation) step times.
+#pragma once
+
+#include "ml/rfe.hpp"
+#include "sim/dataset.hpp"
+
+namespace dfv::analysis {
+
+struct DeviationConfig {
+  ml::RfeParams rfe;
+
+  DeviationConfig() {
+    rfe.folds = 10;
+    rfe.gbr.n_trees = 60;
+    rfe.gbr.learning_rate = 0.10;
+    rfe.gbr.subsample = 0.40;
+    rfe.gbr.tree.max_depth = 4;
+    rfe.gbr.tree.min_samples_leaf = 15;
+  }
+};
+
+struct DeviationResult {
+  std::vector<double> relevance;  ///< per counter (Table II order), Fig. 9
+  std::vector<double> survival;   ///< RFE survival scores (secondary)
+  double cv_mape = 0.0;           ///< GBR, reconstructed absolute times
+  double cv_mape_linear = 0.0;    ///< ridge linear baseline (Groves et al.)
+  std::size_t samples = 0;        ///< N*T
+};
+
+/// Mean-centered design matrix: rows = run-steps, cols = the 13 counters.
+/// Exposed for tests and the forecasting pipeline.
+struct CenteredSamples {
+  ml::Matrix x;                       ///< NT x 13, mean trend removed
+  std::vector<double> y;              ///< NT, mean trend removed
+  std::vector<double> mean_offset;    ///< NT, the removed per-step mean time
+  std::vector<std::size_t> run_of;    ///< NT, originating run index
+};
+
+[[nodiscard]] CenteredSamples build_centered_samples(const sim::Dataset& ds);
+
+[[nodiscard]] DeviationResult analyze_deviation(const sim::Dataset& ds,
+                                                const DeviationConfig& config = {});
+
+}  // namespace dfv::analysis

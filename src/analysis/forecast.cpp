@@ -1,0 +1,177 @@
+#include "analysis/forecast.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "ml/kfold.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::analysis {
+
+const char* to_string(FeatureSet fs) noexcept {
+  switch (fs) {
+    case FeatureSet::App: return "app";
+    case FeatureSet::AppPlacement: return "app+placement";
+    case FeatureSet::AppPlacementIo: return "app+placement+io";
+    case FeatureSet::AppPlacementIoSys: return "app+placement+io+sys";
+  }
+  return "?";
+}
+
+int feature_count(FeatureSet fs) noexcept {
+  switch (fs) {
+    case FeatureSet::App: return mon::kNumCounters;
+    case FeatureSet::AppPlacement: return mon::kNumCounters + 2;
+    case FeatureSet::AppPlacementIo: return mon::kNumCounters + 2 + mon::kNumIoFeatures;
+    case FeatureSet::AppPlacementIoSys:
+      return mon::kNumCounters + 2 + mon::kNumIoFeatures + mon::kNumSysFeatures;
+  }
+  return mon::kNumCounters;
+}
+
+std::vector<std::string> feature_names(FeatureSet fs) {
+  std::vector<std::string> names;
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    names.emplace_back(mon::counter_name(mon::counter_from_index(c)));
+  if (int(fs) >= int(FeatureSet::AppPlacement)) {
+    names.emplace_back("NUM_ROUTERS");
+    names.emplace_back("NUM_GROUPS");
+  }
+  if (int(fs) >= int(FeatureSet::AppPlacementIo))
+    for (const char* n : mon::ldms_io_feature_names()) names.emplace_back(n);
+  if (int(fs) >= int(FeatureSet::AppPlacementIoSys))
+    for (const char* n : mon::ldms_sys_feature_names()) names.emplace_back(n);
+  return names;
+}
+
+void step_features(const sim::RunRecord& run, int t, FeatureSet fs, std::span<double> out) {
+  DFV_CHECK(out.size() == std::size_t(feature_count(fs)));
+  std::size_t i = 0;
+  // Job-router counters are normalized to per-router *rates*: AriesNCL
+  // aggregates are per-step deltas summed over the job's routers, so raw
+  // values confound congestion level with placement size and with the
+  // step's own duration (longer steps integrate more background traffic).
+  // Rates isolate the congestion level; placement size still enters via
+  // NUM_ROUTERS / NUM_GROUPS.
+  const double inv = 1.0 / (double(std::max(1, run.num_routers)) *
+                            std::max(1e-9, run.step_times[std::size_t(t)]));
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    out[i++] = run.step_counters[std::size_t(t)][std::size_t(c)] * inv;
+  if (int(fs) >= int(FeatureSet::AppPlacement)) {
+    out[i++] = double(run.num_routers);
+    out[i++] = double(run.num_groups);
+  }
+  if (int(fs) >= int(FeatureSet::AppPlacementIo))
+    for (double v : run.step_ldms[std::size_t(t)].io) out[i++] = v;
+  if (int(fs) >= int(FeatureSet::AppPlacementIoSys))
+    for (double v : run.step_ldms[std::size_t(t)].sys) out[i++] = v;
+}
+
+WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
+  DFV_CHECK(cfg.m >= 1 && cfg.k >= 1);
+  const int T = ds.steps_per_run();
+  DFV_CHECK_MSG(cfg.m + cfg.k <= T, "window m+k=" << cfg.m + cfg.k
+                                                  << " exceeds steps per run " << T);
+  const int F = feature_count(cfg.features);
+
+  WindowData out;
+  out.x = ml::Matrix(0, std::size_t(cfg.m) * std::size_t(F));
+  std::vector<double> row(std::size_t(cfg.m) * std::size_t(F));
+
+  for (std::size_t r = 0; r < ds.runs.size(); ++r) {
+    const auto& run = ds.runs[r];
+    // Slide t_c from m to T-k: history [t_c-m, t_c), target (t_c, t_c+k].
+    for (int tc = cfg.m; tc + cfg.k <= T; ++tc) {
+      for (int j = 0; j < cfg.m; ++j)
+        step_features(run, tc - cfg.m + j, cfg.features,
+                      {row.data() + std::size_t(j) * std::size_t(F), std::size_t(F)});
+      double target = 0.0;
+      for (int j = 0; j < cfg.k; ++j) target += run.step_times[std::size_t(tc + j)];
+      double recent = 0.0;
+      for (int j = 0; j < cfg.m; ++j) recent += run.step_times[std::size_t(tc - 1 - j)];
+
+      out.x.append_row(row);
+      out.y.push_back(target);
+      out.persistence.push_back(recent / double(cfg.m) * double(cfg.k));
+      out.run_of.push_back(r);
+    }
+  }
+  return out;
+}
+
+ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
+                               const ForecastConfig& fcfg) {
+  const WindowData wd = build_windows(ds, wcfg);
+  ForecastEval eval;
+  eval.windows = wd.y.size();
+  DFV_CHECK(wd.y.size() >= std::size_t(2 * fcfg.folds));
+
+  const double mean_step =
+      stats::mean(ds.mean_step_curve());  // dataset-level mean baseline
+
+  Rng rng(fcfg.seed);
+  const auto folds = ml::group_kfold(wd.run_of, std::size_t(fcfg.folds), rng);
+  std::uint64_t seed = fcfg.attention.seed;
+  for (const auto& fold : folds) {
+    const ml::Matrix x_train = wd.x.select_rows(fold.train);
+    std::vector<double> y_train(fold.train.size());
+    for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = wd.y[fold.train[i]];
+
+    ml::AttentionParams ap = fcfg.attention;
+    ap.seed = seed++;
+    ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), ap);
+    model.fit(x_train, y_train);
+
+    std::vector<double> y_test(fold.test.size()), pred(fold.test.size()),
+        persist(fold.test.size()), mean_pred(fold.test.size());
+    for (std::size_t i = 0; i < fold.test.size(); ++i) {
+      y_test[i] = wd.y[fold.test[i]];
+      pred[i] = model.predict_one(wd.x.row(fold.test[i]));
+      persist[i] = wd.persistence[fold.test[i]];
+      mean_pred[i] = mean_step * double(wcfg.k);
+    }
+    eval.mape_attention += ml::mape(y_test, pred) / double(folds.size());
+    eval.mape_persistence += ml::mape(y_test, persist) / double(folds.size());
+    eval.mape_mean += ml::mape(y_test, mean_pred) / double(folds.size());
+  }
+  return eval;
+}
+
+std::vector<double> forecast_feature_importance(const sim::Dataset& ds,
+                                                const WindowConfig& wcfg,
+                                                const ForecastConfig& fcfg) {
+  const WindowData wd = build_windows(ds, wcfg);
+  ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), fcfg.attention);
+  model.fit(wd.x, wd.y);
+  Rng rng(hash_combine(fcfg.seed, 0x1397));
+  return model.permutation_importance(wd.x, wd.y, rng);
+}
+
+LongRunForecast forecast_long_run(const sim::Dataset& train,
+                                  const sim::RunRecord& long_run,
+                                  const WindowConfig& wcfg, const ForecastConfig& fcfg) {
+  const WindowData wd = build_windows(train, wcfg);
+  ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), fcfg.attention);
+  model.fit(wd.x, wd.y);
+
+  const int F = feature_count(wcfg.features);
+  const int T = long_run.steps();
+  LongRunForecast out;
+  std::vector<double> window(std::size_t(wcfg.m) * std::size_t(F));
+
+  for (int seg = wcfg.m; seg + wcfg.k <= T; seg += wcfg.k) {
+    for (int j = 0; j < wcfg.m; ++j)
+      step_features(long_run, seg - wcfg.m + j, wcfg.features,
+                    {window.data() + std::size_t(j) * std::size_t(F), std::size_t(F)});
+    double observed = 0.0;
+    for (int j = 0; j < wcfg.k; ++j) observed += long_run.step_times[std::size_t(seg + j)];
+    out.segment_start.push_back(seg);
+    out.observed.push_back(observed);
+    out.predicted.push_back(model.predict_one(window));
+  }
+  out.mape = ml::mape(out.observed, out.predicted);
+  return out;
+}
+
+}  // namespace dfv::analysis

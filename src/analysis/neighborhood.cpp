@@ -1,0 +1,68 @@
+#include "analysis/neighborhood.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "ml/mutual_info.hpp"
+
+namespace dfv::analysis {
+
+NeighborhoodResult analyze_neighborhood(const sim::Dataset& ds, double tau) {
+  NeighborhoodResult result;
+  result.tau = tau;
+  const std::size_t n = ds.runs.size();
+  DFV_CHECK_MSG(n >= 2, "neighborhood analysis needs at least two runs");
+
+  // Optimality vector: t_r < tau * mean(t).
+  const std::vector<double> totals = ds.total_times();
+  result.mean_total_time = stats::mean(totals);
+  std::vector<int> optimal(n);
+  std::size_t n_opt = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    optimal[r] = totals[r] < tau * result.mean_total_time ? 1 : 0;
+    n_opt += std::size_t(optimal[r]);
+  }
+  result.optimal_fraction = double(n_opt) / double(n);
+
+  // User vocabulary over all runs' neighborhoods.
+  std::map<int, std::vector<int>> presence;  // user -> binary column
+  for (std::size_t r = 0; r < n; ++r)
+    for (int u : ds.runs[r].neighborhood_users)
+      presence.emplace(u, std::vector<int>(n, 0)).first->second[r] = 1;
+
+  for (auto& [user, column] : presence) {
+    UserScore s;
+    s.user_id = user;
+    s.mi = ml::mutual_information(column, optimal);
+    std::size_t np = 0, np_opt = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!column[r]) continue;
+      ++np;
+      np_opt += std::size_t(optimal[r]);
+    }
+    s.presence = double(np) / double(n);
+    s.optimal_when_present = np > 0 ? double(np_opt) / double(np) : 0.0;
+    s.optimal_overall = result.optimal_fraction;
+    result.ranked.push_back(s);
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const UserScore& a, const UserScore& b) { return a.mi > b.mi; });
+  return result;
+}
+
+std::vector<int> blamed_users(const NeighborhoodResult& r, std::size_t top_k,
+                              double min_mi) {
+  std::vector<int> users;
+  for (const UserScore& s : r.ranked) {
+    if (users.size() >= top_k) break;
+    if (s.mi < min_mi) break;
+    if (!s.negatively_correlated()) continue;
+    users.push_back(s.user_id);
+  }
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+}  // namespace dfv::analysis

@@ -1,0 +1,42 @@
+// Neighborhood analysis (§IV-A, §V-A, Table III): quantify, via mutual
+// information, the dependency between the users running concurrently
+// with each run and the run's optimality (t_r < tau * t_mean).
+#pragma once
+
+#include <vector>
+
+#include "sim/dataset.hpp"
+
+namespace dfv::analysis {
+
+struct UserScore {
+  int user_id = 0;
+  double mi = 0.0;           ///< mutual information with optimality [nats]
+  double presence = 0.0;     ///< fraction of runs the user overlapped
+  double optimal_when_present = 0.0;  ///< P(optimal | user present)
+  double optimal_overall = 0.0;       ///< P(optimal)
+
+  /// True when the user's presence is associated with *worse* outcomes
+  /// (the direction Table III reports).
+  [[nodiscard]] bool negatively_correlated() const noexcept {
+    return optimal_when_present < optimal_overall;
+  }
+};
+
+struct NeighborhoodResult {
+  double tau = 1.0;
+  double mean_total_time = 0.0;
+  double optimal_fraction = 0.0;
+  std::vector<UserScore> ranked;  ///< all users, by MI descending
+};
+
+/// Run the analysis on one dataset.
+[[nodiscard]] NeighborhoodResult analyze_neighborhood(const sim::Dataset& ds,
+                                                      double tau = 1.0);
+
+/// Table III row: the top-`top_k` users by MI that are negatively
+/// correlated with optimality and clear `min_mi`; sorted by user id.
+[[nodiscard]] std::vector<int> blamed_users(const NeighborhoodResult& r,
+                                            std::size_t top_k = 9, double min_mi = 1e-3);
+
+}  // namespace dfv::analysis

@@ -1,0 +1,99 @@
+// Application models for the paper's four workloads (§III-A/B).
+//
+// Each model emits, per time step, a compute duration plus a list of
+// communication phases (point-to-point traffic at router granularity,
+// collectives as round counts). The cluster simulator turns phases into
+// elapsed time using the network state, so run-to-run variability comes
+// from the network — matching the paper's observation that compute time
+// barely varies (no OS noise) while MPI time does.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mon/mpip.hpp"
+#include "net/traffic.hpp"
+#include "sched/placement.hpp"
+
+namespace dfv::apps {
+
+/// Table I row: application version, node count, input parameters.
+struct AppInfo {
+  std::string name;           ///< "AMG", "MILC", "miniVite", "UMT"
+  std::string version;        ///< e.g. "1.1"
+  int nodes = 0;              ///< 128 or 512
+  std::string input_params;   ///< Table I input string
+  int time_steps = 0;         ///< loop iterations per run
+  int ranks_per_node = 64;    ///< 64 of 68 KNL cores (4 reserved for OS)
+};
+
+/// Share of one phase's time attributed to an MPI routine in the
+/// mpiP-style profile (Figures 4-5).
+struct RoutineShare {
+  mon::MpiRoutine routine;
+  double share;  ///< fractions within a phase sum to ~1
+};
+
+/// One communication phase of a step.
+struct PhaseSpec {
+  enum class Kind : std::uint8_t { PointToPoint, Allreduce, Barrier };
+  Kind kind = Kind::PointToPoint;
+
+  /// Router-level traffic (PointToPoint), aggregated from node pairs.
+  std::vector<net::Demand> demands;
+
+  /// Latency/software-bound baseline duration at zero congestion [s].
+  /// Congestion multiplies it; actual data movement (transfer makespan)
+  /// adds on top for PointToPoint phases.
+  double base_seconds = 0.0;
+
+  double rounds = 1.0;  ///< collective rounds (Allreduce/Barrier)
+  double bytes = 0.0;   ///< collective payload bytes per round
+
+  std::vector<RoutineShare> attribution;
+};
+
+/// Everything a step does.
+struct StepSpec {
+  double compute_s = 0.0;
+  std::vector<PhaseSpec> phases;
+};
+
+/// Sensitivity of the app's MPI time to the two congestion channels the
+/// paper distinguishes: endpoint (processor-tile) stalls vs. transit
+/// (router-tile) congestion; plus collective sensitivity.
+struct AppCoefficients {
+  double pt_weight = 1.0;    ///< multiplier on endpoint stall fraction
+  double rt_weight = 1.0;    ///< multiplier on (transit congestion factor - 1)
+  double coll_weight = 1.0;  ///< multiplier for collectives
+};
+
+/// Interface implemented by the four application models.
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  [[nodiscard]] virtual const AppInfo& info() const = 0;
+  [[nodiscard]] virtual const AppCoefficients& coefficients() const = 0;
+
+  /// Build step `step_idx` (0-based) for the given placement. `rng` only
+  /// feeds small compute noise and workload-inherent randomness (e.g.
+  /// miniVite's per-step exchange volume); network effects are external.
+  [[nodiscard]] virtual StepSpec step(int step_idx, const sched::Placement& placement,
+                                      const net::Topology& topo, Rng& rng) const = 0;
+
+  [[nodiscard]] int num_steps() const { return info().time_steps; }
+};
+
+std::unique_ptr<AppModel> make_amg(int nodes);       ///< 128 or 512
+std::unique_ptr<AppModel> make_milc(int nodes);      ///< 128 or 512
+std::unique_ptr<AppModel> make_minivite(int nodes);  ///< 128
+std::unique_ptr<AppModel> make_umt(int nodes);       ///< 128
+
+/// MILC with a custom step count: the paper's Fig. 12 runs a 620-step
+/// MILC production job on 128 nodes (1h45m) and forecasts its segments.
+std::unique_ptr<AppModel> make_milc_long(int nodes, int time_steps);
+
+}  // namespace dfv::apps

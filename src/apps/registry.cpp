@@ -1,0 +1,30 @@
+#include "apps/registry.hpp"
+
+#include "common/check.hpp"
+
+namespace dfv::apps {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"AMG", 128}, {"AMG", 512},      {"MILC", 128},
+      {"MILC", 512}, {"miniVite", 128}, {"UMT", 128},
+  };
+  return kDatasets;
+}
+
+std::unique_ptr<AppModel> make_app(const std::string& name, int nodes) {
+  if (name == "AMG") return make_amg(nodes);
+  if (name == "MILC") return make_milc(nodes);
+  if (name == "miniVite") return make_minivite(nodes);
+  if (name == "UMT") return make_umt(nodes);
+  DFV_CHECK_MSG(false, "unknown application '" << name << "'");
+  return nullptr;  // unreachable
+}
+
+std::vector<AppInfo> table1_rows() {
+  std::vector<AppInfo> rows;
+  for (const auto& d : paper_datasets()) rows.push_back(make_app(d.app, d.nodes)->info());
+  return rows;
+}
+
+}  // namespace dfv::apps

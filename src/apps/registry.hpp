@@ -1,0 +1,29 @@
+// Application registry: Table I of the paper as data plus factory lookup.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_model.hpp"
+
+namespace dfv::apps {
+
+/// One dataset of the study: an application at a node count (Table I row).
+struct DatasetSpec {
+  std::string app;  ///< "AMG", "MILC", "miniVite", "UMT"
+  int nodes = 0;
+
+  [[nodiscard]] std::string label() const { return app + "-" + std::to_string(nodes); }
+};
+
+/// The six datasets of the paper, in Table I order.
+[[nodiscard]] const std::vector<DatasetSpec>& paper_datasets();
+
+/// Factory by name; throws ContractError on unknown app/nodes combination.
+[[nodiscard]] std::unique_ptr<AppModel> make_app(const std::string& name, int nodes);
+
+/// Table I contents (used by bench/table01_inputs).
+[[nodiscard]] std::vector<AppInfo> table1_rows();
+
+}  // namespace dfv::apps

@@ -1,0 +1,109 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dfv {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+std::string y_tick(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1e5 || (std::abs(v) > 0 && std::abs(v) < 1e-2))
+    os << std::scientific << std::setprecision(1) << v;
+  else
+    os << std::fixed << std::setprecision(2) << v;
+  return os.str();
+}
+}  // namespace
+
+std::string line_plot(std::span<const Series> series, const PlotOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t max_n = 0;
+  for (const auto& s : series) {
+    max_n = std::max(max_n, s.ys.size());
+    for (double y : s.ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  if (max_n == 0) return out.str() + "(no data)\n";
+  if (opts.y_from_zero) lo = std::min(lo, 0.0);
+  if (hi <= lo) hi = lo + 1.0;
+
+  const std::size_t W = std::max<std::size_t>(opts.width, 8);
+  const std::size_t H = std::max<std::size_t>(opts.height, 4);
+  std::vector<std::string> grid(H, std::string(W, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& ys = series[si].ys;
+    const char g = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      const std::size_t x =
+          ys.size() <= 1 ? 0 : std::size_t(std::round(double(i) * double(W - 1) /
+                                                      double(ys.size() - 1)));
+      const double fy = (ys[i] - lo) / (hi - lo);
+      const std::size_t y = std::size_t(std::round(fy * double(H - 1)));
+      grid[H - 1 - std::min(y, H - 1)][std::min(x, W - 1)] = g;
+    }
+  }
+
+  const std::string top = y_tick(hi), bot = y_tick(lo);
+  const std::size_t label_w = std::max(top.size(), bot.size());
+  for (std::size_t r = 0; r < H; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = std::string(label_w - top.size(), ' ') + top;
+    if (r == H - 1) label = std::string(label_w - bot.size(), ' ') + bot;
+    out << label << " |" << grid[r] << '\n';
+  }
+  out << std::string(label_w, ' ') << " +" << std::string(W, '-') << '\n';
+  if (!opts.x_label.empty())
+    out << std::string(label_w + 2, ' ') << opts.x_label << " (0.." << max_n - 1 << ")\n";
+  if (series.size() > 1 || !series.empty()) {
+    out << std::string(label_w + 2, ' ') << "legend:";
+    for (std::size_t si = 0; si < series.size(); ++si)
+      out << "  [" << kGlyphs[si % sizeof(kGlyphs)] << "] " << series[si].name;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string line_plot(const Series& s, const PlotOptions& opts) {
+  return line_plot(std::span<const Series>(&s, 1), opts);
+}
+
+std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
+                      std::size_t width, const std::string& title) {
+  DFV_CHECK(labels.size() == values.size());
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  if (labels.empty()) return out.str() + "(no data)\n";
+
+  std::size_t label_w = 0;
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    label_w = std::max(label_w, labels[i].size());
+    vmax = std::max(vmax, values[i]);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double frac = std::max(0.0, values[i]) / vmax;
+    const auto n = static_cast<std::size_t>(std::round(frac * double(width)));
+    out << "  " << labels[i] << std::string(label_w - labels[i].size(), ' ') << " |"
+        << std::string(n, '#') << ' ' << y_tick(values[i]) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dfv

@@ -1,0 +1,39 @@
+// Terminal line/bar plots so benchmark binaries can render the *shape*
+// of each paper figure directly in their stdout.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfv {
+
+/// Options for line plots.
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area width in characters
+  std::size_t height = 16;  ///< plot area height in rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = false;  ///< force the y axis to start at 0
+};
+
+/// One named series for a multi-series line plot.
+struct Series {
+  std::string name;
+  std::vector<double> ys;  ///< y values; x is the index
+};
+
+/// Render one or more series as an ASCII line plot (distinct glyph per series).
+std::string line_plot(std::span<const Series> series, const PlotOptions& opts = {});
+std::string line_plot(const Series& s, const PlotOptions& opts = {});
+inline std::string line_plot(std::initializer_list<Series> series,
+                             const PlotOptions& opts = {}) {
+  return line_plot(std::span<const Series>(series.begin(), series.size()), opts);
+}
+
+/// Render labeled horizontal bars scaled to the maximum value.
+std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
+                      std::size_t width = 48, const std::string& title = {});
+
+}  // namespace dfv

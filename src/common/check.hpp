@@ -1,0 +1,46 @@
+// Lightweight runtime contract checks used across the library.
+//
+// DFV_CHECK is always on (cheap conditions only: index bounds on public
+// entry points, configuration validation). Violations throw
+// dfv::ContractError so tests can assert on misuse, per I.6/E.x of the
+// C++ Core Guidelines (prefer exceptions over abort for recoverable
+// precondition reporting in a library context).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dfv {
+
+/// Thrown when a DFV_CHECK precondition fails.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dfv
+
+#define DFV_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) ::dfv::detail::contract_fail(#cond, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define DFV_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream dfv_os_;                                            \
+      dfv_os_ << msg;                                                        \
+      ::dfv::detail::contract_fail(#cond, __FILE__, __LINE__, dfv_os_.str()); \
+    }                                                                        \
+  } while (0)

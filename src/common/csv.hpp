@@ -1,0 +1,29 @@
+// Minimal CSV read/write used to export campaign datasets so they can be
+// inspected outside the benchmarks (the paper's datasets are tabular).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfv {
+
+/// In-memory CSV document: a header row plus string cells.
+struct Csv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for a header name; throws ContractError if absent.
+  [[nodiscard]] std::size_t col(const std::string& name) const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Write to a file (overwrites). Returns false on I/O failure.
+bool write_csv(const Csv& csv, const std::string& path);
+
+/// Parse from a string. Handles quoted fields with embedded commas/quotes.
+Csv parse_csv(const std::string& text);
+
+/// Read and parse a file; throws ContractError if the file cannot be read.
+Csv read_csv(const std::string& path);
+
+}  // namespace dfv

@@ -1,0 +1,33 @@
+// Tiny leveled logger. The campaign driver emits progress at Info;
+// tests run with the level raised to Warn to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dfv {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a message (used by the DFV_LOG_* macros; callable directly too).
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace dfv
+
+#define DFV_LOG_AT(lvl, expr)                           \
+  do {                                                  \
+    if (static_cast<int>(lvl) >= static_cast<int>(::dfv::log_level())) { \
+      std::ostringstream dfv_log_os_;                   \
+      dfv_log_os_ << expr;                              \
+      ::dfv::log_message(lvl, dfv_log_os_.str());       \
+    }                                                   \
+  } while (0)
+
+#define DFV_LOG_DEBUG(expr) DFV_LOG_AT(::dfv::LogLevel::Debug, expr)
+#define DFV_LOG_INFO(expr) DFV_LOG_AT(::dfv::LogLevel::Info, expr)
+#define DFV_LOG_WARN(expr) DFV_LOG_AT(::dfv::LogLevel::Warn, expr)
+#define DFV_LOG_ERROR(expr) DFV_LOG_AT(::dfv::LogLevel::Error, expr)

@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace dfv {
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling.
+  if (n == 0) return 0;
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::int64_t>(uniform_index(std::uint64_t(hi - lo) + 1));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.empty() ? 0 : uniform_index(weights.size());
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) noexcept {
+  if (k > n) k = n;
+  // Partial Fisher–Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace dfv

@@ -1,0 +1,69 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dfv {
+
+double OuProcess::step(double dt, Rng& rng) noexcept {
+  // Exact discretization of the OU SDE over a step of length dt.
+  const double e = std::exp(-theta_ * dt);
+  const double var = (sigma_ * sigma_) / (2.0 * theta_) * (1.0 - e * e);
+  x_ = mu_ + (x_ - mu_) * e + std::sqrt(std::max(var, 0.0)) * rng.normal();
+  return x_;
+}
+
+double Ar1::step(Rng& rng) noexcept {
+  x_ = phi_ * x_ + sigma_ * rng.normal();
+  return x_;
+}
+
+std::vector<double> moving_average(std::span<const double> xs, std::size_t half) {
+  std::vector<double> out(xs.size(), 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(xs.size() - 1, i + half);
+    double s = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) s += xs[j];
+    out[i] = s / double(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> remove_mean_curve(std::span<const double> xs,
+                                      std::span<const double> mean) {
+  DFV_CHECK(xs.size() == mean.size());
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = xs[i] - mean[i];
+  return out;
+}
+
+std::vector<double> mean_curve(const std::vector<std::vector<double>>& series) {
+  if (series.empty()) return {};
+  const std::size_t T = series.front().size();
+  std::vector<double> out(T, 0.0);
+  for (const auto& s : series) {
+    DFV_CHECK(s.size() == T);
+    for (std::size_t t = 0; t < T; ++t) out[t] += s[t];
+  }
+  for (double& v : out) v /= double(series.size());
+  return out;
+}
+
+double autocorrelation_lag1(std::span<const double> xs) {
+  if (xs.size() < 3) return 0.0;
+  const double m = stats::mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - m;
+    den += d * d;
+    if (i + 1 < xs.size()) num += d * (xs[i + 1] - m);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+}  // namespace dfv

@@ -1,0 +1,60 @@
+// Time-series building blocks used by the simulator (temporally
+// autocorrelated background traffic) and by the analysis pipeline
+// (mean-centering, sliding windows).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dfv {
+
+/// Ornstein–Uhlenbeck process, discretized: mean-reverting noise whose
+/// autocorrelation over lag dt decays as exp(-theta * dt). Drives the
+/// traffic intensity of background jobs so that past network counters
+/// carry information about future steps (the property the forecasting
+/// experiments of the paper rely on).
+class OuProcess {
+ public:
+  /// theta: mean reversion rate [1/s]; mu: long-run mean; sigma: volatility.
+  OuProcess(double theta, double mu, double sigma, double x0) noexcept
+      : theta_(theta), mu_(mu), sigma_(sigma), x_(x0) {}
+
+  /// Advance by dt seconds and return the new value.
+  double step(double dt, Rng& rng) noexcept;
+
+  [[nodiscard]] double value() const noexcept { return x_; }
+  void set_value(double x) noexcept { x_ = x; }
+
+ private:
+  double theta_, mu_, sigma_, x_;
+};
+
+/// First-order autoregressive process: x' = phi * x + noise.
+class Ar1 {
+ public:
+  Ar1(double phi, double noise_stddev, double x0 = 0.0) noexcept
+      : phi_(phi), sigma_(noise_stddev), x_(x0) {}
+
+  double step(Rng& rng) noexcept;
+  [[nodiscard]] double value() const noexcept { return x_; }
+
+ private:
+  double phi_, sigma_, x_;
+};
+
+/// Centered moving average with window 2*half+1 (shrinks at boundaries).
+std::vector<double> moving_average(std::span<const double> xs, std::size_t half);
+
+/// Subtract `mean_curve[i]` from `xs[i]` elementwise (sizes must match).
+std::vector<double> remove_mean_curve(std::span<const double> xs,
+                                      std::span<const double> mean_curve);
+
+/// Column means over a set of equal-length series: result[t] = mean_i series[i][t].
+std::vector<double> mean_curve(const std::vector<std::vector<double>>& series);
+
+/// Lag-1 autocorrelation of a series (0 if too short or constant).
+double autocorrelation_lag1(std::span<const double> xs);
+
+}  // namespace dfv

@@ -1,0 +1,68 @@
+// VariabilityStudy: the library's front door. One object owns a campaign
+// configuration, lazily generates (or loads from cache) the six datasets,
+// and exposes the paper's three analyses. Every bench binary and example
+// builds on this API.
+//
+//   dfv::core::VariabilityStudy study;            // Cori-scale defaults
+//   const auto& milc = study.dataset("MILC", 128);
+//   auto blame = study.neighborhood("MILC", 128); // Table III
+//   auto dev = study.deviation("MILC", 128);      // Fig. 9
+//   auto fc = study.forecast("MILC", 128, {30, 40,
+//                            dfv::analysis::FeatureSet::AppPlacementIoSys});
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/deviation.hpp"
+#include "analysis/forecast.hpp"
+#include "analysis/neighborhood.hpp"
+#include "sim/campaign.hpp"
+
+namespace dfv::core {
+
+class VariabilityStudy {
+ public:
+  /// `cache_dir`: when non-empty, datasets are cached there on disk and
+  /// reused by later studies with an identical configuration.
+  explicit VariabilityStudy(sim::CampaignConfig config = {}, std::string cache_dir = {});
+
+  [[nodiscard]] const sim::CampaignConfig& config() const noexcept { return config_; }
+
+  /// The campaign result (generated or loaded on first access).
+  const sim::CampaignResult& campaign();
+  [[nodiscard]] const sim::Dataset& dataset(const std::string& app, int nodes);
+
+  /// Table III: neighborhood/blame analysis.
+  [[nodiscard]] analysis::NeighborhoodResult neighborhood(const std::string& app,
+                                                          int nodes, double tau = 1.0);
+
+  /// Fig. 9: deviation prediction relevance scores + CV MAPE.
+  [[nodiscard]] analysis::DeviationResult deviation(
+      const std::string& app, int nodes, const analysis::DeviationConfig& cfg = {});
+
+  /// Figs. 8/10: forecasting MAPE for one (m, k, feature-set) cell.
+  [[nodiscard]] analysis::ForecastEval forecast(const std::string& app, int nodes,
+                                                const analysis::WindowConfig& wcfg,
+                                                const analysis::ForecastConfig& fcfg = {});
+
+  /// Fig. 11: forecaster permutation feature importances.
+  [[nodiscard]] std::vector<double> forecast_importance(
+      const std::string& app, int nodes, const analysis::WindowConfig& wcfg,
+      const analysis::ForecastConfig& fcfg = {});
+
+  /// Fig. 12: generate one long instrumented run (outside the campaign)
+  /// and forecast it in k-step segments with a model trained on the
+  /// dataset. `steps` defaults to the paper's 620-step MILC job.
+  [[nodiscard]] analysis::LongRunForecast long_run_forecast(
+      int nodes = 128, int steps = 620, const analysis::WindowConfig& wcfg = {30, 40,
+          analysis::FeatureSet::AppPlacementIoSys},
+      const analysis::ForecastConfig& fcfg = {});
+
+ private:
+  sim::CampaignConfig config_;
+  std::string cache_dir_;
+  std::optional<sim::CampaignResult> campaign_;
+};
+
+}  // namespace dfv::core

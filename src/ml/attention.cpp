@@ -1,0 +1,322 @@
+#include "ml/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::ml {
+
+struct AttentionForecaster::Workspace {
+  // Forward activations for one sample.
+  std::vector<double> x;       ///< standardized window, m x F (time-major)
+  std::vector<double> embed;   ///< m x d (post-tanh)
+  std::vector<double> scores;  ///< m
+  std::vector<double> alpha;   ///< m (softmax)
+  std::vector<double> context; ///< d
+  std::vector<double> hidden;  ///< h (post-ReLU)
+  double y_hat = 0.0;
+
+  // Gradient accumulators (same shapes as the parameters).
+  std::vector<double> g_w_embed, g_b_embed, g_pos_embed, g_query, g_w_head, g_b_head,
+      g_w_out;
+  double g_b_out = 0.0;
+
+  // Backward scratch.
+  std::vector<double> d_embed, d_context, d_hidden_pre, d_scores;
+};
+
+AttentionForecaster::AttentionForecaster(int m, int feat_dim, AttentionParams params)
+    : m_(m), feat_dim_(feat_dim), params_(params) {
+  DFV_CHECK(m >= 1 && feat_dim >= 1);
+  DFV_CHECK(params_.d_model >= 1 && params_.d_hidden >= 1);
+  const std::size_t d = std::size_t(params_.d_model);
+  const std::size_t h = std::size_t(params_.d_hidden);
+  const std::size_t f = std::size_t(feat_dim_);
+
+  Rng rng(params_.seed);
+  auto init = [&rng](std::vector<double>& w, std::size_t n, double scale) {
+    w.resize(n);
+    for (double& v : w) v = scale * (2.0 * rng.uniform() - 1.0);
+  };
+  init(w_embed_, d * f, 1.0 / std::sqrt(double(f)));
+  init(b_embed_, d, 0.01);
+  init(pos_embed_, std::size_t(m) * d, 0.3);
+  init(query_, d, 1.0 / std::sqrt(double(d)));
+  init(w_head_, h * d, 1.0 / std::sqrt(double(d)));
+  init(b_head_, h, 0.01);
+  init(w_out_, h, 1.0 / std::sqrt(double(h)));
+  b_out_ = 0.0;
+}
+
+double AttentionForecaster::forward(std::span<const double> window, Workspace& ws) const {
+  const std::size_t d = std::size_t(params_.d_model);
+  const std::size_t h = std::size_t(params_.d_hidden);
+  const std::size_t f = std::size_t(feat_dim_);
+  const std::size_t m = std::size_t(m_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(double(d));
+
+  ws.embed.assign(m * d, 0.0);
+  ws.scores.assign(m, 0.0);
+  ws.alpha.assign(m, 0.0);
+  ws.context.assign(d, 0.0);
+  ws.hidden.assign(h, 0.0);
+
+  // Embed each time step with a learned positional encoding:
+  // e_i = tanh(W_e x_i + b_e + p_i). Without the p_i term the attention
+  // readout could not distinguish recent from old history.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* xi = window.data() + i * f;
+    for (std::size_t j = 0; j < d; ++j) {
+      double s = b_embed_[j] + pos_embed_[i * d + j];
+      const double* wrow = w_embed_.data() + j * f;
+      for (std::size_t c = 0; c < f; ++c) s += wrow[c] * xi[c];
+      ws.embed[i * d + j] = std::tanh(s);
+    }
+  }
+  // Scalar dot-product attention with a learned query.
+  double max_score = -1e30;
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) s += query_[j] * ws.embed[i * d + j];
+    ws.scores[i] = s * inv_sqrt_d;
+    max_score = std::max(max_score, ws.scores[i]);
+  }
+  double z = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    ws.alpha[i] = std::exp(ws.scores[i] - max_score);
+    z += ws.alpha[i];
+  }
+  for (std::size_t i = 0; i < m; ++i) ws.alpha[i] /= z;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < d; ++j) ws.context[j] += ws.alpha[i] * ws.embed[i * d + j];
+
+  // FC head: hidden = relu(W_h c + b_h), y = w_o . hidden + b_o.
+  double y = b_out_;
+  for (std::size_t k = 0; k < h; ++k) {
+    double s = b_head_[k];
+    const double* wrow = w_head_.data() + k * d;
+    for (std::size_t j = 0; j < d; ++j) s += wrow[j] * ws.context[j];
+    ws.hidden[k] = s > 0.0 ? s : 0.0;
+    y += w_out_[k] * ws.hidden[k];
+  }
+  ws.y_hat = y;
+  return y;
+}
+
+void AttentionForecaster::fit(const Matrix& x, std::span<const double> y) {
+  DFV_CHECK(x.rows() == y.size());
+  DFV_CHECK(x.cols() == std::size_t(m_) * std::size_t(feat_dim_));
+  DFV_CHECK(x.rows() >= 2);
+
+  Matrix xs = x;  // standardized copy
+  scaler_.fit(xs);
+  scaler_.transform(xs);
+  scaler_.fit_target(y);
+
+  const std::size_t n = xs.rows();
+  const std::size_t d = std::size_t(params_.d_model);
+  const std::size_t h = std::size_t(params_.d_hidden);
+  const std::size_t f = std::size_t(feat_dim_);
+  const std::size_t m = std::size_t(m_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(double(d));
+
+  Workspace ws;
+  ws.g_w_embed.assign(w_embed_.size(), 0.0);
+  ws.g_b_embed.assign(b_embed_.size(), 0.0);
+  ws.g_pos_embed.assign(pos_embed_.size(), 0.0);
+  ws.g_query.assign(query_.size(), 0.0);
+  ws.g_w_head.assign(w_head_.size(), 0.0);
+  ws.g_b_head.assign(b_head_.size(), 0.0);
+  ws.g_w_out.assign(w_out_.size(), 0.0);
+
+  // Adam state, one slot per parameter vector (+1 scalar for b_out).
+  struct AdamSlot {
+    std::vector<double> m1, m2;
+  };
+  std::vector<double*> param_ptrs = {w_embed_.data(), b_embed_.data(),
+                                     pos_embed_.data(), query_.data(),
+                                     w_head_.data(),  b_head_.data(),  w_out_.data()};
+  std::vector<double*> grad_ptrs = {ws.g_w_embed.data(), ws.g_b_embed.data(),
+                                    ws.g_pos_embed.data(), ws.g_query.data(),
+                                    ws.g_w_head.data(),  ws.g_b_head.data(),
+                                    ws.g_w_out.data()};
+  std::vector<std::size_t> sizes = {w_embed_.size(), b_embed_.size(),
+                                    pos_embed_.size(), query_.size(),
+                                    w_head_.size(),  b_head_.size(),  w_out_.size()};
+  std::vector<AdamSlot> adam(sizes.size());
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    adam[p].m1.assign(sizes[p], 0.0);
+    adam[p].m2.assign(sizes[p], 0.0);
+  }
+  double b_out_m1 = 0.0, b_out_m2 = 0.0;
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  long adam_t = 0;
+
+  Rng rng(hash_combine(params_.seed, 0xf17));
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  ws.d_embed.assign(m * d, 0.0);
+  ws.d_context.assign(d, 0.0);
+  ws.d_hidden_pre.assign(h, 0.0);
+  ws.d_scores.assign(m, 0.0);
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += std::size_t(params_.batch)) {
+      const std::size_t end = std::min(n, start + std::size_t(params_.batch));
+      const double inv_b = 1.0 / double(end - start);
+
+      for (std::size_t p = 0; p < sizes.size(); ++p)
+        std::fill(grad_ptrs[p], grad_ptrs[p] + sizes[p], 0.0);
+      ws.g_b_out = 0.0;
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t row = order[bi];
+        const auto window = xs.row(row);
+        forward(window, ws);
+        const double target = scaler_.transform_target(y[row]);
+        const double dy = 2.0 * (ws.y_hat - target) * inv_b;
+
+        // ---- backward ----
+        ws.g_b_out += dy;
+        std::fill(ws.d_context.begin(), ws.d_context.end(), 0.0);
+        for (std::size_t k = 0; k < h; ++k) {
+          ws.g_w_out[k] += dy * ws.hidden[k];
+          const double dh = dy * w_out_[k];
+          const double dpre = ws.hidden[k] > 0.0 ? dh : 0.0;
+          ws.g_b_head[k] += dpre;
+          double* gw = ws.g_w_head.data() + k * d;
+          const double* wrow = w_head_.data() + k * d;
+          for (std::size_t j = 0; j < d; ++j) {
+            gw[j] += dpre * ws.context[j];
+            ws.d_context[j] += dpre * wrow[j];
+          }
+        }
+        // context = sum_i alpha_i e_i
+        std::fill(ws.d_embed.begin(), ws.d_embed.end(), 0.0);
+        double alpha_dot = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          double da = 0.0;
+          for (std::size_t j = 0; j < d; ++j) {
+            da += ws.d_context[j] * ws.embed[i * d + j];
+            ws.d_embed[i * d + j] += ws.alpha[i] * ws.d_context[j];
+          }
+          ws.d_scores[i] = da;  // temporarily d(alpha_i)
+          alpha_dot += ws.alpha[i] * da;
+        }
+        // softmax backward
+        for (std::size_t i = 0; i < m; ++i)
+          ws.d_scores[i] = ws.alpha[i] * (ws.d_scores[i] - alpha_dot);
+        // scores = (q . e_i) / sqrt(d)
+        for (std::size_t i = 0; i < m; ++i) {
+          const double ds = ws.d_scores[i] * inv_sqrt_d;
+          for (std::size_t j = 0; j < d; ++j) {
+            ws.g_query[j] += ds * ws.embed[i * d + j];
+            ws.d_embed[i * d + j] += ds * query_[j];
+          }
+        }
+        // embed = tanh(W_e x_i + b_e)
+        const double* xw = window.data();
+        for (std::size_t i = 0; i < m; ++i) {
+          const double* xi = xw + i * f;
+          for (std::size_t j = 0; j < d; ++j) {
+            const double e = ws.embed[i * d + j];
+            const double dz = ws.d_embed[i * d + j] * (1.0 - e * e);
+            if (dz == 0.0) continue;
+            ws.g_b_embed[j] += dz;
+            ws.g_pos_embed[i * d + j] += dz;
+            double* gw = ws.g_w_embed.data() + j * f;
+            for (std::size_t c = 0; c < f; ++c) gw[c] += dz * xi[c];
+          }
+        }
+      }
+
+      // ---- Adam update ----
+      ++adam_t;
+      const double bc1 = 1.0 - std::pow(kBeta1, double(adam_t));
+      const double bc2 = 1.0 - std::pow(kBeta2, double(adam_t));
+      for (std::size_t p = 0; p < sizes.size(); ++p) {
+        double* w = param_ptrs[p];
+        double* g = grad_ptrs[p];
+        auto& slot = adam[p];
+        for (std::size_t i = 0; i < sizes[p]; ++i) {
+          const double grad = g[i] + params_.weight_decay * w[i];
+          slot.m1[i] = kBeta1 * slot.m1[i] + (1.0 - kBeta1) * grad;
+          slot.m2[i] = kBeta2 * slot.m2[i] + (1.0 - kBeta2) * grad * grad;
+          w[i] -= params_.lr * (slot.m1[i] / bc1) / (std::sqrt(slot.m2[i] / bc2) + kEps);
+        }
+      }
+      b_out_m1 = kBeta1 * b_out_m1 + (1.0 - kBeta1) * ws.g_b_out;
+      b_out_m2 = kBeta2 * b_out_m2 + (1.0 - kBeta2) * ws.g_b_out * ws.g_b_out;
+      b_out_ -= params_.lr * (b_out_m1 / bc1) / (std::sqrt(b_out_m2 / bc2) + kEps);
+    }
+  }
+}
+
+double AttentionForecaster::predict_one(std::span<const double> window) const {
+  DFV_CHECK(window.size() == std::size_t(m_) * std::size_t(feat_dim_));
+  // Standardize the window with the training statistics.
+  std::vector<double> z(window.size());
+  const auto& mu = scaler_.means();
+  const auto& sd = scaler_.stddevs();
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = (window[i] - mu[i]) / sd[i];
+  Workspace ws;
+  const double y_std = forward(z, ws);
+  return scaler_.inverse_target(y_std);
+}
+
+std::vector<double> AttentionForecaster::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  return out;
+}
+
+std::vector<double> AttentionForecaster::attention_weights(
+    std::span<const double> window) const {
+  std::vector<double> z(window.size());
+  const auto& mu = scaler_.means();
+  const auto& sd = scaler_.stddevs();
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = (window[i] - mu[i]) / sd[i];
+  Workspace ws;
+  forward(z, ws);
+  return ws.alpha;
+}
+
+std::vector<double> AttentionForecaster::permutation_importance(const Matrix& x,
+                                                                std::span<const double> y,
+                                                                Rng& rng,
+                                                                int repeats) const {
+  DFV_CHECK(x.rows() == y.size());
+  const std::size_t F = std::size_t(feat_dim_);
+  const std::vector<double> base_pred = predict(x);
+  const double base_err = mape(y, base_pred);
+
+  std::vector<double> importance(F, 0.0);
+  std::vector<std::size_t> perm(x.rows());
+  for (std::size_t f = 0; f < F; ++f) {
+    double acc = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      rng.shuffle(perm);
+      Matrix xp = x;
+      // Shuffle feature f at every time position simultaneously.
+      for (std::size_t r = 0; r < x.rows(); ++r)
+        for (int t = 0; t < m_; ++t) {
+          const std::size_t col = std::size_t(t) * F + f;
+          xp(r, col) = x(perm[r], col);
+        }
+      acc += std::max(0.0, mape(y, predict(xp)) - base_err);
+    }
+    importance[f] = acc / double(repeats);
+  }
+  const double total = std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0)
+    for (double& v : importance) v /= total;
+  return importance;
+}
+
+}  // namespace dfv::ml

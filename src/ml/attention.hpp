@@ -1,0 +1,78 @@
+// Attention-based forecaster (§IV-C): scalar dot-product attention over
+// the embedded history window followed by a fully connected head, trained
+// with Adam on standardized inputs/targets — a from-scratch implementation
+// of the model family the paper uses ("the popular scalar dot-product
+// attention along with a fully connected neural network").
+//
+// Input: a window of m time steps, each with `feat_dim` features
+// (network counters, optionally placement / io / sys), flattened
+// time-major into one row of length m * feat_dim.
+// Output: y_tot^k(t_c), the sum of the next k step times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+#include "ml/scaler.hpp"
+
+namespace dfv::ml {
+
+struct AttentionParams {
+  int d_model = 12;   ///< embedding width per time step
+  int d_hidden = 16;  ///< FC head width
+  int epochs = 40;
+  int batch = 32;
+  double lr = 3e-3;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 0xa77;
+};
+
+class AttentionForecaster {
+ public:
+  /// `m`: history length (time steps per window); `feat_dim`: features per step.
+  AttentionForecaster(int m, int feat_dim, AttentionParams params = {});
+
+  /// Train on windows (rows of length m*feat_dim) and targets. Features
+  /// and targets are standardized internally.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  [[nodiscard]] double predict_one(std::span<const double> window) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Permutation importance per feature dimension (shuffling a feature
+  /// across samples at all m time positions simultaneously) measured as
+  /// the increase in MAPE; non-negative, normalized to sum to 1.
+  [[nodiscard]] std::vector<double> permutation_importance(const Matrix& x,
+                                                           std::span<const double> y,
+                                                           Rng& rng,
+                                                           int repeats = 2) const;
+
+  [[nodiscard]] int history() const noexcept { return m_; }
+  [[nodiscard]] int feat_dim() const noexcept { return feat_dim_; }
+  /// Attention weights over the m history steps for one window (useful
+  /// for inspecting what the model attends to).
+  [[nodiscard]] std::vector<double> attention_weights(std::span<const double> window) const;
+
+ private:
+  struct Workspace;  // forward/backward scratch (defined in .cpp)
+
+  double forward(std::span<const double> window, Workspace& ws) const;
+
+  int m_, feat_dim_;
+  AttentionParams params_;
+  StandardScaler scaler_;
+
+  // Parameters (flattened):
+  std::vector<double> w_embed_;    ///< d_model x feat_dim
+  std::vector<double> b_embed_;    ///< d_model
+  std::vector<double> pos_embed_;  ///< m x d_model learned positional encoding
+  std::vector<double> query_;      ///< d_model
+  std::vector<double> w_head_;   ///< d_hidden x d_model
+  std::vector<double> b_head_;   ///< d_hidden
+  std::vector<double> w_out_;    ///< d_hidden
+  double b_out_ = 0.0;
+};
+
+}  // namespace dfv::ml

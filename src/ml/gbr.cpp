@@ -1,0 +1,69 @@
+#include "ml/gbr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dfv::ml {
+
+void GradientBoostedRegressor::fit(const Matrix& x, std::span<const double> y) {
+  DFV_CHECK(x.rows() == y.size());
+  DFV_CHECK(x.rows() > 0);
+  DFV_CHECK(params_.n_trees >= 1);
+  DFV_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
+
+  trees_.clear();
+  gain_acc_.assign(x.cols(), 0.0);
+  f0_ = stats::mean(y);
+
+  const std::size_t n = x.rows();
+  std::vector<double> residual(n);
+  std::vector<double> f(n, f0_);
+  Rng rng(params_.seed);
+
+  const auto sub_n =
+      std::max<std::size_t>(2, std::size_t(params_.subsample * double(n)));
+
+  for (int t = 0; t < params_.n_trees; ++t) {
+    // Negative gradient of squared loss = residual.
+    for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - f[i];
+
+    const std::vector<std::size_t> idx =
+        sub_n >= n ? [&] {
+          std::vector<std::size_t> all(n);
+          for (std::size_t i = 0; i < n; ++i) all[i] = i;
+          return all;
+        }()
+                   : rng.sample_without_replacement(n, sub_n);
+
+    RegressionTree tree;
+    tree.fit(x, residual, idx, params_.tree);
+    for (std::size_t i = 0; i < n; ++i)
+      f[i] += params_.learning_rate * tree.predict_one(x.row(i));
+    for (std::size_t c = 0; c < x.cols(); ++c) gain_acc_[c] += tree.feature_gains()[c];
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedRegressor::predict_one(std::span<const double> x) const {
+  double s = f0_;
+  for (const auto& t : trees_) s += params_.learning_rate * t.predict_one(x);
+  return s;
+}
+
+std::vector<double> GradientBoostedRegressor::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  return out;
+}
+
+std::vector<double> GradientBoostedRegressor::feature_importances() const {
+  std::vector<double> imp = gain_acc_;
+  const double total = stats::sum(imp);
+  if (total > 0.0)
+    for (double& v : imp) v /= total;
+  return imp;
+}
+
+}  // namespace dfv::ml

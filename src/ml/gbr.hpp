@@ -1,0 +1,44 @@
+// Gradient boosted regression (Friedman 2001): squared-error boosting of
+// histogram CART trees with row subsampling — the predictive model used
+// for the paper's deviation analysis (§IV-B).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ml/tree.hpp"
+
+namespace dfv::ml {
+
+struct GbrParams {
+  int n_trees = 60;
+  double learning_rate = 0.10;
+  double subsample = 0.40;  ///< fraction of rows per tree
+  TreeParams tree;
+  std::uint64_t seed = 0x6b05;
+};
+
+class GradientBoostedRegressor {
+ public:
+  explicit GradientBoostedRegressor(GbrParams params = {}) : params_(params) {}
+
+  void fit(const Matrix& x, std::span<const double> y);
+
+  [[nodiscard]] double predict_one(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Split-gain importances summed over trees, normalized to sum to 1
+  /// (all-zero if the model never split).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  [[nodiscard]] const GbrParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  GbrParams params_;
+  double f0_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> gain_acc_;
+};
+
+}  // namespace dfv::ml

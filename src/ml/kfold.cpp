@@ -1,0 +1,58 @@
+#include "ml/kfold.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+
+std::vector<FoldSplit> kfold(std::size_t n, std::size_t k, Rng& rng) {
+  DFV_CHECK(k >= 2 && n >= k);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+
+  std::vector<FoldSplit> folds(k);
+  for (std::size_t i = 0; i < n; ++i) folds[i % k].test.push_back(idx[i]);
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(), folds[g].test.begin(),
+                            folds[g].test.end());
+    }
+    std::sort(folds[f].test.begin(), folds[f].test.end());
+    std::sort(folds[f].train.begin(), folds[f].train.end());
+  }
+  return folds;
+}
+
+std::vector<FoldSplit> group_kfold(std::span<const std::size_t> groups, std::size_t k,
+                                   Rng& rng) {
+  // Unique group ids, shuffled, dealt round-robin into folds.
+  std::vector<std::size_t> uniq(groups.begin(), groups.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  DFV_CHECK_MSG(uniq.size() >= k, "need at least k distinct groups for group k-fold");
+  rng.shuffle(uniq);
+
+  // group id -> fold
+  std::vector<std::pair<std::size_t, std::size_t>> fold_of;
+  fold_of.reserve(uniq.size());
+  for (std::size_t i = 0; i < uniq.size(); ++i) fold_of.emplace_back(uniq[i], i % k);
+  std::sort(fold_of.begin(), fold_of.end());
+  auto lookup = [&](std::size_t g) {
+    auto it = std::lower_bound(fold_of.begin(), fold_of.end(),
+                               std::make_pair(g, std::size_t(0)));
+    return it->second;
+  };
+
+  std::vector<FoldSplit> folds(k);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::size_t f = lookup(groups[i]);
+    for (std::size_t g = 0; g < k; ++g)
+      (g == f ? folds[g].test : folds[g].train).push_back(i);
+  }
+  return folds;
+}
+
+}  // namespace dfv::ml

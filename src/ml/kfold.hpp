@@ -1,0 +1,26 @@
+// Shuffled k-fold cross-validation splitter (the paper uses 10-fold CV
+// for deviation prediction and CV splits for forecasting MAPE).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dfv::ml {
+
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Produce `k` shuffled folds over `n` samples. Every sample appears in
+/// exactly one test set; fold sizes differ by at most one.
+[[nodiscard]] std::vector<FoldSplit> kfold(std::size_t n, std::size_t k, Rng& rng);
+
+/// Group-aware folds: samples sharing a group id (e.g. the run a step
+/// belongs to) always land in the same fold, preventing leakage between
+/// time steps of one run.
+[[nodiscard]] std::vector<FoldSplit> group_kfold(std::span<const std::size_t> groups,
+                                                 std::size_t k, Rng& rng);
+
+}  // namespace dfv::ml

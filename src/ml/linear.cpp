@@ -1,0 +1,59 @@
+#include "ml/linear.hpp"
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dfv::ml {
+
+void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
+  DFV_CHECK(x.rows() == y.size());
+  DFV_CHECK(x.rows() > 0);
+  const std::size_t C = x.cols();
+
+  // Center the target; fit weights on centered columns via the normal
+  // equations with a ridge term for conditioning.
+  std::vector<double> col_mean(C, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < C; ++c) col_mean[c] += row[c];
+  }
+  for (double& m : col_mean) m /= double(x.rows());
+  const double y_mean = stats::mean(y);
+
+  Matrix xc(x.rows(), C);
+  std::vector<double> yc(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    auto dst = xc.row(r);
+    for (std::size_t c = 0; c < C; ++c) dst[c] = row[c] - col_mean[c];
+    yc[r] = y[r] - y_mean;
+  }
+
+  Matrix g = xc.gram();
+  // Relative ridge: columns may span many orders of magnitude (flit
+  // counters ~1e9) and derived counters are exactly collinear, so the
+  // regularizer scales with the Gram diagonal.
+  double diag_mean = 0.0;
+  for (std::size_t i = 0; i < C; ++i) diag_mean += g(i, i);
+  diag_mean = diag_mean / double(C) + 1e-12;
+  for (std::size_t i = 0; i < C; ++i)
+    g(i, i) += ridge_ * (g(i, i) + diag_mean) + 1e-10 * diag_mean;
+  w_ = cholesky_solve(g, xc.tdot(yc));
+  b_ = y_mean;
+  for (std::size_t c = 0; c < C; ++c) b_ -= w_[c] * col_mean[c];
+}
+
+double LinearRegression::predict_one(std::span<const double> x) const {
+  DFV_CHECK(x.size() == w_.size());
+  double s = b_;
+  for (std::size_t c = 0; c < w_.size(); ++c) s += w_[c] * x[c];
+  return s;
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  return out;
+}
+
+}  // namespace dfv::ml

@@ -1,0 +1,29 @@
+// Ridge-regularized linear regression: the baseline prior work used for
+// counter-to-performance mapping (Groves et al. 2017, §VI) against which
+// the GBR models are compared.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace dfv::ml {
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(double ridge = 1e-6) : ridge_(ridge) {}
+
+  void fit(const Matrix& x, std::span<const double> y);
+  [[nodiscard]] double predict_one(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return w_; }
+  [[nodiscard]] double intercept() const noexcept { return b_; }
+
+ private:
+  double ridge_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace dfv::ml

@@ -1,0 +1,113 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  DFV_CHECK(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  DFV_CHECK_MSG(values.size() == cols_, "appending row of width " << values.size()
+                                                                  << " to matrix with "
+                                                                  << cols_ << " columns");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> idx) const {
+  Matrix out(idx.size(), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    DFV_CHECK(idx[i] < rows_);
+    const auto src = row(idx[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::select_cols(std::span<const std::size_t> idx) const {
+  Matrix out(rows_, idx.size());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      DFV_CHECK(idx[i] < cols_);
+      out(r, i) = (*this)(r, idx[i]);
+    }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto x = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += xi * x[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+std::vector<double> Matrix::tdot(std::span<const double> y) const {
+  DFV_CHECK(y.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto x = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += x[c] * y[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::dot(std::span<const double> w) const {
+  DFV_CHECK(w.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto x = row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += x[c] * w[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(Matrix& a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  DFV_CHECK(a.cols() == n && b.size() == n);
+  // In-place Cholesky: A = L L^T (lower triangle of `a` becomes L).
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    DFV_CHECK_MSG(d > 0.0, "matrix not positive definite at pivot " << j);
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back substitution: L^T x = z.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a(k, i) * b[k];
+    b[i] = s / a(i, i);
+  }
+  return b;
+}
+
+}  // namespace dfv::ml

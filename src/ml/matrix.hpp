@@ -1,0 +1,61 @@
+// Row-major dense matrix: the feature-table container for the ML stack.
+// Deliberately minimal — the heavy lifting (trees, attention) works on
+// raw spans for speed; Matrix provides safe construction, views, and the
+// few dense ops linear regression needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dfv::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::vector<double> col(std::size_t c) const;
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+  void append_row(std::span<const double> values);
+
+  /// Select a subset of rows (copy).
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> idx) const;
+  /// Select a subset of columns (copy).
+  [[nodiscard]] Matrix select_cols(std::span<const std::size_t> idx) const;
+
+  /// this^T * this (Gram matrix), used by ridge regression.
+  [[nodiscard]] Matrix gram() const;
+  /// this^T * y.
+  [[nodiscard]] std::vector<double> tdot(std::span<const double> y) const;
+  /// this * w.
+  [[nodiscard]] std::vector<double> dot(std::span<const double> w) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky; A is
+/// modified in place. Throws ContractError if A is not SPD (after the
+/// ridge term callers add, this indicates a logic error).
+std::vector<double> cholesky_solve(Matrix& a, std::vector<double> b);
+
+}  // namespace dfv::ml

@@ -1,0 +1,54 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dfv::ml {
+
+double mape(std::span<const double> y_true, std::span<const double> y_pred, double floor) {
+  DFV_CHECK(y_true.size() == y_pred.size());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (std::abs(y_true[i]) < floor) continue;
+    sum += std::abs((y_true[i] - y_pred[i]) / y_true[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * sum / double(n);
+}
+
+double mae(std::span<const double> y_true, std::span<const double> y_pred) {
+  DFV_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) sum += std::abs(y_true[i] - y_pred[i]);
+  return sum / double(y_true.size());
+}
+
+double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
+  DFV_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / double(y_true.size()));
+}
+
+double r2(std::span<const double> y_true, std::span<const double> y_pred) {
+  DFV_CHECK(y_true.size() == y_pred.size());
+  if (y_true.size() < 2) return 0.0;
+  const double mean = stats::mean(y_true);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace dfv::ml

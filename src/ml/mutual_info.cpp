@@ -1,0 +1,54 @@
+#include "ml/mutual_info.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+
+double mutual_information(std::span<const int> xs, std::span<const int> ys) {
+  DFV_CHECK(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+
+  std::map<int, double> px, py;
+  std::map<std::pair<int, int>, double> pxy;
+  const double w = 1.0 / double(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    px[xs[i]] += w;
+    py[ys[i]] += w;
+    pxy[{xs[i], ys[i]}] += w;
+  }
+
+  double mi = 0.0;
+  for (const auto& [key, p] : pxy) {
+    if (p <= 0.0) continue;
+    mi += p * std::log(p / (px[key.first] * py[key.second]));
+  }
+  return std::max(0.0, mi);
+}
+
+double mutual_information_binary(std::span<const double> xs, std::span<const double> ys) {
+  DFV_CHECK(xs.size() == ys.size());
+  std::vector<int> xi(xs.size()), yi(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xi[i] = xs[i] != 0.0 ? 1 : 0;
+    yi[i] = ys[i] != 0.0 ? 1 : 0;
+  }
+  return mutual_information(xi, yi);
+}
+
+double entropy(std::span<const int> xs) {
+  if (xs.empty()) return 0.0;
+  std::map<int, double> p;
+  const double w = 1.0 / double(xs.size());
+  for (int x : xs) p[x] += w;
+  double h = 0.0;
+  for (const auto& [_, v] : p)
+    if (v > 0.0) h -= v * std::log(v);
+  return h;
+}
+
+}  // namespace dfv::ml

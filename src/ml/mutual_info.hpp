@@ -1,0 +1,20 @@
+// Mutual information between discrete random variables (Eq. 1 of the
+// paper), used by the neighborhood analysis to quantify the dependency
+// between user co-occurrence and run optimality.
+#pragma once
+
+#include <span>
+
+namespace dfv::ml {
+
+/// MI in nats between two samples of non-negative small-integer labels
+/// (joint distribution estimated from co-occurrence counts).
+double mutual_information(std::span<const int> xs, std::span<const int> ys);
+
+/// Convenience for binary vectors stored as 0/1 doubles.
+double mutual_information_binary(std::span<const double> xs, std::span<const double> ys);
+
+/// Entropy in nats of a discrete sample.
+double entropy(std::span<const int> xs);
+
+}  // namespace dfv::ml

@@ -1,0 +1,114 @@
+#include "ml/rfe.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::ml {
+
+namespace {
+
+/// MAPE of predictions against targets, both shifted by the per-sample
+/// offset (empty offset = zeros).
+double offset_mape(std::span<const double> y, std::span<const double> pred,
+                   std::span<const double> offset, std::span<const std::size_t> idx) {
+  std::vector<double> t, p;
+  t.reserve(idx.size());
+  p.reserve(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const double off = offset.empty() ? 0.0 : offset[idx[k]];
+    t.push_back(y[idx[k]] + off);
+    p.push_back(pred[k] + off);
+  }
+  return mape(t, p);
+}
+
+}  // namespace
+
+RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& params,
+                 std::span<const double> offset, std::span<const std::size_t> groups) {
+  DFV_CHECK(x.rows() == y.size());
+  DFV_CHECK(offset.empty() || offset.size() == y.size());
+  const std::size_t F = x.cols();
+  DFV_CHECK(F >= 2);
+
+  RfeResult result;
+  result.relevance.assign(F, 0.0);
+  result.survival.assign(F, 0.0);
+
+  Rng rng(params.seed);
+  const auto folds = groups.empty()
+                         ? kfold(x.rows(), std::size_t(params.folds), rng)
+                         : group_kfold(groups, std::size_t(params.folds), rng);
+
+  std::uint64_t fit_seed = params.gbr.seed;
+  for (const FoldSplit& fold : folds) {
+    const Matrix x_train = x.select_rows(fold.train);
+    const Matrix x_test = x.select_rows(fold.test);
+    std::vector<double> y_train(fold.train.size());
+    for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = y[fold.train[i]];
+
+    // Full-feature reference models (GBR + linear baseline).
+    {
+      GbrParams gp = params.gbr;
+      gp.seed = fit_seed++;
+      GradientBoostedRegressor full(gp);
+      full.fit(x_train, y_train);
+      result.cv_mape_full +=
+          offset_mape(y, full.predict(x_test), offset, fold.test) / double(folds.size());
+
+      LinearRegression lin;
+      lin.fit(x_train, y_train);
+      result.cv_mape_linear +=
+          offset_mape(y, lin.predict(x_test), offset, fold.test) / double(folds.size());
+    }
+
+    // Recursive elimination: active set shrinks by the least-important
+    // feature each stage; record every stage's held-out error.
+    std::vector<std::size_t> active(F);
+    for (std::size_t f = 0; f < F; ++f) active[f] = f;
+    std::vector<std::size_t> elimination_order;  // first = dropped first
+    std::vector<std::pair<double, std::vector<std::size_t>>> stages;  // err, subset
+
+    while (active.size() >= 2) {
+      const Matrix xs_train = x_train.select_cols(active);
+      const Matrix xs_test = x_test.select_cols(active);
+      GbrParams gp = params.gbr;
+      gp.seed = fit_seed++;
+      GradientBoostedRegressor model(gp);
+      model.fit(xs_train, y_train);
+
+      stages.emplace_back(offset_mape(y, model.predict(xs_test), offset, fold.test),
+                          active);
+
+      const std::vector<double> imp = model.feature_importances();
+      std::size_t worst = 0;
+      for (std::size_t i = 1; i < imp.size(); ++i)
+        if (imp[i] < imp[worst]) worst = i;
+      elimination_order.push_back(active[worst]);
+      active.erase(active.begin() + std::ptrdiff_t(worst));
+    }
+    elimination_order.push_back(active.front());  // the survivor
+
+    // "Well-performing subset": the *smallest* stage whose error is within
+    // 5% of the fold's best — parsimony keeps uninformative features from
+    // free-riding in the full-feature stage.
+    double best_err = std::numeric_limits<double>::infinity();
+    for (const auto& [err, subset] : stages) best_err = std::min(best_err, err);
+    const std::vector<std::size_t>* best_subset = &stages.front().second;
+    for (const auto& [err, subset] : stages)
+      if (err <= best_err * 1.05 && subset.size() <= best_subset->size())
+        best_subset = &subset;
+
+    for (std::size_t f : *best_subset) result.relevance[f] += 1.0 / double(folds.size());
+    for (std::size_t pos = 0; pos < elimination_order.size(); ++pos)
+      result.survival[elimination_order[pos]] +=
+          double(pos) / double(F - 1) / double(folds.size());
+  }
+  return result;
+}
+
+}  // namespace dfv::ml

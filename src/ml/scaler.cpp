@@ -1,0 +1,56 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dfv::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  const std::size_t C = x.cols(), R = x.rows();
+  mean_.assign(C, 0.0);
+  std_.assign(C, 1.0);
+  if (R == 0) return;
+  for (std::size_t r = 0; r < R; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < C; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= double(R);
+  std::vector<double> var(C, 0.0);
+  for (std::size_t r = 0; r < R; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < C; ++c) {
+      const double d = row[c] - mean_[c];
+      var[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < C; ++c)
+    std_[c] = var[c] > 0.0 ? std::sqrt(var[c] / double(R)) : 1.0;
+}
+
+void StandardScaler::transform(Matrix& x) const {
+  DFV_CHECK(x.cols() == mean_.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = (row[c] - mean_[c]) / std_[c];
+  }
+}
+
+Matrix StandardScaler::fit_transform(Matrix x) {
+  fit(x);
+  transform(x);
+  return x;
+}
+
+void StandardScaler::fit_target(std::span<const double> y) {
+  y_mean_ = stats::mean(y);
+  const double s = stats::stddev(y);
+  y_std_ = s > 0.0 ? s : 1.0;
+}
+
+double StandardScaler::transform_target(double y) const { return (y - y_mean_) / y_std_; }
+
+double StandardScaler::inverse_target(double z) const { return z * y_std_ + y_mean_; }
+
+}  // namespace dfv::ml

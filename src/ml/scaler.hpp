@@ -1,0 +1,31 @@
+// Standardization (zero mean, unit variance per column): all the models
+// in the analysis pipeline train on standardized features.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace dfv::ml {
+
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  /// Transform in place; constant columns map to zero.
+  void transform(Matrix& x) const;
+  [[nodiscard]] Matrix fit_transform(Matrix x);
+
+  [[nodiscard]] const std::vector<double>& means() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddevs() const noexcept { return std_; }
+
+  /// Scalar target helpers (fit on a target vector).
+  void fit_target(std::span<const double> y);
+  [[nodiscard]] double transform_target(double y) const;
+  [[nodiscard]] double inverse_target(double z) const;
+
+ private:
+  std::vector<double> mean_, std_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+};
+
+}  // namespace dfv::ml

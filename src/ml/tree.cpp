@@ -1,0 +1,165 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+
+void RegressionTree::fit(const Matrix& x, std::span<const double> y,
+                         std::span<const std::size_t> idx, const TreeParams& params) {
+  DFV_CHECK(x.rows() == y.size());
+  DFV_CHECK(!idx.empty());
+  DFV_CHECK(params.max_depth >= 1 && params.histogram_bins >= 2 &&
+            params.histogram_bins <= 256);
+  x_ = &x;
+  y_ = y;
+  params_ = params;
+  nodes_.clear();
+  gains_.assign(x.cols(), 0.0);
+
+  const std::size_t n = idx.size();
+  const std::size_t F = x.cols();
+  local_rows_.assign(idx.begin(), idx.end());
+
+  // Quantile bin edges per feature from the fit subset (subsampled for
+  // speed on large subsets).
+  const std::size_t bins = std::size_t(params.histogram_bins);
+  bin_edges_.assign(F, {});
+  std::vector<double> vals;
+  const std::size_t stride = std::max<std::size_t>(1, n / 2048);
+  for (std::size_t f = 0; f < F; ++f) {
+    vals.clear();
+    for (std::size_t i = 0; i < n; i += stride) vals.push_back(x(local_rows_[i], f));
+    std::sort(vals.begin(), vals.end());
+    auto& edges = bin_edges_[f];
+    for (std::size_t b = 1; b < bins; ++b) {
+      const double q = double(b) / double(bins);
+      const double v = vals[std::min(vals.size() - 1, std::size_t(q * double(vals.size())))];
+      if (edges.empty() || v > edges.back()) edges.push_back(v);
+    }
+  }
+
+  // Bin every sample once.
+  binned_.assign(n * F, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(local_rows_[i]);
+    for (std::size_t f = 0; f < F; ++f) {
+      const auto& edges = bin_edges_[f];
+      const auto it = std::lower_bound(edges.begin(), edges.end(), row[f]);
+      binned_[i * F + f] = std::uint8_t(it - edges.begin());
+    }
+  }
+
+  std::vector<std::uint32_t> samples(n);
+  for (std::size_t i = 0; i < n; ++i) samples[i] = std::uint32_t(i);
+  build(samples, 0, n, 0);
+
+  // Release fit-time buffers.
+  binned_.clear();
+  binned_.shrink_to_fit();
+  local_rows_.clear();
+  x_ = nullptr;
+  y_ = {};
+}
+
+std::int32_t RegressionTree::build(std::vector<std::uint32_t>& samples, std::size_t begin,
+                                   std::size_t end, int depth) {
+  const std::size_t n = end - begin;
+  const std::size_t F = x_->cols();
+
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y_[local_rows_[samples[i]]];
+  const double mean = sum / double(n);
+
+  const auto node_id = std::int32_t(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[std::size_t(node_id)].value = mean;
+
+  if (depth >= params_.max_depth || n < 2 * std::size_t(params_.min_samples_leaf))
+    return node_id;
+
+  // Histogram scan for the best split across all features.
+  const std::size_t bins = std::size_t(params_.histogram_bins);
+  std::vector<double> bin_sum(bins);
+  std::vector<std::uint32_t> bin_cnt(bins);
+  double best_gain = 0.0;
+  int best_feature = -1;
+  std::uint8_t best_bin = 0;
+  const double parent_score = sum * sum / double(n);
+
+  for (std::size_t f = 0; f < F; ++f) {
+    const std::size_t nb = bin_edges_[f].size() + 1;
+    if (nb < 2) continue;
+    std::fill(bin_sum.begin(), bin_sum.begin() + nb, 0.0);
+    std::fill(bin_cnt.begin(), bin_cnt.begin() + nb, 0u);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t s = samples[i];
+      const std::uint8_t b = binned_[std::size_t(s) * F + f];
+      bin_sum[b] += y_[local_rows_[s]];
+      ++bin_cnt[b];
+    }
+    double left_sum = 0.0;
+    std::size_t left_cnt = 0;
+    for (std::size_t b = 0; b + 1 < nb; ++b) {
+      left_sum += bin_sum[b];
+      left_cnt += bin_cnt[b];
+      const std::size_t right_cnt = n - left_cnt;
+      if (left_cnt < std::size_t(params_.min_samples_leaf) ||
+          right_cnt < std::size_t(params_.min_samples_leaf))
+        continue;
+      const double right_sum = sum - left_sum;
+      const double gain = left_sum * left_sum / double(left_cnt) +
+                          right_sum * right_sum / double(right_cnt) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = int(f);
+        best_bin = std::uint8_t(b);
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_gain <= 1e-12) return node_id;
+
+  gains_[std::size_t(best_feature)] += best_gain;
+
+  // Partition samples in place: bin <= best_bin goes left.
+  std::size_t mid = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t s = samples[i];
+    if (binned_[std::size_t(s) * F + std::size_t(best_feature)] <= best_bin)
+      std::swap(samples[i], samples[mid++]);
+  }
+  DFV_CHECK(mid > begin && mid < end);
+
+  const auto& edges = bin_edges_[std::size_t(best_feature)];
+  nodes_[std::size_t(node_id)].feature = best_feature;
+  nodes_[std::size_t(node_id)].threshold = edges[best_bin];
+
+  const std::int32_t left = build(samples, begin, mid, depth + 1);
+  const std::int32_t right = build(samples, mid, end, depth + 1);
+  nodes_[std::size_t(node_id)].left = left;
+  nodes_[std::size_t(node_id)].right = right;
+  return node_id;
+}
+
+double RegressionTree::predict_one(std::span<const double> x) const {
+  DFV_CHECK(!nodes_.empty());
+  std::int32_t cur = 0;
+  while (nodes_[std::size_t(cur)].feature >= 0) {
+    const Node& nd = nodes_[std::size_t(cur)];
+    // Binning used lower_bound (bin = #edges < v), so "bin <= b" is
+    // exactly "v <= edges[b]"; predict consistently.
+    cur = x[std::size_t(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[std::size_t(cur)].value;
+}
+
+std::vector<double> RegressionTree::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  return out;
+}
+
+}  // namespace dfv::ml

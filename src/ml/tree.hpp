@@ -1,0 +1,64 @@
+// Histogram-based CART regression tree: the base learner for gradient
+// boosting (Friedman 2001, the model family the paper uses via GBR).
+//
+// Split finding uses per-feature quantile bins built once per fit, so a
+// node costs O(samples * features + bins * features) instead of the
+// exact-greedy O(samples log samples * features).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+
+namespace dfv::ml {
+
+struct TreeParams {
+  int max_depth = 3;
+  int min_samples_leaf = 20;
+  int histogram_bins = 24;
+};
+
+class RegressionTree {
+ public:
+  /// Fit on rows `idx` of `x` against `y`. The tree may be refit; previous
+  /// state is discarded.
+  void fit(const Matrix& x, std::span<const double> y, std::span<const std::size_t> idx,
+           const TreeParams& params);
+
+  [[nodiscard]] double predict_one(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Total squared-error reduction contributed by splits on each feature.
+  [[nodiscard]] const std::vector<double>& feature_gains() const noexcept {
+    return gains_;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;          ///< -1 for leaves
+    double threshold = 0.0;    ///< go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;        ///< leaf prediction
+  };
+
+  std::int32_t build(std::vector<std::uint32_t>& samples, std::size_t begin,
+                     std::size_t end, int depth);
+
+  // Fit-time state (cleared after fit).
+  const Matrix* x_ = nullptr;
+  std::span<const double> y_;
+  TreeParams params_;
+  std::vector<std::uint8_t> binned_;              ///< idx-local sample x feature bins
+  std::vector<std::vector<double>> bin_edges_;    ///< per feature, ascending
+  std::vector<std::uint32_t> local_rows_;         ///< idx-local -> matrix row
+
+  std::vector<Node> nodes_;
+  std::vector<double> gains_;
+};
+
+}  // namespace dfv::ml

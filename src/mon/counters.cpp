@@ -1,0 +1,64 @@
+#include "mon/counters.hpp"
+
+#include "common/check.hpp"
+
+namespace dfv::mon {
+
+namespace {
+constexpr CounterInfo kCatalog[kNumCounters] = {
+    {"AR_RTR_INQ_PRF_INCOMING_FLIT_TOTAL", "RT_FLIT_TOT",
+     "(Derived) Total number of flits received on router tile", true},
+    {"AR_RTR_INQ_PRF_INCOMING_PKT_TOTAL", "RT_PKT_TOT",
+     "(Derived) Total number of packets received on router tile", true},
+    {"AR_RTR_INQ_PRF_ROWBUS_2X_USAGE_CNT", "RT_RB_2X_USG",
+     "Number of cycles in which two stalls occur on a router tile", false},
+    {"AR_RTR_INQ_PRF_ROWBUS_STALL_CNT", "RT_RB_STL",
+     "Total number of cycles stalled on router tile", false},
+    {"AR_RTR_PT_COLBUF_PERF_STALL_RQ", "PT_CB_STL_RQ",
+     "Number of cycles a processor tile is stalled for request VCs", false},
+    {"AR_RTR_PT_COLBUF_PERF_STALL_RS", "PT_CB_STL_RS",
+     "Number of cycles a processor tile is stalled for response VCs", false},
+    {"AR_RTR_PT_INQ_PRF_INCOMING_FLIT_VC0", "PT_FLIT_VC0",
+     "Number of flits received on processor tile on VC0", false},
+    {"AR_RTR_PT_INQ_PRF_INCOMING_FLIT_VC4", "PT_FLIT_VC4",
+     "Number of flits received on processor tile on VC4", false},
+    {"AR_RTR_PT_INQ_PRF_INCOMING_FLIT_TOTAL", "PT_FLIT_TOT",
+     "(Derived) Total number of flits received on processor tile", true},
+    {"AR_RTR_PT_INQ_PRF_INCOMING_PKT_TOTAL", "PT_PKT_TOT",
+     "(Derived) Total number of packets received on processor tile", true},
+    {"AR_RTR_PT_INQ_PRF_REQ_ROWBUS_STALL_CNT", "PT_RB_STL_RQ",
+     "Number of cycles stalled on processor tile request VCs", false},
+    {"AR_RTR_PT_INQ_PRF_RSP_ROWBUS_STALL_CNT", "PT_RB_STL_RS",
+     "Number of cycles stalled on processor tile response VCs", false},
+    {"AR_RTR_PT_INQ_PRF_ROWBUS_2X_USAGE_CNT", "PT_RB_2X_USG",
+     "Number of cycles in which two stalls occur on a processor tile", false},
+};
+
+constexpr const char* kIoNames[kNumIoFeatures] = {
+    "IO_RT_FLIT_TOT", "IO_RT_RB_STL", "IO_PT_FLIT_TOT", "IO_PT_PKT_TOT"};
+constexpr const char* kSysNames[kNumSysFeatures] = {
+    "SYS_RT_FLIT_TOT", "SYS_RT_RB_STL", "SYS_PT_FLIT_TOT", "SYS_PT_PKT_TOT"};
+}  // namespace
+
+const CounterInfo& counter_info(Counter c) {
+  const int i = static_cast<int>(c);
+  DFV_CHECK(i >= 0 && i < kNumCounters);
+  return kCatalog[i];
+}
+
+const char* counter_name(Counter c) { return counter_info(c).abbrev; }
+
+Counter counter_from_index(int i) {
+  DFV_CHECK(i >= 0 && i < kNumCounters);
+  return static_cast<Counter>(i);
+}
+
+std::span<const char* const> ldms_io_feature_names() {
+  return {kIoNames, kNumIoFeatures};
+}
+
+std::span<const char* const> ldms_sys_feature_names() {
+  return {kSysNames, kNumSysFeatures};
+}
+
+}  // namespace dfv::mon

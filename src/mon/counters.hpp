@@ -1,0 +1,72 @@
+// Aries network hardware performance counter catalog (Table II of the
+// paper): 13 router-tile (RT_*) and processor-tile (PT_*) counters, some
+// raw and some derived.
+//
+// Note on the paper's Table II: the printed descriptions of RT_PKT_TOT
+// ("total number of cycles stalled") and PT_PKT_TOT ("PT_RB_STL_RQ +
+// PT_RB_STL_RS") are typesetting errata — both are packet totals per the
+// Aries counter documentation (S-0045-20). We implement packet-count
+// semantics and record the erratum here and in EXPERIMENTS.md.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+namespace dfv::mon {
+
+/// Counter identifiers in Table II order (also the x-axis order of
+/// Figures 9 and 11).
+enum class Counter : int {
+  RT_FLIT_TOT = 0,
+  RT_PKT_TOT,
+  RT_RB_2X_USG,
+  RT_RB_STL,
+  PT_CB_STL_RQ,
+  PT_CB_STL_RS,
+  PT_FLIT_VC0,
+  PT_FLIT_VC4,
+  PT_FLIT_TOT,
+  PT_PKT_TOT,
+  PT_RB_STL_RQ,
+  PT_RB_STL_RS,
+  PT_RB_2X_USG,
+};
+
+inline constexpr int kNumCounters = 13;
+
+/// Catalog row for one counter.
+struct CounterInfo {
+  const char* aries_name;   ///< full AR_RTR_* hardware name
+  const char* abbrev;       ///< abbreviation used in the paper's figures
+  const char* description;  ///< semantics
+  bool derived;             ///< true when computed from raw counters
+};
+
+/// Catalog lookup (Table II).
+[[nodiscard]] const CounterInfo& counter_info(Counter c);
+[[nodiscard]] const char* counter_name(Counter c);
+[[nodiscard]] Counter counter_from_index(int i);
+
+/// Fixed-size vector of the 13 counters for one router (or an aggregate).
+using CounterVec = std::array<double, kNumCounters>;
+
+inline void add_into(CounterVec& acc, const CounterVec& v) {
+  for (int i = 0; i < kNumCounters; ++i) acc[size_t(i)] += v[size_t(i)];
+}
+
+inline CounterVec zero_counters() {
+  CounterVec v{};
+  return v;
+}
+
+/// Names of the LDMS-derived system-wide features used by the forecasting
+/// models (Fig. 11 right): IO_* aggregates over I/O-node routers, SYS_*
+/// aggregates over routers disjoint from the instrumented job.
+[[nodiscard]] std::span<const char* const> ldms_io_feature_names();
+[[nodiscard]] std::span<const char* const> ldms_sys_feature_names();
+
+inline constexpr int kNumIoFeatures = 4;   // IO_RT_FLIT_TOT, IO_RT_RB_STL, IO_PT_FLIT_TOT, IO_PT_PKT_TOT
+inline constexpr int kNumSysFeatures = 4;  // SYS_RT_FLIT_TOT, SYS_RT_RB_STL, SYS_PT_FLIT_TOT, SYS_PT_PKT_TOT
+
+}  // namespace dfv::mon

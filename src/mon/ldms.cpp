@@ -1,0 +1,86 @@
+#include "mon/ldms.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dfv::mon {
+
+std::vector<net::RouterId> make_default_io_routers(const net::Topology& topo,
+                                                   int per_group) {
+  DFV_CHECK(per_group >= 1);
+  const auto& cfg = topo.config();
+  std::vector<net::RouterId> io;
+  io.reserve(std::size_t(cfg.groups * per_group));
+  for (net::GroupId g = 0; g < cfg.groups; ++g)
+    for (int i = 0; i < per_group; ++i) {
+      // Spread service routers across rows within the group.
+      const int idx = (i * cfg.routers_per_group()) / per_group + cfg.row_size / 2;
+      io.push_back(net::RouterId(g * cfg.routers_per_group() +
+                                 idx % cfg.routers_per_group()));
+    }
+  std::sort(io.begin(), io.end());
+  io.erase(std::unique(io.begin(), io.end()), io.end());
+  return io;
+}
+
+LdmsSampler::LdmsSampler(const CounterModel& model, std::vector<net::RouterId> io_routers)
+    : model_(&model), io_routers_(std::move(io_routers)) {
+  std::sort(io_routers_.begin(), io_routers_.end());
+}
+
+LdmsFeatures LdmsSampler::sample(const net::RateLoads& bg, const net::ByteLoads& job,
+                                 double dt,
+                                 std::span<const net::RouterId> job_routers) const {
+  const net::Topology& topo = model_->topology();
+  const auto& cfg = topo.config();
+  const double flit = cfg.flit_bytes;
+  const double cycles = dt * cfg.clock_hz;
+  LdmsFeatures f;
+
+  // ---- io aggregate: per-router counters over the I/O router set -------
+  for (net::RouterId r : io_routers_) {
+    const CounterVec v = model_->router_counters(r, bg, job, dt);
+    f.io[0] += v[size_t(Counter::RT_FLIT_TOT)];
+    f.io[1] += v[size_t(Counter::RT_RB_STL)];
+    f.io[2] += v[size_t(Counter::PT_FLIT_TOT)];
+    f.io[3] += v[size_t(Counter::PT_PKT_TOT)];
+  }
+
+  // ---- sys aggregate: system totals (one pass over links + router
+  // endpoint arrays) minus the instrumented job's routers ----------------
+  const auto& prm = model_->params();
+  double tot_rt_flit = 0.0, tot_rt_stl = 0.0;
+  for (int e = 0; e < topo.num_links(); ++e) {
+    const auto idx = std::size_t(e);
+    const double bytes = bg.link_rate[idx] * dt + job.link_bytes[idx];
+    if (bytes <= 0.0) continue;
+    const double u = bytes / (topo.link(net::LinkId(e)).capacity * dt);
+    tot_rt_flit += bytes / flit;
+    tot_rt_stl += cycles * (prm.in_stall_weight + prm.out_stall_weight) *
+                  net::stall_fraction(u);
+  }
+  double tot_pt_flit = 0.0;
+  const std::size_t R = std::size_t(cfg.num_routers());
+  for (std::size_t r = 0; r < R; ++r) {
+    tot_pt_flit += (bg.inject_rate[r] * dt + job.inject_bytes[r] + bg.eject_rate[r] * dt +
+                    job.eject_bytes[r]) /
+                   flit;
+  }
+
+  double job_rt_flit = 0.0, job_rt_stl = 0.0, job_pt_flit = 0.0;
+  for (net::RouterId r : job_routers) {
+    const CounterVec v = model_->router_counters(r, bg, job, dt);
+    job_rt_flit += v[size_t(Counter::RT_FLIT_TOT)];
+    job_rt_stl += v[size_t(Counter::RT_RB_STL)];
+    job_pt_flit += v[size_t(Counter::PT_FLIT_TOT)];
+  }
+
+  f.sys[0] = std::max(0.0, tot_rt_flit - job_rt_flit);
+  f.sys[1] = std::max(0.0, tot_rt_stl - job_rt_stl);
+  f.sys[2] = std::max(0.0, tot_pt_flit - job_pt_flit);
+  f.sys[3] = f.sys[2] / cfg.flits_per_packet;
+  return f;
+}
+
+}  // namespace dfv::mon

@@ -1,0 +1,37 @@
+#include "mon/mpip.hpp"
+
+namespace dfv::mon {
+
+const char* routine_name(MpiRoutine r) {
+  switch (r) {
+    case MpiRoutine::Allreduce: return "Allreduce";
+    case MpiRoutine::Barrier: return "Barrier";
+    case MpiRoutine::Wait: return "Wait";
+    case MpiRoutine::Waitall: return "Waitall";
+    case MpiRoutine::Test: return "Test";
+    case MpiRoutine::Testall: return "Testall";
+    case MpiRoutine::Iprobe: return "Iprobe";
+    case MpiRoutine::Isend: return "Isend";
+    case MpiRoutine::Irecv: return "Irecv";
+    case MpiRoutine::Other: return "Other";
+  }
+  return "?";
+}
+
+void MpiProfile::add(const MpiProfile& other) noexcept {
+  compute_s += other.compute_s;
+  for (int i = 0; i < kNumRoutines; ++i) routine_s[std::size_t(i)] += other.routine_s[std::size_t(i)];
+}
+
+double MpiProfile::mpi_s() const noexcept {
+  double s = 0.0;
+  for (double v : routine_s) s += v;
+  return s;
+}
+
+double MpiProfile::mpi_fraction() const noexcept {
+  const double t = total_s();
+  return t > 0.0 ? mpi_s() / t : 0.0;
+}
+
+}  // namespace dfv::mon

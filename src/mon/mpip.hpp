@@ -1,0 +1,46 @@
+// mpiP-style MPI profiling: per-run split into compute time and time per
+// dominant MPI routine (Figures 4 and 5 of the paper).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace dfv::mon {
+
+/// MPI routines that dominate the four applications' profiles.
+enum class MpiRoutine : int {
+  Allreduce = 0,
+  Barrier,
+  Wait,
+  Waitall,
+  Test,
+  Testall,
+  Iprobe,
+  Isend,
+  Irecv,
+  Other,
+};
+
+inline constexpr int kNumRoutines = 10;
+
+[[nodiscard]] const char* routine_name(MpiRoutine r);
+
+/// Accumulated profile of one application run.
+struct MpiProfile {
+  double compute_s = 0.0;
+  std::array<double, kNumRoutines> routine_s{};
+
+  void add_compute(double s) noexcept { compute_s += s; }
+  void add(MpiRoutine r, double s) noexcept { routine_s[std::size_t(static_cast<int>(r))] += s; }
+  void add(const MpiProfile& other) noexcept;
+
+  [[nodiscard]] double mpi_s() const noexcept;
+  [[nodiscard]] double total_s() const noexcept { return compute_s + mpi_s(); }
+  /// Fraction of total time spent inside MPI (0 when no time recorded).
+  [[nodiscard]] double mpi_fraction() const noexcept;
+  [[nodiscard]] double routine(MpiRoutine r) const noexcept {
+    return routine_s[std::size_t(static_cast<int>(r))];
+  }
+};
+
+}  // namespace dfv::mon

@@ -1,0 +1,81 @@
+// Dragonfly system configuration modeled after Cray XC (Cascade) systems
+// with Aries routers, as described in §II-A of the paper: 96 routers per
+// group arranged in a 16x6 grid, all-to-all "green" links within a row,
+// all-to-all "black" links within a column, and "blue" global links
+// between groups. Cori (NERSC) has 34 groups.
+#pragma once
+
+#include <cstdint>
+
+namespace dfv::net {
+
+/// Integral identifier types (flat indices into topology arrays).
+using RouterId = std::int32_t;
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+using GroupId = std::int32_t;
+
+inline constexpr RouterId kInvalidRouter = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Static description of a dragonfly system.
+///
+/// Defaults approximate Cori's Aries deployment. `small()` provides a
+/// scaled-down instance used by unit tests and the packet-level DES.
+struct DragonflyConfig {
+  int groups = 34;            ///< number of dragonfly groups
+  int row_size = 16;          ///< routers per row (green all-to-all)
+  int col_size = 6;           ///< routers per column (black all-to-all)
+  int nodes_per_router = 4;   ///< compute nodes attached per Aries router
+  int global_ports_per_router = 10;  ///< blue (optical) ports per router
+
+  // Per-direction link bandwidths in bytes/second. Aries: electrical
+  // green/black links ~5.25 GB/s, optical blue links ~4.7 GB/s.
+  double green_bw = 5.25e9;
+  double black_bw = 5.25e9;
+  double blue_bw = 4.7e9;
+  /// Aggregate NIC injection/ejection bandwidth per router (4 nodes share
+  /// the 8 processor tiles of one Aries router).
+  double endpoint_bw = 16.0e9;
+
+  double hop_latency = 1.0e-7;     ///< per electrical hop [s]
+  double global_latency = 1.2e-6;  ///< per optical (blue) hop [s]
+  double flit_bytes = 16.0;        ///< bytes per flit for counter accounting
+  double flits_per_packet = 4.0;   ///< average packet size for PKT counters
+  double clock_hz = 8.75e8;        ///< router tile clock (stall counters are in cycles)
+
+  [[nodiscard]] constexpr int routers_per_group() const noexcept {
+    return row_size * col_size;
+  }
+  [[nodiscard]] constexpr int num_routers() const noexcept {
+    return groups * routers_per_group();
+  }
+  [[nodiscard]] constexpr int num_nodes() const noexcept {
+    return num_routers() * nodes_per_router;
+  }
+  /// Number of parallel blue links between each unordered group pair.
+  [[nodiscard]] constexpr int links_per_group_pair() const noexcept {
+    return groups <= 1
+               ? 0
+               : (routers_per_group() * global_ports_per_router) / (groups - 1);
+  }
+
+  /// Cori-scale configuration (34 groups, 3264 routers, ~13k nodes).
+  [[nodiscard]] static DragonflyConfig cori() { return DragonflyConfig{}; }
+
+  /// Small configuration for tests/DES: `groups` groups of 4x3 routers.
+  [[nodiscard]] static DragonflyConfig small(int groups = 4) {
+    DragonflyConfig c;
+    c.groups = groups;
+    c.row_size = 4;
+    c.col_size = 3;
+    c.nodes_per_router = 2;
+    c.global_ports_per_router = 4;
+    return c;
+  }
+
+  /// Throws ContractError when the parameters are inconsistent.
+  void validate() const;
+};
+
+}  // namespace dfv::net

@@ -1,0 +1,238 @@
+#include "net/flow_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dfv::net {
+
+double stall_fraction(double utilization) noexcept {
+  // Queueing-style growth: negligible below ~40% utilization, steep near
+  // saturation. The value is "stall cycles per cycle" aggregated over the
+  // VCs of a tile, so it may exceed 1; clamp to keep counters finite when
+  // demand far exceeds capacity.
+  const double u = std::min(utilization, 1.2);
+  const double s = std::max(0.0, u - 0.15);
+  return std::min(6.0, s * s / std::max(0.05, 1.02 - u));
+}
+
+FlowModel::FlowModel(const Topology& topo, FlowModelParams params)
+    : topo_(&topo), params_(params), chooser_(topo, params.routing) {
+  DFV_CHECK(params_.capacity_headroom > 0.0 && params_.capacity_headroom <= 1.0);
+  DFV_CHECK(params_.min_residual_frac > 0.0 && params_.min_residual_frac < 1.0);
+  DFV_CHECK(params_.max_chunks >= 1);
+}
+
+namespace {
+
+int chunk_count(double bytes, const FlowModelParams& p) {
+  if (bytes <= p.chunk_bytes) return 1;
+  const double n = std::ceil(bytes / p.chunk_bytes);
+  return int(std::min<double>(n, p.max_chunks));
+}
+
+}  // namespace
+
+void FlowModel::route_background(std::span<const Demand> demands, RoutingPolicy policy,
+                                 double dt, Rng& rng, RateLoads& out) const {
+  DFV_CHECK(dt > 0.0);
+  if (out.link_rate.size() != std::size_t(topo_->num_links())) out.resize(*topo_);
+  for (const Demand& d : demands) {
+    if (d.bytes <= 0.0 || d.src == d.dst) {
+      if (d.src == d.dst && d.bytes > 0.0) {
+        // Same-router traffic only touches the processor tiles.
+        out.inject_rate[std::size_t(d.src)] += d.bytes / dt;
+        out.eject_rate[std::size_t(d.dst)] += d.bytes / dt;
+      }
+      continue;
+    }
+    const int chunks = chunk_count(d.bytes, params_);
+    const double chunk_rate = d.bytes / dt / double(chunks);
+    for (int c = 0; c < chunks; ++c) {
+      const Path p = chooser_.choose(d.src, d.dst, policy, out.link_rate, rng);
+      for (LinkId id : p.links) out.link_rate[std::size_t(id)] += chunk_rate;
+    }
+    out.inject_rate[std::size_t(d.src)] += d.bytes / dt;
+    out.eject_rate[std::size_t(d.dst)] += d.bytes / dt;
+  }
+}
+
+TransferResult FlowModel::transfer(std::span<const Demand> messages, RoutingPolicy policy,
+                                   const RateLoads& bg, Rng& rng, ByteLoads* ours) const {
+  TransferResult result;
+  if (messages.empty()) return result;
+
+  const std::size_t L = std::size_t(topo_->num_links());
+  const std::size_t R = std::size_t(topo_->config().num_routers());
+  DFV_CHECK_MSG(bg.link_rate.size() == L, "background RateLoads not sized to topology");
+
+  // Effective load seen by the adaptive path chooser: background plus our
+  // own already-routed chunks (estimated as if transferred over ~100 ms).
+  // A reused scratch buffer avoids reallocating ~1 MB per phase.
+  scratch_rate_.assign(bg.link_rate.begin(), bg.link_rate.end());
+  std::vector<double>& est_rate = scratch_rate_;
+  constexpr double kSelfRateDt = 0.1;
+
+  // Internal flow list; a message may be split into several chunk-flows.
+  struct Flow {
+    std::size_t msg = 0;
+    double bytes = 0.0;
+    std::vector<std::size_t> resources;  ///< link ids, then L+r (inject), L+R+r (eject)
+    double rate = 0.0;
+  };
+  std::vector<Flow> flows;
+  flows.reserve(messages.size());
+
+  result.messages.resize(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const Demand& d = messages[i];
+    result.messages[i].demand = d;
+    if (d.bytes <= 0.0) continue;
+    const int chunks = d.src == d.dst ? 1 : chunk_count(d.bytes, params_);
+    const double chunk_bytes = d.bytes / double(chunks);
+    for (int c = 0; c < chunks; ++c) {
+      Flow f;
+      f.msg = i;
+      f.bytes = chunk_bytes;
+      if (d.src != d.dst) {
+        Path p = chooser_.choose(d.src, d.dst, policy, est_rate, rng);
+        for (LinkId id : p.links) {
+          est_rate[std::size_t(id)] += chunk_bytes / kSelfRateDt;
+          f.resources.push_back(std::size_t(id));
+        }
+        if (c == 0) result.messages[i].path = p;  // representative path
+        if (ours != nullptr)
+          for (LinkId id : p.links) ours->link_bytes[std::size_t(id)] += chunk_bytes;
+      }
+      f.resources.push_back(L + std::size_t(d.src));
+      f.resources.push_back(L + R + std::size_t(d.dst));
+      flows.push_back(std::move(f));
+    }
+    if (ours != nullptr) {
+      ours->inject_bytes[std::size_t(d.src)] += d.bytes;
+      ours->eject_bytes[std::size_t(d.dst)] += d.bytes;
+    }
+  }
+
+  // Residual capacities after background traffic, floored so saturated
+  // resources drain slowly instead of deadlocking the solve. Only the
+  // resources actually touched by a flow participate.
+  std::vector<std::size_t> used;
+  used.reserve(flows.size() * 8);
+  for (const Flow& f : flows) used.insert(used.end(), f.resources.begin(), f.resources.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+
+  std::vector<double> residual(L + 2 * R, 0.0);
+  std::vector<int> nflows(L + 2 * R, 0);
+  const double ep_bw = topo_->config().endpoint_bw;
+  for (const Flow& f : flows)
+    for (std::size_t r : f.resources) ++nflows[r];
+  for (std::size_t e : used) {
+    double cap, bg_rate;
+    if (e < L) {
+      cap = topo_->link(LinkId(e)).capacity;
+      bg_rate = bg.link_rate[e];
+    } else if (e < L + R) {
+      cap = ep_bw;
+      bg_rate = bg.inject_rate[e - L];
+    } else {
+      cap = ep_bw;
+      bg_rate = bg.eject_rate[e - L - R];
+    }
+    residual[e] = std::max(cap * params_.capacity_headroom - bg_rate,
+                           cap * params_.min_residual_frac);
+  }
+
+  // Progressive-filling max-min fairness. Rounds are capped: in practice a
+  // phase has a handful of distinct bottlenecks; pathological inputs fall
+  // back to a per-flow bottleneck approximation for the stragglers.
+  std::vector<char> done(flows.size(), 0);
+  std::size_t remaining = flows.size();
+  constexpr int kMaxRounds = 256;
+  for (int round = 0; round < kMaxRounds && remaining > 0; ++round) {
+    // Find the bottleneck resource: min residual / flow-count.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_e = 0;
+    for (std::size_t e : used) {
+      if (nflows[e] <= 0) continue;
+      const double share = residual[e] / double(nflows[e]);
+      if (share < best_share) {
+        best_share = share;
+        best_e = e;
+      }
+    }
+    DFV_CHECK(std::isfinite(best_share));
+    // Freeze every active flow crossing the bottleneck at the fair share.
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      if (done[fi]) continue;
+      Flow& f = flows[fi];
+      bool crosses = false;
+      for (std::size_t r : f.resources)
+        if (r == best_e) {
+          crosses = true;
+          break;
+        }
+      if (!crosses) continue;
+      f.rate = best_share;
+      done[fi] = 1;
+      --remaining;
+      for (std::size_t r : f.resources) {
+        residual[r] -= best_share;
+        --nflows[r];
+      }
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      if (done[fi]) continue;
+      Flow& f = flows[fi];
+      double share = std::numeric_limits<double>::infinity();
+      for (std::size_t r : f.resources)
+        if (nflows[r] > 0) share = std::min(share, residual[r] / double(nflows[r]));
+      f.rate = std::isfinite(share) ? std::max(share, 1.0) : 1.0;
+    }
+  }
+
+  // Message completion time: max over its chunk flows.
+  for (const Flow& f : flows) {
+    RoutedMessage& m = result.messages[f.msg];
+    const double latency =
+        m.path.links.empty() ? 2.0e-7 : topo_->path_latency(m.path) + 2.0e-7;
+    const double t = latency + f.bytes / std::max(f.rate, 1.0);
+    m.time = std::max(m.time, t);
+    m.rate = m.rate == 0.0 ? f.rate : std::min(m.rate, f.rate);
+  }
+  for (const RoutedMessage& m : result.messages)
+    result.makespan = std::max(result.makespan, m.time);
+  return result;
+}
+
+double FlowModel::congestion_factor(std::span<const RouterId> job_routers,
+                                    const RateLoads& bg) const {
+  if (job_routers.empty() || bg.link_rate.empty()) return 1.0;
+  double util_sum = 0.0, stall_sum = 0.0, max_stall = 0.0;
+  std::size_t n = 0;
+  for (RouterId r : job_routers) {
+    for (LinkId id : topo_->out_links(r)) {
+      const LinkInfo& li = topo_->link(id);
+      const double u = bg.link_rate[std::size_t(id)] / li.capacity;
+      const double sf = stall_fraction(u);
+      util_sum += std::min(u, 1.5);
+      stall_sum += sf;
+      max_stall = std::max(max_stall, sf);
+      ++n;
+    }
+  }
+  if (n == 0) return 1.0;
+  const double mean_util = util_sum / double(n);
+  const double mean_stall = stall_sum / double(n);
+  // Mean terms capture diffuse congestion; the max term captures one hot
+  // link on the job's routers (adaptive routing dilutes but does not hide
+  // it, §II-A).
+  return 1.0 + 1.0 * mean_util + 2.0 * mean_stall + 0.08 * max_stall;
+}
+
+}  // namespace dfv::net

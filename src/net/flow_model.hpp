@@ -1,0 +1,87 @@
+// Flow-level congestion model.
+//
+// This is the fast network engine used for campaign generation: instead
+// of simulating every flit, it (a) routes each demand along a policy-
+// chosen path, (b) computes max-min fair bandwidth shares for the
+// instrumented job's messages given the residual capacity left by
+// background traffic, and (c) reports per-link byte totals from which
+// the monitoring layer derives Aries-style counters. The packet-level
+// DES in packet_sim.hpp validates its qualitative behavior.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/routing.hpp"
+#include "net/traffic.hpp"
+
+namespace dfv::net {
+
+/// One message of the instrumented job after routing and rate solving.
+struct RoutedMessage {
+  Demand demand;
+  Path path;
+  double rate = 0.0;  ///< max-min fair bandwidth share [bytes/s]
+  double time = 0.0;  ///< completion time = latency + bytes / rate [s]
+};
+
+/// Result of transferring a set of messages in one communication phase.
+struct TransferResult {
+  std::vector<RoutedMessage> messages;
+  double makespan = 0.0;  ///< max completion time over all messages
+};
+
+struct FlowModelParams {
+  RoutingParams routing;
+  /// Fraction of nominal capacity available to payload (protocol overhead).
+  double capacity_headroom = 0.95;
+  /// Floor on residual capacity as a fraction of nominal capacity: even a
+  /// saturated link drains slowly rather than stalling forever.
+  double min_residual_frac = 0.04;
+  /// Messages larger than this are split into up to `max_chunks` chunks
+  /// routed independently (adaptive routing sprays large transfers).
+  double chunk_bytes = 1.0e6;
+  int max_chunks = 4;
+};
+
+/// Utilization -> stall-cycles-per-cycle shape: queueing-style growth that
+/// stays near zero below ~60% utilization and explodes as u -> 1.
+/// Exposed so the monitoring layer and tests share one definition.
+[[nodiscard]] double stall_fraction(double utilization) noexcept;
+
+class FlowModel {
+ public:
+  explicit FlowModel(const Topology& topo, FlowModelParams params = {});
+
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const FlowModelParams& params() const noexcept { return params_; }
+
+  /// Route sustained background demands (bytes over an interval of `dt`
+  /// seconds) and accumulate the resulting rates into `out`.
+  void route_background(std::span<const Demand> demands, RoutingPolicy policy, double dt,
+                        Rng& rng, RateLoads& out) const;
+
+  /// Route and rate-solve one communication phase of the instrumented job
+  /// against background load `bg`. If `ours` is non-null, the job's own
+  /// byte totals are accumulated there (for counter accounting).
+  [[nodiscard]] TransferResult transfer(std::span<const Demand> messages,
+                                        RoutingPolicy policy, const RateLoads& bg,
+                                        Rng& rng, ByteLoads* ours = nullptr) const;
+
+  /// Scalar congestion multiplier (>= 1) summarizing how loaded the links
+  /// around `job_routers` are; used for collective (allreduce/barrier)
+  /// latency scaling where per-message routing would be overkill.
+  [[nodiscard]] double congestion_factor(std::span<const RouterId> job_routers,
+                                         const RateLoads& bg) const;
+
+ private:
+  const Topology* topo_;
+  FlowModelParams params_;
+  PathChooser chooser_;
+  /// Scratch link-rate buffer reused across transfer() calls. FlowModel is
+  /// therefore not safe for concurrent transfer() calls on one instance.
+  mutable std::vector<double> scratch_rate_;
+};
+
+}  // namespace dfv::net

@@ -1,0 +1,143 @@
+#include "net/packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dfv::net {
+
+const char* to_string(TrafficPattern p) noexcept {
+  switch (p) {
+    case TrafficPattern::Uniform: return "uniform";
+    case TrafficPattern::AdversarialShift: return "adversarial-shift";
+    case TrafficPattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+PacketSim::PacketSim(const Topology& topo, PacketSimParams params, std::uint64_t seed)
+    : topo_(&topo), params_(params), chooser_(topo, params.routing), rng_(seed) {
+  link_free_.assign(std::size_t(topo.num_links()), 0.0);
+  queue_rate_.assign(std::size_t(topo.num_links()), 0.0);
+  stats_.router_flits.assign(std::size_t(topo.config().num_routers()), 0.0);
+  stats_.router_stall_cycles.assign(std::size_t(topo.config().num_routers()), 0.0);
+}
+
+void PacketSim::inject(double t, RouterId src, RouterId dst) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.inject_time = t;
+  packets_.push_back(std::move(p));
+  ++stats_.injected;
+  pending_heap_.push(Pending{t, std::uint32_t(packets_.size() - 1)});
+}
+
+PacketStats PacketSim::run() {
+  const double flit_s = params_.flit_bytes;
+  const double clock = topo_->config().clock_hz;
+  std::vector<double> delivered_latencies;
+  delivered_latencies.reserve(packets_.size());
+  double total_hops = 0.0;
+
+  while (!pending_heap_.empty()) {
+    const Pending ev = pending_heap_.top();
+    pending_heap_.pop();
+    Packet& p = packets_[ev.id];
+    const double now = ev.time;
+
+    if (!p.routed) {
+      // Path chosen per-packet when it enters the network, against the
+      // *current* backlog state — the approximation of Aries' per-hop
+      // back-pressure-driven adaptive choice.
+      Path path = chooser_.choose(p.src, p.dst, params_.policy, queue_rate_, rng_);
+      p.path = std::move(path.links);
+      p.routed = true;
+    }
+
+    if (p.hop >= p.path.size()) {
+      // Arrived at destination router: eject.
+      const double lat = now - p.inject_time;
+      delivered_latencies.push_back(lat);
+      total_hops += double(p.path.size());
+      ++stats_.delivered;
+      stats_.delivered_bytes += double(params_.packet_flits) * flit_s;
+      stats_.sim_time = std::max(stats_.sim_time, now);
+      continue;
+    }
+
+    const LinkId e = p.path[p.hop];
+    const LinkInfo& li = topo_->link(e);
+    const double ser = double(params_.packet_flits) * flit_s / li.capacity;
+    const double depart = std::max(now, link_free_[std::size_t(e)]);
+    link_free_[std::size_t(e)] = depart + ser;
+    // Backlog expressed as queued packets, scaled so PathChooser's
+    // normalized cost (load/capacity * congestion_weight) charges about
+    // one hop-equivalent per queued packet — the UGAL comparison.
+    const double queued_packets = std::max(0.0, link_free_[std::size_t(e)] - now) / ser;
+    queue_rate_[std::size_t(e)] =
+        queued_packets * li.capacity / chooser_.params().congestion_weight;
+
+    const double wait = depart - now;
+    if (wait > 0.0) stats_.router_stall_cycles[std::size_t(li.from)] += wait * clock;
+    stats_.router_flits[std::size_t(li.to)] += double(params_.packet_flits);
+
+    p.hop += 1;
+    pending_heap_.push(Pending{depart + ser + li.latency, ev.id});
+  }
+
+  if (!delivered_latencies.empty()) {
+    stats_.mean_latency = stats::mean(delivered_latencies);
+    stats_.p99_latency = stats::percentile(delivered_latencies, 0.99);
+    stats_.mean_hops = total_hops / double(delivered_latencies.size());
+  }
+  if (stats_.sim_time > 0.0) stats_.throughput = stats_.delivered_bytes / stats_.sim_time;
+  return stats_;
+}
+
+PacketStats PacketSim::run_synthetic(TrafficPattern pattern, double offered_load,
+                                     int packets_per_router) {
+  DFV_CHECK(offered_load > 0.0);
+  const auto& cfg = topo_->config();
+  const int R = cfg.num_routers();
+  const int G = cfg.groups;
+  const double pkt_bytes = double(params_.packet_flits) * params_.flit_bytes;
+  // Offered load is a fraction of one green link's bandwidth per router.
+  const double rate = offered_load * cfg.green_bw / pkt_bytes;  // packets/s per router
+  const RouterId hotspot = RouterId(R / 2);
+
+  for (RouterId src = 0; src < R; ++src) {
+    double t = 0.0;
+    for (int i = 0; i < packets_per_router; ++i) {
+      t += rng_.exponential(rate);
+      RouterId dst = src;
+      switch (pattern) {
+        case TrafficPattern::Uniform:
+          while (dst == src) dst = RouterId(rng_.uniform_index(std::uint64_t(R)));
+          break;
+        case TrafficPattern::AdversarialShift: {
+          const GroupId g = topo_->group_of(src);
+          const GroupId tg = GroupId((g + 1) % std::max(1, G));
+          dst = RouterId(tg * cfg.routers_per_group() +
+                         int(rng_.uniform_index(std::uint64_t(cfg.routers_per_group()))));
+          break;
+        }
+        case TrafficPattern::Hotspot:
+          if (rng_.bernoulli(0.2)) {
+            dst = hotspot;
+            if (dst == src) dst = RouterId((hotspot + 1) % R);
+          } else {
+            while (dst == src) dst = RouterId(rng_.uniform_index(std::uint64_t(R)));
+          }
+          break;
+      }
+      inject(t, src, dst);
+    }
+  }
+  return run();
+}
+
+}  // namespace dfv::net

@@ -1,0 +1,59 @@
+// Routing policies for the dragonfly: minimal, Valiant, and UGAL-style
+// adaptive routing (Cray XC systems route adaptively based on link
+// back-pressure; §II-A of the paper).
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace dfv::net {
+
+enum class RoutingPolicy : std::uint8_t {
+  Minimal,  ///< always a shortest path (random blue copy / intra order)
+  Valiant,  ///< always via a random intermediate group
+  Ugal,     ///< adaptive: cheapest of sampled minimal and Valiant candidates
+};
+
+const char* to_string(RoutingPolicy p) noexcept;
+
+/// Tuning knobs for adaptive path choice.
+struct RoutingParams {
+  int minimal_candidates = 2;  ///< minimal paths sampled per decision
+  int valiant_candidates = 2;  ///< Valiant paths sampled per decision
+  /// Weight of normalized link load vs. hop count in the path cost
+  /// (cost = hops + congestion_weight * sum(load_e / cap_e)).
+  double congestion_weight = 6.0;
+  /// Extra cost per hop charged to non-minimal paths (UGAL's reluctance
+  /// to take the longer route when the network is idle).
+  double valiant_hop_penalty = 0.35;
+};
+
+/// Chooses paths given the current link-load estimate.
+class PathChooser {
+ public:
+  PathChooser(const Topology& topo, RoutingParams params = {})
+      : topo_(&topo), params_(params) {}
+
+  /// Pick a path for (src, dst) under `policy`. `link_rate` is the current
+  /// per-link load estimate in bytes/s (may be empty => uncongested).
+  [[nodiscard]] Path choose(RouterId src, RouterId dst, RoutingPolicy policy,
+                            std::span<const double> link_rate, Rng& rng) const;
+
+  /// Cost used for comparisons: hops + congestion_weight * sum(util).
+  [[nodiscard]] double path_cost(const Path& p, std::span<const double> link_rate,
+                                 bool non_minimal) const;
+
+  [[nodiscard]] const RoutingParams& params() const noexcept { return params_; }
+
+ private:
+  [[nodiscard]] Path sample_minimal(RouterId src, RouterId dst, Rng& rng) const;
+  [[nodiscard]] Path sample_valiant(RouterId src, RouterId dst, Rng& rng) const;
+
+  const Topology* topo_;
+  RoutingParams params_;
+};
+
+}  // namespace dfv::net

@@ -1,0 +1,64 @@
+// Traffic demands and load containers shared by the flow-level model,
+// the packet-level DES, and the monitoring layer.
+#pragma once
+
+#include <vector>
+
+#include "net/config.hpp"
+#include "net/topology.hpp"
+
+namespace dfv::net {
+
+/// One router-to-router transfer demand.
+struct Demand {
+  RouterId src = kInvalidRouter;
+  RouterId dst = kInvalidRouter;
+  double bytes = 0.0;
+};
+
+/// Sustained traffic rates (bytes/second) over directed links and router
+/// endpoints. Used for *background* load that persists across many steps.
+struct RateLoads {
+  std::vector<double> link_rate;    ///< per directed link
+  std::vector<double> inject_rate;  ///< per router, NIC -> router
+  std::vector<double> eject_rate;   ///< per router, router -> NIC
+
+  void resize(const Topology& topo) {
+    link_rate.assign(std::size_t(topo.num_links()), 0.0);
+    inject_rate.assign(std::size_t(topo.config().num_routers()), 0.0);
+    eject_rate.assign(std::size_t(topo.config().num_routers()), 0.0);
+  }
+  void clear() {
+    link_rate.assign(link_rate.size(), 0.0);
+    inject_rate.assign(inject_rate.size(), 0.0);
+    eject_rate.assign(eject_rate.size(), 0.0);
+  }
+  void add_scaled(const RateLoads& other, double f) {
+    for (std::size_t i = 0; i < link_rate.size(); ++i) link_rate[i] += f * other.link_rate[i];
+    for (std::size_t i = 0; i < inject_rate.size(); ++i) {
+      inject_rate[i] += f * other.inject_rate[i];
+      eject_rate[i] += f * other.eject_rate[i];
+    }
+  }
+};
+
+/// Byte totals accumulated over one application step (instantaneous
+/// transfers, converted to utilizations with the step duration).
+struct ByteLoads {
+  std::vector<double> link_bytes;
+  std::vector<double> inject_bytes;
+  std::vector<double> eject_bytes;
+
+  void resize(const Topology& topo) {
+    link_bytes.assign(std::size_t(topo.num_links()), 0.0);
+    inject_bytes.assign(std::size_t(topo.config().num_routers()), 0.0);
+    eject_bytes.assign(std::size_t(topo.config().num_routers()), 0.0);
+  }
+  void clear() {
+    link_bytes.assign(link_bytes.size(), 0.0);
+    inject_bytes.assign(inject_bytes.size(), 0.0);
+    eject_bytes.assign(eject_bytes.size(), 0.0);
+  }
+};
+
+}  // namespace dfv::net

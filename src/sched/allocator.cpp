@@ -1,0 +1,99 @@
+#include "sched/allocator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dfv::sched {
+
+const char* to_string(AllocPolicy p) noexcept {
+  switch (p) {
+    case AllocPolicy::Packed: return "packed";
+    case AllocPolicy::Fragmented: return "fragmented";
+    case AllocPolicy::Clustered: return "clustered";
+  }
+  return "?";
+}
+
+NodeAllocator::NodeAllocator(const net::Topology& topo)
+    : topo_(&topo),
+      busy_(std::size_t(topo.config().num_nodes()), 0),
+      free_count_(topo.config().num_nodes()) {}
+
+std::vector<net::NodeId> NodeAllocator::allocate(int n, AllocPolicy policy, Rng& rng) {
+  DFV_CHECK(n > 0);
+  if (n > free_count_) return {};
+  std::vector<net::NodeId> out;
+  out.reserve(std::size_t(n));
+
+  const int total = int(busy_.size());
+  auto take = [&](net::NodeId id) {
+    busy_[std::size_t(id)] = 1;
+    --free_count_;
+    out.push_back(id);
+  };
+
+  switch (policy) {
+    case AllocPolicy::Packed: {
+      for (net::NodeId id = 0; id < total && int(out.size()) < n; ++id)
+        if (!busy_[std::size_t(id)]) take(id);
+      break;
+    }
+    case AllocPolicy::Fragmented: {
+      // Rejection-sample free nodes; fall back to a scan when the system
+      // is nearly full.
+      int attempts = 0;
+      while (int(out.size()) < n && attempts < 8 * n) {
+        const auto id = net::NodeId(rng.uniform_index(std::uint64_t(total)));
+        if (!busy_[std::size_t(id)]) take(id);
+        ++attempts;
+      }
+      for (net::NodeId id = 0; id < total && int(out.size()) < n; ++id)
+        if (!busy_[std::size_t(id)]) take(id);
+      break;
+    }
+    case AllocPolicy::Clustered: {
+      // Start from a random group and sweep forward, preferring group
+      // locality, then wrap. This mimics Slurm's tendency to produce
+      // mostly-local allocations that spill when the system is busy.
+      const int nodes_per_group =
+          topo_->config().routers_per_group() * topo_->config().nodes_per_router;
+      const int groups = topo_->config().groups;
+      const int g0 = int(rng.uniform_index(std::uint64_t(groups)));
+      const int npr = topo_->config().nodes_per_router;
+      const int rpg = topo_->config().routers_per_group();
+      for (int gi = 0; gi < groups && int(out.size()) < n; ++gi) {
+        const int g = (g0 + gi) % groups;
+        const net::NodeId base = net::NodeId(g * nodes_per_group);
+        // Occasionally skip a group entirely (drained/occupied elsewhere),
+        // increasing fragmentation variance between runs.
+        if (gi > 0 && rng.bernoulli(0.45)) continue;
+        // Offset-major sweep: nodes are taken round-robin across the
+        // group's routers, so concurrent jobs in one group end up sharing
+        // routers — the processor-tile interference path (4 nodes per
+        // Aries router rarely belong to a single job on a busy system).
+        for (int offset = 0; offset < npr && int(out.size()) < n; ++offset)
+          for (int r = 0; r < rpg && int(out.size()) < n; ++r) {
+            const net::NodeId id = base + r * npr + offset;
+            if (!busy_[std::size_t(id)]) take(id);
+          }
+      }
+      for (net::NodeId id = 0; id < total && int(out.size()) < n; ++id)
+        if (!busy_[std::size_t(id)]) take(id);
+      break;
+    }
+  }
+
+  DFV_CHECK(int(out.size()) == n);
+  return out;
+}
+
+void NodeAllocator::release(const std::vector<net::NodeId>& nodes) {
+  for (net::NodeId id : nodes) {
+    DFV_CHECK_MSG(busy_[std::size_t(id)], "releasing node " << id << " that is not busy");
+    busy_[std::size_t(id)] = 0;
+    ++free_count_;
+  }
+}
+
+}  // namespace dfv::sched

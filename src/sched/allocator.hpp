@@ -1,0 +1,46 @@
+// Node allocation policies. Slurm on Cori hands out whole nodes; under
+// load, allocations fragment across routers and groups, which is exactly
+// what NUM_ROUTERS / NUM_GROUPS measure. Routers host 4 nodes each, so a
+// fragmented system also makes jobs *share routers*, the main path for
+// endpoint (processor-tile) interference.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace dfv::sched {
+
+enum class AllocPolicy : std::uint8_t {
+  Packed,      ///< lowest-numbered free nodes (contiguous, few groups)
+  Fragmented,  ///< uniformly random free nodes (worst-case spread)
+  Clustered,   ///< group-local first from a random group, spill randomly
+               ///< (approximates Slurm's behavior on a busy system)
+};
+
+const char* to_string(AllocPolicy p) noexcept;
+
+/// Tracks free/busy nodes and serves allocations.
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(const net::Topology& topo);
+
+  /// Allocate `n` nodes with the given policy; returns an empty vector if
+  /// fewer than `n` nodes are free.
+  [[nodiscard]] std::vector<net::NodeId> allocate(int n, AllocPolicy policy, Rng& rng);
+
+  /// Return nodes to the free pool. Double-free throws ContractError.
+  void release(const std::vector<net::NodeId>& nodes);
+
+  [[nodiscard]] int free_nodes() const noexcept { return free_count_; }
+  [[nodiscard]] int total_nodes() const noexcept { return int(busy_.size()); }
+  [[nodiscard]] bool is_busy(net::NodeId n) const { return busy_[std::size_t(n)] != 0; }
+
+ private:
+  const net::Topology* topo_;
+  std::vector<char> busy_;
+  int free_count_ = 0;
+};
+
+}  // namespace dfv::sched

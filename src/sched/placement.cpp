@@ -1,0 +1,24 @@
+#include "sched/placement.hpp"
+
+#include <algorithm>
+
+namespace dfv::sched {
+
+Placement make_placement(std::span<const net::NodeId> nodes, const net::Topology& topo) {
+  Placement p;
+  p.nodes.assign(nodes.begin(), nodes.end());
+  p.routers.reserve(nodes.size());
+  for (net::NodeId n : nodes) p.routers.push_back(topo.router_of_node(n));
+  std::sort(p.routers.begin(), p.routers.end());
+  p.routers.erase(std::unique(p.routers.begin(), p.routers.end()), p.routers.end());
+
+  std::vector<net::GroupId> groups;
+  groups.reserve(p.routers.size());
+  for (net::RouterId r : p.routers) groups.push_back(topo.group_of(r));
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  p.num_groups = int(groups.size());
+  return p;
+}
+
+}  // namespace dfv::sched

@@ -1,0 +1,32 @@
+// Job placement: the set of nodes allocated to a job and the derived
+// fragmentation features NUM_ROUTERS / NUM_GROUPS (§III-C of the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace dfv::sched {
+
+/// Nodes assigned to a job, in rank-block order, plus derived views.
+struct Placement {
+  std::vector<net::NodeId> nodes;      ///< allocated nodes (rank order)
+  std::vector<net::RouterId> routers;  ///< unique routers, sorted
+  int num_groups = 0;                  ///< unique dragonfly groups
+
+  [[nodiscard]] int num_nodes() const noexcept { return int(nodes.size()); }
+  [[nodiscard]] int num_routers() const noexcept { return int(routers.size()); }
+};
+
+/// Build a Placement (derived features included) from a node list.
+[[nodiscard]] Placement make_placement(std::span<const net::NodeId> nodes,
+                                       const net::Topology& topo);
+
+/// Router of the i-th node of the placement.
+[[nodiscard]] inline net::RouterId router_of_rank_node(const Placement& p, std::size_t i,
+                                                       const net::Topology& topo) {
+  return topo.router_of_node(p.nodes[i]);
+}
+
+}  // namespace dfv::sched

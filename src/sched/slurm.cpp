@@ -1,0 +1,172 @@
+#include "sched/slurm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dfv::sched {
+
+double BackgroundJob::intensity() const noexcept {
+  // log-scale OU => lognormal multiplier with median 1.
+  return std::exp(log_intensity.value());
+}
+
+SlurmSim::SlurmSim(const net::Topology& topo, std::vector<UserArchetype> users,
+                   std::vector<net::RouterId> io_routers, std::uint64_t seed,
+                   AllocPolicy policy)
+    : topo_(&topo),
+      users_(std::move(users)),
+      io_routers_(std::move(io_routers)),
+      alloc_(topo),
+      policy_(policy),
+      rng_(seed) {
+  for (std::size_t u = 0; u < users_.size(); ++u) schedule_next_arrival(u, 0.0);
+}
+
+void SlurmSim::schedule_next_arrival(std::size_t user_idx, double after) {
+  const double rate_per_s = users_[user_idx].jobs_per_day / 86400.0;
+  if (rate_per_s <= 0.0) return;
+  arrivals_.push(Arrival{after + rng_.exponential(rate_per_s), user_idx});
+}
+
+void SlurmSim::finish_due_jobs() {
+  bool changed = false;
+  for (std::size_t i = 0; i < running_.size();) {
+    if (running_[i].end_s <= now_) {
+      alloc_.release(running_nodes_[i]);
+      for (auto& rec : sacct_)
+        if (rec.job_id == running_[i].job_id) rec.end_s = running_[i].end_s;
+      running_[i] = std::move(running_.back());
+      running_.pop_back();
+      running_nodes_[i] = std::move(running_nodes_.back());
+      running_nodes_.pop_back();
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+  if (changed) ++bg_epoch_;
+}
+
+void SlurmSim::start_background_job(std::size_t user_idx) {
+  const UserArchetype& u = users_[user_idx];
+  const int span = u.max_nodes - u.min_nodes;
+  const int nodes =
+      u.min_nodes + (span > 0 ? int(rng_.uniform_index(std::uint64_t(span + 1))) : 0);
+  const bool over_cap =
+      double(busy_nodes() + nodes) > max_bg_util_ * double(alloc_.total_nodes());
+  auto alloc = over_cap ? std::vector<net::NodeId>{} : alloc_.allocate(nodes, policy_, rng_);
+  if (alloc.empty()) {
+    // Machine at capacity: the job is dropped rather than queued. The
+    // Poisson arrival stream keeps offering jobs, so the background load
+    // stays saturated at the utilization cap without the event queue
+    // growing without bound.
+    return;
+  }
+  BackgroundJob job;
+  job.job_id = next_job_id_++;
+  job.user_id = u.user_id;
+  const double duration = u.duration_mean_s * rng_.lognormal(0.0, u.duration_sigma);
+  job.end_s = now_ + std::max(300.0, duration);
+  job.placement = make_placement(alloc, *topo_);
+  job.demands_per_s =
+      generate_background_demands(job.placement, u.traffic, io_routers_, *topo_, rng_);
+  // ou_sigma is the *stationary* stdev of the log-intensity; the OU SDE
+  // volatility that produces it is sigma * sqrt(2 * theta).
+  const double sde_sigma = u.traffic.ou_sigma * std::sqrt(2.0 * u.traffic.ou_theta);
+  job.log_intensity = OuProcess(u.traffic.ou_theta, 0.0, sde_sigma,
+                                rng_.normal(0.0, u.traffic.ou_sigma * 0.5));
+  sacct_.push_back(JobRecord{job.job_id, u.user_id, u.description, nodes, now_, now_, -1.0});
+  running_.push_back(std::move(job));
+  running_nodes_.push_back(std::move(alloc));
+  ++bg_epoch_;
+}
+
+void SlurmSim::advance_to(double t) {
+  DFV_CHECK_MSG(t >= now_, "scheduler time cannot go backwards");
+  while (true) {
+    // Next event: earliest of (arrival, completion) that is <= t.
+    double next_event = t;
+    bool is_arrival = false;
+    std::size_t arrival_user = 0;
+    if (!arrivals_.empty() && arrivals_.top().time <= next_event) {
+      next_event = arrivals_.top().time;
+      is_arrival = true;
+      arrival_user = arrivals_.top().user_idx;
+    }
+    double next_end = std::numeric_limits<double>::infinity();
+    for (const auto& j : running_) next_end = std::min(next_end, j.end_s);
+    if (next_end <= next_event) {
+      now_ = next_end;
+      finish_due_jobs();
+      continue;
+    }
+    if (is_arrival) {
+      arrivals_.pop();
+      now_ = next_event;
+      start_background_job(arrival_user);
+      schedule_next_arrival(arrival_user, now_);
+      continue;
+    }
+    now_ = t;
+    finish_due_jobs();
+    break;
+  }
+}
+
+void SlurmSim::step_intensities(double dt) {
+  for (auto& j : running_) j.log_intensity.step(dt, rng_);
+}
+
+std::optional<int> SlurmSim::start_instrumented_job(const std::string& name, int nodes,
+                                                    int user_id) {
+  auto alloc = alloc_.allocate(nodes, policy_, rng_);
+  if (alloc.empty()) return std::nullopt;
+  InstrumentedJob job;
+  job.job_id = next_job_id_++;
+  job.placement = make_placement(alloc, *topo_);
+  job.nodes = std::move(alloc);
+  job.sacct_idx = sacct_.size();
+  sacct_.push_back(JobRecord{job.job_id, user_id, name, nodes, now_, now_, -1.0});
+  const int id = job.job_id;
+  instrumented_.push_back(std::move(job));
+  ++bg_epoch_;
+  return id;
+}
+
+const Placement& SlurmSim::placement_of(int job_id) const {
+  for (const auto& j : instrumented_)
+    if (j.job_id == job_id) return j.placement;
+  DFV_CHECK_MSG(false, "no instrumented job with id " << job_id);
+  static const Placement kEmpty;
+  return kEmpty;  // unreachable
+}
+
+void SlurmSim::end_instrumented_job(int job_id) {
+  for (std::size_t i = 0; i < instrumented_.size(); ++i) {
+    if (instrumented_[i].job_id != job_id) continue;
+    alloc_.release(instrumented_[i].nodes);
+    sacct_[instrumented_[i].sacct_idx].end_s = now_;
+    instrumented_[i] = std::move(instrumented_.back());
+    instrumented_.pop_back();
+    ++bg_epoch_;
+    return;
+  }
+  DFV_CHECK_MSG(false, "no instrumented job with id " << job_id);
+}
+
+std::vector<int> SlurmSim::neighborhood_users(double t0, double t1, int min_nodes) const {
+  std::vector<int> users;
+  for (const auto& rec : sacct_) {
+    if (rec.num_nodes < min_nodes) continue;
+    const double end = rec.end_s < 0.0 ? std::numeric_limits<double>::infinity() : rec.end_s;
+    if (rec.start_s < t1 && end > t0) users.push_back(rec.user_id);
+  }
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+}  // namespace dfv::sched

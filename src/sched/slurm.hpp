@@ -1,0 +1,133 @@
+// Slurm-like scheduler simulation: background users submit jobs with
+// Poisson arrivals, jobs occupy nodes for lognormal durations, and every
+// job leaves an sacct-style accounting record. The instrumented campaign
+// jobs are inserted through start_instrumented_job(), mirroring how the
+// paper's authors submitted 1-2 jobs per app/day under their own user id.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timeseries.hpp"
+#include "sched/allocator.hpp"
+#include "sched/placement.hpp"
+#include "sched/workload.hpp"
+
+namespace dfv::sched {
+
+/// One sacct accounting row.
+struct JobRecord {
+  int job_id = 0;
+  int user_id = 0;
+  std::string job_name;
+  int num_nodes = 0;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double end_s = -1.0;  ///< -1 while running
+};
+
+/// A running background job with its traffic generator state.
+struct BackgroundJob {
+  int job_id = 0;
+  int user_id = 0;
+  double end_s = 0.0;
+  Placement placement;
+  std::vector<net::Demand> demands_per_s;  ///< traffic matrix at multiplier 1
+  OuProcess log_intensity{1.0 / 1800.0, 0.0, 0.35, 0.0};
+
+  /// Current intensity multiplier (lognormal around 1).
+  [[nodiscard]] double intensity() const noexcept;
+};
+
+class SlurmSim {
+ public:
+  SlurmSim(const net::Topology& topo, std::vector<UserArchetype> users,
+           std::vector<net::RouterId> io_routers, std::uint64_t seed,
+           AllocPolicy policy = AllocPolicy::Clustered);
+
+  /// Background jobs queue (retry later) rather than start when they would
+  /// push utilization above this fraction — the headroom a production
+  /// scheduler's priority/backfill gives short instrumented jobs.
+  void set_max_background_utilization(double frac) noexcept { max_bg_util_ = frac; }
+
+  /// Change the allocation policy used for subsequent jobs (ablations).
+  void set_allocation_policy(AllocPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] AllocPolicy allocation_policy() const noexcept { return policy_; }
+
+  /// Advance the system clock to absolute time `t` seconds: process
+  /// background arrivals and completions.
+  void advance_to(double t);
+
+  /// Advance the OU intensity processes of running jobs by `dt` seconds.
+  void step_intensities(double dt);
+
+  /// Allocate and start an instrumented job right now (at current time).
+  /// Returns nullopt if the machine cannot fit it; callers should advance
+  /// time and retry (mirroring queue wait).
+  std::optional<int> start_instrumented_job(const std::string& name, int nodes,
+                                            int user_id);
+  /// Placement of a running instrumented job.
+  [[nodiscard]] const Placement& placement_of(int job_id) const;
+  /// Finish an instrumented job at the current time.
+  void end_instrumented_job(int job_id);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] const std::vector<BackgroundJob>& running_background() const noexcept {
+    return running_;
+  }
+  [[nodiscard]] const std::vector<JobRecord>& sacct() const noexcept { return sacct_; }
+  [[nodiscard]] int busy_nodes() const noexcept {
+    return alloc_.total_nodes() - alloc_.free_nodes();
+  }
+  [[nodiscard]] double utilization() const noexcept {
+    return double(busy_nodes()) / double(alloc_.total_nodes());
+  }
+  /// Monotonically increasing epoch that changes whenever the running job
+  /// set changes (used to invalidate cached background link loads).
+  [[nodiscard]] std::uint64_t background_epoch() const noexcept { return bg_epoch_; }
+
+  /// Users with at least one job of >= `min_nodes` nodes whose execution
+  /// overlapped [t0, t1] (the paper's per-job "neighborhood", §V-A).
+  [[nodiscard]] std::vector<int> neighborhood_users(double t0, double t1,
+                                                    int min_nodes) const;
+
+ private:
+  struct Arrival {
+    double time;
+    std::size_t user_idx;
+    bool operator>(const Arrival& o) const noexcept { return time > o.time; }
+  };
+
+  void schedule_next_arrival(std::size_t user_idx, double after);
+  void start_background_job(std::size_t user_idx);
+  void finish_due_jobs();
+
+  const net::Topology* topo_;
+  std::vector<UserArchetype> users_;
+  std::vector<net::RouterId> io_routers_;
+  NodeAllocator alloc_;
+  AllocPolicy policy_;
+  Rng rng_;
+  double now_ = 0.0;
+  int next_job_id_ = 1;
+  std::uint64_t bg_epoch_ = 0;
+  double max_bg_util_ = 0.85;
+
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>> arrivals_;
+  std::vector<BackgroundJob> running_;
+  std::vector<std::vector<net::NodeId>> running_nodes_;  ///< parallel to running_
+  std::vector<JobRecord> sacct_;
+
+  struct InstrumentedJob {
+    int job_id;
+    Placement placement;
+    std::vector<net::NodeId> nodes;
+    std::size_t sacct_idx;
+  };
+  std::vector<InstrumentedJob> instrumented_;
+};
+
+}  // namespace dfv::sched

@@ -1,0 +1,168 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dfv::sched {
+
+const char* to_string(BgPattern p) noexcept {
+  switch (p) {
+    case BgPattern::NearestNeighbor: return "nearest-neighbor";
+    case BgPattern::UniformPairs: return "uniform-pairs";
+    case BgPattern::AllreduceHeavy: return "allreduce-heavy";
+    case BgPattern::IoHeavy: return "io-heavy";
+  }
+  return "?";
+}
+
+std::vector<UserArchetype> default_user_population(int quiet_users) {
+  // Intensities in bytes/node/s. "Heavy" users sustain several hundred
+  // MB/s/node, which is what communication-bound codes drive on Aries.
+  auto mk = [](int id, const char* desc, double jobs_day, int lo, int hi, double dur_h,
+               double net, double io, BgPattern pat) {
+    UserArchetype u;
+    u.user_id = id;
+    u.description = desc;
+    u.jobs_per_day = jobs_day;
+    u.min_nodes = lo;
+    u.max_nodes = hi;
+    u.duration_mean_s = dur_h * 3600.0;
+    u.duration_sigma = 0.45;
+    u.traffic.net_bytes_per_node_per_s = net;
+    u.traffic.io_bytes_per_node_per_s = io;
+    u.traffic.pattern = pat;
+    return u;
+  };
+
+  std::vector<UserArchetype> users = {
+      // The paper's recurring "blamed" users, by archetype:
+      mk(2, "HipMer-like genome assembly (comm + heavy I/O)", 8.0, 256, 1024, 6.0,
+         1.80e9, 0.60e9, BgPattern::UniformPairs),
+      mk(9, "FastPM-like N-body (allreduce-heavy + burst-buffer I/O)", 5.0, 512, 1024,
+         5.0, 1.50e9, 0.45e9, BgPattern::AllreduceHeavy),
+      mk(11, "E3SM-like climate modeling (comm-heavy)", 7.0, 512, 1024, 6.0, 1.70e9,
+         0.30e9, BgPattern::NearestNeighbor),
+      // Materials-science users (6, 10, 14): moderately heavy.
+      mk(6, "materials DFT (comm-heavy collectives)", 5.0, 256, 512, 5.0, 1.10e9, 0.04e9,
+         BgPattern::AllreduceHeavy),
+      mk(10, "materials MD (comm-heavy)", 5.0, 256, 512, 4.0, 0.55e9, 0.03e9,
+         BgPattern::UniformPairs),
+      mk(14, "materials science (comm-heavy collectives)", 4.0, 256, 512, 5.0, 0.95e9,
+         0.05e9, BgPattern::AllreduceHeavy),
+      // Users that appear in one or two lists: moderate traffic.
+      mk(1, "lattice QCD (moderate comm)", 6.0, 128, 512, 4.0, 0.40e9, 0.02e9,
+         BgPattern::NearestNeighbor),
+      mk(3, "CFD stencil", 5.0, 128, 256, 4.0, 1.00e9, 0.04e9,
+         BgPattern::NearestNeighbor),
+      mk(4, "weather ensemble", 6.0, 64, 256, 3.0, 0.45e9, 0.04e9,
+         BgPattern::NearestNeighbor),
+      mk(5, "molecular dynamics", 6.0, 64, 128, 3.0, 0.65e9, 0.02e9,
+         BgPattern::UniformPairs),
+      mk(7, "astrophysics hydro", 4.0, 128, 512, 5.0, 0.55e9, 0.06e9,
+         BgPattern::NearestNeighbor),
+      mk(12, "bioinformatics pipeline (I/O bound)", 5.0, 128, 256, 3.0, 0.15e9, 0.70e9,
+         BgPattern::IoHeavy),
+      mk(13, "graph analytics", 4.0, 128, 512, 4.0, 0.80e9, 0.03e9,
+         BgPattern::UniformPairs),
+  };
+
+  // Quiet crowd: small, low-intensity jobs that should *not* be blamed.
+  for (int i = 0; i < quiet_users; ++i) {
+    UserArchetype u = mk(100 + i, "quiet user", 6.0, 8, 64, 2.0, 0.05e9, 0.005e9,
+                         BgPattern::UniformPairs);
+    users.push_back(u);
+  }
+  return users;
+}
+
+std::vector<int> ground_truth_aggressors() { return {2, 8, 9, 11}; }
+
+std::vector<net::Demand> generate_background_demands(
+    const Placement& placement, const TrafficSpec& spec,
+    std::span<const net::RouterId> io_routers, const net::Topology& topo, Rng& rng) {
+  std::vector<net::Demand> demands;
+  const auto& routers = placement.routers;
+  if (routers.empty()) return demands;
+  const double total_net =
+      spec.net_bytes_per_node_per_s * double(placement.num_nodes());
+  const double total_io = spec.io_bytes_per_node_per_s * double(placement.num_nodes());
+
+  if (total_net <= 0.0 && total_io <= 0.0) return demands;
+  switch (spec.pattern) {
+    case BgPattern::NearestNeighbor: {
+      // Ring over the job's routers: each router exchanges with its two
+      // neighbors in allocation order (stencil-like locality).
+      const std::size_t n = routers.size();
+      if (n >= 2 && total_net > 0.0) {
+        const double per = total_net / double(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t j = (i + 1) % n;
+          demands.push_back({routers[i], routers[j], per});
+          demands.push_back({routers[j], routers[i], per});
+        }
+      }
+      break;
+    }
+    case BgPattern::UniformPairs: {
+      // ~3 random peer flows per router.
+      const std::size_t n = routers.size();
+      const std::size_t flows = std::max<std::size_t>(1, 3 * n);
+      const double per = total_net / double(flows);
+      if (per <= 0.0) break;
+      for (std::size_t f = 0; f < flows; ++f) {
+        const auto a = routers[rng.uniform_index(n)];
+        auto b = routers[rng.uniform_index(n)];
+        if (a == b && n > 1) b = routers[(rng.uniform_index(n - 1) + 1) % n];
+        if (a != b) demands.push_back({a, b, per});
+      }
+      break;
+    }
+    case BgPattern::AllreduceHeavy: {
+      // Reduction-tree hotspot: everyone exchanges with a few roots.
+      const std::size_t n = routers.size();
+      const std::size_t roots = std::max<std::size_t>(2, n / 5);
+      const double per = total_net / double(2 * n);
+      if (per <= 0.0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        const net::RouterId root = routers[i % roots];
+        if (routers[i] == root) continue;
+        demands.push_back({routers[i], root, per});
+        demands.push_back({root, routers[i], per});
+      }
+      break;
+    }
+    case BgPattern::IoHeavy: {
+      // Light intra-job traffic; the I/O share below dominates.
+      const std::size_t n = routers.size();
+      if (n >= 2 && total_net > 0.0) {
+        const double per = total_net / double(n);
+        for (std::size_t i = 0; i + 1 < n; i += 2)
+          demands.push_back({routers[i], routers[i + 1], per});
+      }
+      break;
+    }
+  }
+
+  // Filesystem traffic: each router streams to / from its nearest I/O
+  // router (same group when possible), writes twice as heavy as reads.
+  if (total_io > 0.0 && !io_routers.empty()) {
+    const double per = total_io / double(routers.size());
+    for (net::RouterId r : routers) {
+      net::RouterId target = io_routers[0];
+      const net::GroupId g = topo.group_of(r);
+      for (net::RouterId io : io_routers)
+        if (topo.group_of(io) == g) {
+          target = io;
+          break;
+        }
+      if (target == r) continue;
+      demands.push_back({r, target, per * (2.0 / 3.0)});
+      demands.push_back({target, r, per * (1.0 / 3.0)});
+    }
+  }
+  return demands;
+}
+
+}  // namespace dfv::sched

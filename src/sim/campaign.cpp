@@ -1,0 +1,205 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dfv::sim {
+
+namespace fs = std::filesystem;
+
+CampaignConfig CampaignConfig::small(std::uint64_t seed) {
+  CampaignConfig c;
+  c.seed = seed;
+  c.machine = net::DragonflyConfig::small(8);
+  c.machine.nodes_per_router = 4;  // 8 groups x 12 routers x 4 nodes = 384 nodes
+  c.days = 10;
+  c.jobs_per_day = 1.5;
+  c.warmup_days = 0.5;
+  c.quiet_users = 6;
+  c.neighborhood_min_nodes = 32;
+  c.max_bg_job_nodes = 96;
+  // 384-node machine running 128-node instrumented jobs: keep headroom.
+  c.cluster.max_bg_utilization = 0.55;
+  c.datasets = {{"AMG", 128}, {"MILC", 128}, {"miniVite", 128}, {"UMT", 128}};
+  return c;
+}
+
+namespace {
+
+/// The campaign account's *other* jobs: the paper's User 8 submitted many
+/// jobs (several apps x node counts per day); since instrumented runs are
+/// simulated sequentially, concurrent submissions from the same account
+/// are represented as background jobs with MILC-like traffic.
+sched::UserArchetype campaign_account_archetype(int max_nodes) {
+  sched::UserArchetype u;
+  u.user_id = sched::kCampaignUserId;
+  u.description = "controlled experiments (this study)";
+  u.jobs_per_day = 5.0;
+  u.min_nodes = std::min(128, max_nodes);
+  u.max_nodes = std::min(512, max_nodes);
+  u.duration_mean_s = 700.0;
+  u.duration_sigma = 0.25;
+  u.traffic.net_bytes_per_node_per_s = 0.5e9;
+  u.traffic.io_bytes_per_node_per_s = 0.01e9;
+  u.traffic.pattern = sched::BgPattern::NearestNeighbor;
+  return u;
+}
+
+std::vector<sched::UserArchetype> build_population(const CampaignConfig& cfg) {
+  auto users = sched::default_user_population(cfg.quiet_users);
+  for (auto& u : users) {
+    u.min_nodes = std::min(u.min_nodes, cfg.max_bg_job_nodes);
+    u.max_nodes = std::min(u.max_nodes, cfg.max_bg_job_nodes);
+  }
+  users.push_back(campaign_account_archetype(cfg.max_bg_job_nodes));
+  return users;
+}
+
+}  // namespace
+
+const Dataset& CampaignResult::dataset(const std::string& app, int nodes) const {
+  for (const auto& d : datasets)
+    if (d.spec.app == app && d.spec.nodes == nodes) return d;
+  DFV_CHECK_MSG(false, "no dataset " << app << "-" << nodes << " in campaign result");
+  static const Dataset kEmpty;
+  return kEmpty;  // unreachable
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  CampaignResult result;
+  Cluster cluster(cfg.machine, cfg.cluster, build_population(cfg), cfg.seed);
+  Rng rng(hash_combine(cfg.seed, 0xca3b));
+
+  // Instantiate the app models once per dataset.
+  std::vector<std::unique_ptr<apps::AppModel>> models;
+  result.datasets.resize(cfg.datasets.size());
+  for (std::size_t i = 0; i < cfg.datasets.size(); ++i) {
+    result.datasets[i].spec = cfg.datasets[i];
+    models.push_back(apps::make_app(cfg.datasets[i].app, cfg.datasets[i].nodes));
+  }
+
+  // Let the background fill the machine before the first run.
+  cluster.slurm().advance_to(cfg.warmup_days * 86400.0);
+
+  // Build the submission schedule: 1-2 jobs per dataset per day at random
+  // times, exactly the paper's protocol.
+  struct Submission {
+    double time;
+    std::size_t dataset;
+  };
+  std::vector<Submission> schedule;
+  for (int day = 0; day < cfg.days; ++day) {
+    const double day_start = (cfg.warmup_days + double(day)) * 86400.0;
+    for (std::size_t i = 0; i < cfg.datasets.size(); ++i) {
+      int count = 1;
+      if (cfg.jobs_per_day > 1.0 && rng.bernoulli(cfg.jobs_per_day - 1.0)) count = 2;
+      for (int j = 0; j < count; ++j)
+        schedule.push_back({day_start + rng.uniform(0.0, 86400.0), i});
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Submission& a, const Submission& b) { return a.time < b.time; });
+
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const Submission& sub = schedule[s];
+    if (sub.time > cluster.slurm().now()) {
+      const double gap = sub.time - cluster.slurm().now();
+      cluster.slurm().advance_to(sub.time);
+      cluster.slurm().step_intensities(gap);
+      cluster.invalidate_background();
+    }
+    RunRecord rec = cluster.run_app(*models[sub.dataset]);
+    result.datasets[sub.dataset].runs.push_back(std::move(rec));
+    if (s % 100 == 0)
+      DFV_LOG_INFO("campaign: " << s << "/" << schedule.size() << " runs, day "
+                                << cluster.slurm().now() / 86400.0 << ", utilization "
+                                << cluster.slurm().utilization());
+  }
+
+  // Fill each run's neighborhood from the accounting log: users with at
+  // least one qualified job overlapping the run, excluding the run itself.
+  result.sacct = cluster.slurm().sacct();
+  for (auto& ds : result.datasets)
+    for (auto& run : ds.runs) {
+      std::vector<int> users;
+      for (const auto& rec : result.sacct) {
+        if (rec.job_id == run.job_id || rec.num_nodes < cfg.neighborhood_min_nodes)
+          continue;
+        const double end =
+            rec.end_s < 0.0 ? std::numeric_limits<double>::infinity() : rec.end_s;
+        if (rec.start_s < run.end_time_s && end > run.start_time_s)
+          users.push_back(rec.user_id);
+      }
+      std::sort(users.begin(), users.end());
+      users.erase(std::unique(users.begin(), users.end()), users.end());
+      run.neighborhood_users = std::move(users);
+    }
+  return result;
+}
+
+std::uint64_t config_fingerprint(const CampaignConfig& cfg) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) { h = hash_combine(h, v); };
+  mix(cfg.seed);
+  mix(std::uint64_t(cfg.machine.groups));
+  mix(std::uint64_t(cfg.machine.row_size));
+  mix(std::uint64_t(cfg.machine.col_size));
+  mix(std::uint64_t(cfg.machine.nodes_per_router));
+  mix(std::uint64_t(cfg.days));
+  mix(std::uint64_t(cfg.jobs_per_day * 1000));
+  mix(std::uint64_t(cfg.warmup_days * 1000));
+  mix(std::uint64_t(cfg.quiet_users));
+  mix(std::uint64_t(cfg.neighborhood_min_nodes));
+  mix(std::uint64_t(cfg.max_bg_job_nodes));
+  mix(std::uint64_t(cfg.cluster.bg_refresh_interval_s * 1000));
+  mix(std::uint64_t(cfg.cluster.mpi_noise_sigma * 1.0e6));
+  mix(std::uint64_t(int(cfg.cluster.policy)));
+  for (const auto& d : cfg.datasets) {
+    for (char c : d.app) mix(std::uint64_t(c));
+    mix(std::uint64_t(d.nodes));
+  }
+  // Version tag: bump when the generator's behavior changes so stale
+  // caches are not reused.
+  mix(0xDFC0DE06);
+  return h;
+}
+
+CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string& cache_dir) {
+  std::ostringstream dir_name;
+  dir_name << cache_dir << "/campaign_" << std::hex << config_fingerprint(cfg);
+  const fs::path dir(dir_name.str());
+  const fs::path meta = dir / "META";
+
+  if (fs::exists(meta)) {
+    DFV_LOG_INFO("loading cached campaign from " << dir.string());
+    CampaignResult result;
+    for (const auto& spec : cfg.datasets) {
+      Dataset ds = load_dataset((dir / (spec.label() + ".csv")).string());
+      ds.spec = spec;
+      result.datasets.push_back(std::move(ds));
+    }
+    return result;
+  }
+
+  CampaignResult result = run_campaign(cfg);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (!ec) {
+    bool ok = true;
+    for (const auto& ds : result.datasets)
+      ok = ok && save_dataset(ds, (dir / (ds.spec.label() + ".csv")).string());
+    if (ok) {
+      std::ofstream m(meta);
+      m << "datasets=" << result.datasets.size() << "\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace dfv::sim

@@ -1,0 +1,50 @@
+// Campaign driver: reproduces the paper's data-collection protocol
+// (§III-A): between December 2018 and April 2019, one or two jobs per
+// application and node count were submitted to Cori's production queue
+// every day under a single user account (the paper's User 8); each of
+// the six (app, nodes) datasets ends up with 175-225 runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace dfv::sim {
+
+struct CampaignConfig {
+  std::uint64_t seed = 20181203;
+  net::DragonflyConfig machine = net::DragonflyConfig::cori();
+  ClusterParams cluster;
+  int days = 120;              ///< campaign length (Dec..Apr)
+  double jobs_per_day = 1.6;   ///< per dataset ("one or two jobs per day")
+  double warmup_days = 2.0;    ///< fill the machine before the first run
+  int quiet_users = 24;
+  int neighborhood_min_nodes = 128;  ///< job-size qualification for blame lists
+  int max_bg_job_nodes = 1024;       ///< clamp background job sizes (small machines)
+  /// Datasets to collect; defaults to the paper's six (app, nodes) pairs.
+  std::vector<apps::DatasetSpec> datasets = apps::paper_datasets();
+
+  /// Scaled-down configuration for tests: small machine, few days.
+  [[nodiscard]] static CampaignConfig small(std::uint64_t seed = 42);
+};
+
+struct CampaignResult {
+  std::vector<Dataset> datasets;  ///< in apps::paper_datasets() order
+  std::vector<sched::JobRecord> sacct;
+
+  [[nodiscard]] const Dataset& dataset(const std::string& app, int nodes) const;
+};
+
+/// Run the full campaign.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Run the campaign, or load it from `cache_dir` if a cache produced with
+/// an identical configuration exists there (benches share one campaign).
+[[nodiscard]] CampaignResult run_campaign_cached(const CampaignConfig& config,
+                                                 const std::string& cache_dir);
+
+/// Stable hash of a configuration (names the cache directory entry).
+[[nodiscard]] std::uint64_t config_fingerprint(const CampaignConfig& config);
+
+}  // namespace dfv::sim

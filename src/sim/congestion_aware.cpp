@@ -1,0 +1,63 @@
+#include "sim/congestion_aware.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dfv::sim {
+
+double CongestionAwareScheduler::predicted_slowdown(const apps::AppModel& app) {
+  // Probe: allocate the job's nodes, read the congestion view of that
+  // placement, release. This is what a resource manager with live counter
+  // feeds (the paper's proposal) could evaluate before starting a job.
+  auto job_id = cluster_->slurm().start_instrumented_job("probe", app.info().nodes,
+                                                         sched::kCampaignUserId);
+  if (!job_id) return 1.0;  // cannot place now; admission handles waiting
+  const sched::Placement placement = cluster_->slurm().placement_of(*job_id);
+  const CongestionView view = cluster_->congestion(placement.routers);
+  cluster_->slurm().end_instrumented_job(*job_id);
+
+  const apps::AppCoefficients& c = app.coefficients();
+  return 1.0 + c.pt_weight * view.pt_stall + c.rt_weight * (view.transit - 1.0);
+}
+
+bool CongestionAwareScheduler::blamed_user_active() const {
+  if (policy_.blamed_users.empty()) return false;
+  for (const auto& job : cluster_->slurm().running_background()) {
+    if (job.placement.num_nodes() < policy_.min_blamed_nodes) continue;
+    if (std::find(policy_.blamed_users.begin(), policy_.blamed_users.end(),
+                  job.user_id) != policy_.blamed_users.end())
+      return true;
+  }
+  return false;
+}
+
+AwareRun CongestionAwareScheduler::run_when_clear(const apps::AppModel& app,
+                                                  int user_id) {
+  DFV_CHECK(policy_.check_interval_s > 0.0);
+  AwareRun out;
+  while (out.decision.waited_s < policy_.max_delay_s) {
+    bool hold = false;
+    if (blamed_user_active()) {
+      ++out.decision.holds_blame;
+      hold = true;
+    }
+    if (!hold && policy_.max_predicted_slowdown > 0.0) {
+      out.decision.predicted_slowdown = predicted_slowdown(app);
+      if (out.decision.predicted_slowdown > policy_.max_predicted_slowdown) {
+        ++out.decision.holds_congestion;
+        hold = true;
+      }
+    }
+    if (!hold) break;
+    cluster_->slurm().advance_to(cluster_->slurm().now() + policy_.check_interval_s);
+    cluster_->slurm().step_intensities(policy_.check_interval_s);
+    cluster_->invalidate_background();
+    out.decision.waited_s += policy_.check_interval_s;
+  }
+  out.decision.gave_up = out.decision.waited_s >= policy_.max_delay_s;
+  out.record = cluster_->run_app(app, user_id);
+  return out;
+}
+
+}  // namespace dfv::sim

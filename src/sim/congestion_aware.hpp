@@ -1,0 +1,74 @@
+// Congestion-aware scheduling: the paper's motivating use case and
+// stated future work ("a resource manager can use such historical data
+// to delay scheduling jobs that are communication-sensitive when certain
+// other jobs are already running", §V-A; "we plan to exploit this
+// predictive power to improve scheduling and placement", §VII).
+//
+// Two admission gates built from the paper's analyses:
+//  * blame gate — hold the job while any user from the neighborhood
+//    analysis's blamed list (Table III) runs a qualified job;
+//  * congestion gate — probe a tentative placement's CongestionView and
+//    hold while the predicted slowdown of this app exceeds a threshold
+//    (the deviation analysis's counters drive the same quantities).
+#pragma once
+
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "sim/cluster.hpp"
+
+namespace dfv::sim {
+
+struct CongestionAwarePolicy {
+  /// Users whose presence (running a job of at least `min_blamed_nodes`
+  /// nodes) holds admission; typically analysis::blamed_users() output.
+  std::vector<int> blamed_users;
+  int min_blamed_nodes = 128;
+
+  /// Hold while the app's predicted MPI slowdown factor at a probe
+  /// placement exceeds this (1.0 = any congestion holds; <= 0 disables).
+  double max_predicted_slowdown = 1.35;
+
+  double max_delay_s = 12 * 3600.0;  ///< give up waiting after this
+  double check_interval_s = 1800.0;  ///< re-evaluate cadence
+};
+
+struct ScheduleDecision {
+  double waited_s = 0.0;        ///< queue delay the policy added
+  bool gave_up = false;         ///< max_delay_s reached; ran anyway
+  int holds_blame = 0;          ///< checks held by the blame gate
+  int holds_congestion = 0;     ///< checks held by the congestion gate
+  double predicted_slowdown = 1.0;  ///< at admission time
+};
+
+/// Result of one congestion-aware run.
+struct AwareRun {
+  RunRecord record;
+  ScheduleDecision decision;
+};
+
+class CongestionAwareScheduler {
+ public:
+  CongestionAwareScheduler(Cluster& cluster, CongestionAwarePolicy policy)
+      : cluster_(&cluster), policy_(std::move(policy)) {}
+
+  /// Predicted MPI slowdown factor of `app` if started right now: probes a
+  /// tentative placement, reads its CongestionView, applies the app's
+  /// sensitivity coefficients, and releases the probe.
+  [[nodiscard]] double predicted_slowdown(const apps::AppModel& app);
+
+  /// True if any blamed user currently runs a qualified job.
+  [[nodiscard]] bool blamed_user_active() const;
+
+  /// Delay (bounded) until both gates clear, then run the app.
+  [[nodiscard]] AwareRun run_when_clear(const apps::AppModel& app,
+                                        int user_id = sched::kCampaignUserId);
+
+  [[nodiscard]] const CongestionAwarePolicy& policy() const noexcept { return policy_; }
+
+ private:
+  Cluster* cluster_;
+  CongestionAwarePolicy policy_;
+};
+
+}  // namespace dfv::sim

@@ -1,0 +1,190 @@
+#include "sim/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+
+namespace dfv::sim {
+
+double RunRecord::total_time_s() const { return stats::sum(step_times); }
+
+int Dataset::steps_per_run() const {
+  return runs.empty() ? 0 : int(runs.front().step_times.size());
+}
+
+std::vector<double> Dataset::mean_step_curve() const {
+  const int T = steps_per_run();
+  std::vector<double> mean(std::size_t(T), 0.0);
+  if (runs.empty()) return mean;
+  for (const auto& r : runs) {
+    DFV_CHECK(int(r.step_times.size()) == T);
+    for (int t = 0; t < T; ++t) mean[std::size_t(t)] += r.step_times[std::size_t(t)];
+  }
+  for (double& v : mean) v /= double(runs.size());
+  return mean;
+}
+
+std::vector<double> Dataset::mean_counter_curve(mon::Counter c) const {
+  const int T = steps_per_run();
+  std::vector<double> mean(std::size_t(T), 0.0);
+  if (runs.empty()) return mean;
+  for (const auto& r : runs)
+    for (int t = 0; t < T; ++t)
+      mean[std::size_t(t)] += r.step_counters[std::size_t(t)][std::size_t(int(c))];
+  for (double& v : mean) v /= double(runs.size());
+  return mean;
+}
+
+std::vector<double> Dataset::total_times() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(r.total_time_s());
+  return out;
+}
+
+namespace {
+
+std::string join_ints(const std::vector<int>& v) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ';';
+    os << v[i];
+  }
+  return os.str();
+}
+
+std::vector<int> split_ints(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ';'))
+    if (!tok.empty()) out.push_back(std::stoi(tok));
+  return out;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string dataset_to_csv(const Dataset& ds) {
+  Csv csv;
+  csv.header = {"app",        "nodes",     "run",        "job_id",    "submit_s",
+                "start_s",    "end_s",     "num_routers", "num_groups", "neighborhood",
+                "compute_s",  "step",      "step_time"};
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    csv.header.push_back(mon::counter_name(mon::counter_from_index(c)));
+  for (const char* n : mon::ldms_io_feature_names()) csv.header.emplace_back(n);
+  for (const char* n : mon::ldms_sys_feature_names()) csv.header.emplace_back(n);
+  for (int r = 0; r < mon::kNumRoutines; ++r)
+    csv.header.push_back(std::string("mpi_") +
+                         mon::routine_name(static_cast<mon::MpiRoutine>(r)));
+
+  for (std::size_t ri = 0; ri < ds.runs.size(); ++ri) {
+    const RunRecord& run = ds.runs[ri];
+    for (int t = 0; t < run.steps(); ++t) {
+      std::vector<std::string> row = {
+          ds.spec.app,
+          std::to_string(ds.spec.nodes),
+          std::to_string(ri),
+          std::to_string(run.job_id),
+          fmt(run.submit_time_s),
+          fmt(run.start_time_s),
+          fmt(run.end_time_s),
+          std::to_string(run.num_routers),
+          std::to_string(run.num_groups),
+          join_ints(run.neighborhood_users),
+          fmt(run.profile.compute_s),
+          std::to_string(t),
+          fmt(run.step_times[std::size_t(t)]),
+      };
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        row.push_back(fmt(run.step_counters[std::size_t(t)][std::size_t(c)]));
+      const auto& l = run.step_ldms[std::size_t(t)];
+      for (double v : l.io) row.push_back(fmt(v));
+      for (double v : l.sys) row.push_back(fmt(v));
+      for (int r = 0; r < mon::kNumRoutines; ++r)
+        row.push_back(fmt(run.profile.routine_s[std::size_t(r)]));
+      csv.rows.push_back(std::move(row));
+    }
+  }
+  return csv.str();
+}
+
+Dataset dataset_from_csv(const std::string& text) {
+  const Csv csv = parse_csv(text);
+  Dataset ds;
+  if (csv.rows.empty()) return ds;
+
+  const std::size_t c_app = csv.col("app"), c_nodes = csv.col("nodes"),
+                    c_run = csv.col("run"), c_job = csv.col("job_id"),
+                    c_submit = csv.col("submit_s"), c_start = csv.col("start_s"),
+                    c_end = csv.col("end_s"), c_nr = csv.col("num_routers"),
+                    c_ng = csv.col("num_groups"), c_nb = csv.col("neighborhood"),
+                    c_comp = csv.col("compute_s"), c_time = csv.col("step_time");
+  const std::size_t c_counters0 =
+      csv.col(mon::counter_name(mon::counter_from_index(0)));
+  const std::size_t c_io0 = csv.col("IO_RT_FLIT_TOT");
+  const std::size_t c_sys0 = csv.col("SYS_RT_FLIT_TOT");
+  const std::size_t c_mpi0 = csv.col("mpi_Allreduce");
+
+  ds.spec.app = csv.rows.front()[c_app];
+  ds.spec.nodes = std::stoi(csv.rows.front()[c_nodes]);
+
+  long current_run = -1;
+  for (const auto& row : csv.rows) {
+    const long run_idx = std::stol(row[c_run]);
+    if (run_idx != current_run) {
+      current_run = run_idx;
+      RunRecord r;
+      r.job_id = std::stoi(row[c_job]);
+      r.submit_time_s = std::stod(row[c_submit]);
+      r.start_time_s = std::stod(row[c_start]);
+      r.end_time_s = std::stod(row[c_end]);
+      r.num_routers = std::stoi(row[c_nr]);
+      r.num_groups = std::stoi(row[c_ng]);
+      r.neighborhood_users = split_ints(row[c_nb]);
+      r.profile.compute_s = std::stod(row[c_comp]);
+      for (int i = 0; i < mon::kNumRoutines; ++i)
+        r.profile.routine_s[std::size_t(i)] = std::stod(row[c_mpi0 + std::size_t(i)]);
+      ds.runs.push_back(std::move(r));
+    }
+    RunRecord& r = ds.runs.back();
+    r.step_times.push_back(std::stod(row[c_time]));
+    mon::CounterVec cv{};
+    for (int i = 0; i < mon::kNumCounters; ++i)
+      cv[std::size_t(i)] = std::stod(row[c_counters0 + std::size_t(i)]);
+    r.step_counters.push_back(cv);
+    mon::LdmsFeatures lf;
+    for (int i = 0; i < mon::kNumIoFeatures; ++i)
+      lf.io[std::size_t(i)] = std::stod(row[c_io0 + std::size_t(i)]);
+    for (int i = 0; i < mon::kNumSysFeatures; ++i)
+      lf.sys[std::size_t(i)] = std::stod(row[c_sys0 + std::size_t(i)]);
+    r.step_ldms.push_back(lf);
+  }
+  return ds;
+}
+
+bool save_dataset(const Dataset& ds, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << dataset_to_csv(ds);
+  return bool(f);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream f(path);
+  DFV_CHECK_MSG(bool(f), "cannot open dataset file '" << path << "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return dataset_from_csv(os.str());
+}
+
+}  // namespace dfv::sim

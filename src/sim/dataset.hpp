@@ -1,0 +1,64 @@
+// Run records and datasets: the output of the controlled experiment
+// campaign, and the input to every analysis in the paper.
+//
+// A dataset corresponds to one (application, node count) pair and holds
+// 175-225 runs, each with per-step execution times, per-step AriesNCL
+// counter deltas, per-step LDMS io/sys aggregates, placement features,
+// and the run's user neighborhood.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "mon/counters.hpp"
+#include "mon/ldms.hpp"
+#include "mon/mpip.hpp"
+
+namespace dfv::sim {
+
+/// One instrumented application run.
+struct RunRecord {
+  int job_id = 0;
+  double submit_time_s = 0.0;  ///< campaign time of submission
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;
+  int num_routers = 0;  ///< NUM_ROUTERS placement feature
+  int num_groups = 0;   ///< NUM_GROUPS placement feature
+
+  std::vector<double> step_times;                ///< T entries
+  std::vector<mon::CounterVec> step_counters;    ///< T x 13 AriesNCL deltas
+  std::vector<mon::LdmsFeatures> step_ldms;      ///< T x (4 io + 4 sys)
+  mon::MpiProfile profile;                       ///< whole-run mpiP profile
+  std::vector<int> neighborhood_users;           ///< users with >=128-node overlapping jobs
+
+  [[nodiscard]] double total_time_s() const;
+  [[nodiscard]] int steps() const noexcept { return int(step_times.size()); }
+};
+
+/// All runs of one (application, node count) dataset.
+struct Dataset {
+  apps::DatasetSpec spec;
+  std::vector<RunRecord> runs;
+
+  [[nodiscard]] std::size_t num_runs() const noexcept { return runs.size(); }
+  [[nodiscard]] int steps_per_run() const;
+
+  /// Mean time per step across runs (Fig. 3's curves).
+  [[nodiscard]] std::vector<double> mean_step_curve() const;
+  /// Mean per-step curve of one counter across runs (Fig. 7).
+  [[nodiscard]] std::vector<double> mean_counter_curve(mon::Counter c) const;
+  /// Total run times of all runs.
+  [[nodiscard]] std::vector<double> total_times() const;
+};
+
+/// Serialize a dataset to CSV (one row per run-step plus run metadata
+/// columns) and back; used both for the on-disk campaign cache and so the
+/// generated data can be inspected with external tools.
+[[nodiscard]] std::string dataset_to_csv(const Dataset& ds);
+[[nodiscard]] Dataset dataset_from_csv(const std::string& csv_text);
+
+bool save_dataset(const Dataset& ds, const std::string& path);
+[[nodiscard]] Dataset load_dataset(const std::string& path);
+
+}  // namespace dfv::sim

@@ -1,0 +1,81 @@
+// Shared synthetic-dataset builders for analysis-layer tests: datasets
+// with *planted* causal structure that the pipelines must recover.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/dataset.hpp"
+
+namespace dfv::testutil {
+
+struct SyntheticSpec {
+  int runs = 60;
+  int steps = 20;
+  std::uint64_t seed = 1234;
+  /// Counter index that causally drives the time deviation.
+  int driver_counter = int(mon::Counter::RT_RB_STL);
+  double driver_strength = 1.0;  ///< seconds of deviation per unit z-score
+  /// Aggressor user id: present in ~half the runs; when present, the
+  /// driver counter (and hence the time) is elevated.
+  int aggressor_user = 2;
+  double aggressor_effect = 2.0;  ///< z-units of counter elevation
+  int bystander_users = 6;        ///< users present at random, no effect
+  /// Temporal autocorrelation of the driver within a run (AR(1) phi).
+  double phi = 0.8;
+};
+
+/// Build a dataset with the planted structure above. Counter columns
+/// other than the driver are white noise; the step-time mean curve is a
+/// mild ramp so mean-centering has something to remove.
+inline sim::Dataset make_planted_dataset(const SyntheticSpec& spec) {
+  sim::Dataset ds;
+  ds.spec = {"SYN", 128};
+  Rng rng(spec.seed);
+  for (int r = 0; r < spec.runs; ++r) {
+    sim::RunRecord rec;
+    rec.job_id = 1000 + r;
+    rec.start_time_s = r * 2000.0;
+    rec.num_routers = 30 + int(rng.uniform_index(10));
+    rec.num_groups = 3 + int(rng.uniform_index(4));
+
+    const bool aggressor_present = rng.bernoulli(0.5);
+    if (aggressor_present) rec.neighborhood_users.push_back(spec.aggressor_user);
+    for (int u = 0; u < spec.bystander_users; ++u)
+      if (rng.bernoulli(0.4)) rec.neighborhood_users.push_back(100 + u);
+    std::sort(rec.neighborhood_users.begin(), rec.neighborhood_users.end());
+
+    double z = rng.normal();  // AR(1) driver state
+    for (int t = 0; t < spec.steps; ++t) {
+      z = spec.phi * z + std::sqrt(1 - spec.phi * spec.phi) * rng.normal();
+      const double driver =
+          z + (aggressor_present ? spec.aggressor_effect : 0.0);
+
+      mon::CounterVec cv{};
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        cv[std::size_t(c)] = 1e6 * (5.0 + rng.normal());
+      cv[std::size_t(spec.driver_counter)] = 1e6 * (5.0 + driver);
+      rec.step_counters.push_back(cv);
+
+      // Bounded periodic mean curve so long runs stay within the
+      // training distribution's target range.
+      const double mean_curve = 10.0 + 1.5 * std::sin(0.25 * t);
+      rec.step_times.push_back(mean_curve + spec.driver_strength * driver +
+                               0.05 * rng.normal());
+
+      mon::LdmsFeatures lf;
+      for (auto& v : lf.io) v = 1e5 * (1.0 + 0.1 * rng.normal());
+      for (auto& v : lf.sys) v = 1e5 * (1.0 + 0.1 * rng.normal());
+      rec.step_ldms.push_back(lf);
+    }
+    rec.end_time_s = rec.start_time_s + rec.total_time_s();
+    rec.profile.add_compute(rec.total_time_s() * 0.3);
+    rec.profile.add(mon::MpiRoutine::Wait, rec.total_time_s() * 0.7);
+    ds.runs.push_back(std::move(rec));
+  }
+  return ds;
+}
+
+}  // namespace dfv::testutil

@@ -1,0 +1,91 @@
+#include "sched/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "sched/placement.hpp"
+
+namespace dfv::sched {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : topo_(net::DragonflyConfig::small(6)), alloc_(topo_) {}
+  net::Topology topo_;
+  NodeAllocator alloc_;
+  Rng rng_{31};
+};
+
+TEST_F(AllocatorTest, AllocateMarksBusyAndReleaseFrees) {
+  const int total = alloc_.total_nodes();
+  const auto nodes = alloc_.allocate(10, AllocPolicy::Packed, rng_);
+  ASSERT_EQ(nodes.size(), 10u);
+  EXPECT_EQ(alloc_.free_nodes(), total - 10);
+  for (auto n : nodes) EXPECT_TRUE(alloc_.is_busy(n));
+  alloc_.release(nodes);
+  EXPECT_EQ(alloc_.free_nodes(), total);
+}
+
+TEST_F(AllocatorTest, AllocationsAreDisjoint) {
+  const auto a = alloc_.allocate(20, AllocPolicy::Clustered, rng_);
+  const auto b = alloc_.allocate(20, AllocPolicy::Clustered, rng_);
+  std::set<net::NodeId> seen(a.begin(), a.end());
+  for (auto n : b) EXPECT_EQ(seen.count(n), 0u);
+}
+
+TEST_F(AllocatorTest, OverAllocationReturnsEmpty) {
+  const auto all = alloc_.allocate(alloc_.total_nodes(), AllocPolicy::Packed, rng_);
+  ASSERT_EQ(int(all.size()), alloc_.total_nodes());
+  EXPECT_TRUE(alloc_.allocate(1, AllocPolicy::Packed, rng_).empty());
+}
+
+TEST_F(AllocatorTest, DoubleReleaseThrows) {
+  const auto nodes = alloc_.allocate(4, AllocPolicy::Packed, rng_);
+  alloc_.release(nodes);
+  EXPECT_THROW(alloc_.release(nodes), ContractError);
+}
+
+TEST_F(AllocatorTest, PackedIsContiguousFromZeroOnEmptyMachine) {
+  const auto nodes = alloc_.allocate(8, AllocPolicy::Packed, rng_);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(nodes[std::size_t(i)], net::NodeId(i));
+}
+
+TEST_F(AllocatorTest, FragmentedSpreadsOverMoreGroupsThanPacked) {
+  NodeAllocator packed(topo_), frag(topo_);
+  Rng r1(5), r2(5);
+  const int n = 24;
+  const Placement p_packed =
+      make_placement(packed.allocate(n, AllocPolicy::Packed, r1), topo_);
+  const Placement p_frag =
+      make_placement(frag.allocate(n, AllocPolicy::Fragmented, r2), topo_);
+  EXPECT_LT(p_packed.num_groups, p_frag.num_groups);
+  EXPECT_LE(p_packed.num_routers(), p_frag.num_routers());
+}
+
+TEST_F(AllocatorTest, ClusteredUnderLoadStillSatisfiesRequest) {
+  (void)alloc_.allocate(alloc_.total_nodes() * 3 / 5, AllocPolicy::Fragmented, rng_);
+  const int want = alloc_.free_nodes() / 2;
+  const auto nodes = alloc_.allocate(want, AllocPolicy::Clustered, rng_);
+  EXPECT_EQ(int(nodes.size()), want);
+}
+
+TEST_F(AllocatorTest, AllPoliciesExactCountOrEmpty) {
+  for (AllocPolicy p :
+       {AllocPolicy::Packed, AllocPolicy::Fragmented, AllocPolicy::Clustered}) {
+    NodeAllocator a(topo_);
+    Rng r(7);
+    const auto nodes = a.allocate(33, p, r);
+    EXPECT_EQ(nodes.size(), 33u) << to_string(p);
+    std::set<net::NodeId> uniq(nodes.begin(), nodes.end());
+    EXPECT_EQ(uniq.size(), nodes.size()) << to_string(p);
+  }
+}
+
+TEST_F(AllocatorTest, RejectsNonPositiveRequest) {
+  EXPECT_THROW((void)alloc_.allocate(0, AllocPolicy::Packed, rng_), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::sched

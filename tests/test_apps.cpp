@@ -1,0 +1,203 @@
+#include "apps/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/stats.hpp"
+
+#include "common/check.hpp"
+#include "sched/allocator.hpp"
+
+namespace dfv::apps {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : topo_(net::DragonflyConfig::small(8)) {
+    sched::NodeAllocator alloc(topo_);
+    Rng rng(13);
+    placement_ = sched::make_placement(
+        alloc.allocate(128, sched::AllocPolicy::Clustered, rng), topo_);
+  }
+
+  /// Sum of base phase seconds of a step (congestion-free MPI time).
+  static double base_mpi(const StepSpec& s) {
+    double t = 0.0;
+    for (const auto& p : s.phases) t += p.base_seconds;
+    return t;
+  }
+
+  net::Topology topo_;
+  sched::Placement placement_;
+  Rng rng_{29};
+};
+
+TEST_F(AppsTest, PaperDatasetsAreTheSix) {
+  const auto& ds = paper_datasets();
+  ASSERT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds[0].label(), "AMG-128");
+  EXPECT_EQ(ds[5].label(), "UMT-128");
+}
+
+TEST_F(AppsTest, Table1InfoMatchesPaper) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].version, "1.1");
+  EXPECT_EQ(rows[0].input_params, "-P 32 16 16 -n 32 32 32 -problem 2");
+  EXPECT_EQ(rows[1].input_params, "-P 32 32 32 -n 32 32 32 -problem 2");
+  EXPECT_EQ(rows[2].version, "7.8.0");
+  EXPECT_EQ(rows[3].input_params, "n512 large.in");
+  EXPECT_EQ(rows[4].input_params, "-f nlpkkt240.bin -t 1E-02 -i 6");
+  EXPECT_EQ(rows[5].input_params, "custom_8k.cmg 4 2 4 4 4 0.04");
+  for (const auto& r : rows) EXPECT_EQ(r.ranks_per_node, 64);  // 64 of 68 KNL cores
+}
+
+TEST_F(AppsTest, StepCountsMatchPaper) {
+  EXPECT_EQ(make_amg(128)->num_steps(), 20);
+  EXPECT_EQ(make_milc(128)->num_steps(), 80);
+  EXPECT_EQ(make_minivite(128)->num_steps(), 6);
+  EXPECT_EQ(make_umt(128)->num_steps(), 7);
+  EXPECT_EQ(make_milc_long(128, 620)->num_steps(), 620);
+}
+
+TEST_F(AppsTest, RegistryRejectsUnknown) {
+  EXPECT_THROW((void)make_app("HPL", 128), ContractError);
+  EXPECT_THROW((void)make_umt(512), ContractError);
+  EXPECT_THROW((void)make_minivite(512), ContractError);
+  EXPECT_THROW((void)make_amg(64), ContractError);
+}
+
+TEST_F(AppsTest, MilcWarmupStepsAreFaster) {
+  const auto milc = make_milc(128);
+  const StepSpec warm = milc->step(5, placement_, topo_, rng_);
+  const StepSpec steady = milc->step(50, placement_, topo_, rng_);
+  EXPECT_LT(base_mpi(warm), 0.5 * base_mpi(steady));
+  EXPECT_LT(warm.compute_s, 0.5 * steady.compute_s);
+}
+
+TEST_F(AppsTest, UmtStepsRise) {
+  const auto umt = make_umt(128);
+  const StepSpec first = umt->step(0, placement_, topo_, rng_);
+  const StepSpec last = umt->step(6, placement_, topo_, rng_);
+  EXPECT_GT(base_mpi(last), base_mpi(first));
+  EXPECT_GT(last.compute_s, first.compute_s);
+}
+
+TEST_F(AppsTest, MpiFractionTargetsRoughlyMatchPaper) {
+  // Congestion-free MPI share: AMG ~76-82%, MILC ~89%, miniVite ~98%,
+  // UMT ~30% (§III-B). Evaluate on steady steps.
+  const std::map<std::string, std::pair<double, double>> expected = {
+      {"AMG", {0.65, 0.90}},
+      {"MILC", {0.80, 0.95}},
+      {"miniVite", {0.93, 0.995}},
+      {"UMT", {0.18, 0.40}},
+  };
+  for (const auto& spec : paper_datasets()) {
+    if (spec.nodes != 128) continue;
+    const auto app = make_app(spec.app, spec.nodes);
+    const int t = std::min(app->num_steps() - 1, 40);
+    double mpi = 0.0, total = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const StepSpec s = app->step(t, placement_, topo_, rng_);
+      mpi += base_mpi(s);
+      total += base_mpi(s) + s.compute_s;
+    }
+    const double frac = mpi / total;
+    const auto [lo, hi] = expected.at(spec.app);
+    EXPECT_GE(frac, lo) << spec.app;
+    EXPECT_LE(frac, hi) << spec.app;
+  }
+}
+
+TEST_F(AppsTest, AttributionSharesSumToOne) {
+  for (const auto& spec : paper_datasets()) {
+    if (spec.nodes != 128) continue;
+    const auto app = make_app(spec.app, spec.nodes);
+    const StepSpec s = app->step(0, placement_, topo_, rng_);
+    for (const auto& phase : s.phases) {
+      double sum = 0.0;
+      for (const auto& rs : phase.attribution) sum += rs.share;
+      EXPECT_NEAR(sum, 1.0, 1e-9) << spec.app;
+    }
+  }
+}
+
+TEST_F(AppsTest, DominantRoutinesMatchPaper) {
+  // AMG: Iprobe/Test/Testall/Waitall + Allreduce; MILC: Wait/Isend/Irecv +
+  // Allreduce; miniVite: Waitall; UMT: Wait + Allreduce + Barrier.
+  auto has_routine = [](const StepSpec& s, mon::MpiRoutine r) {
+    for (const auto& p : s.phases)
+      for (const auto& rs : p.attribution)
+        if (rs.routine == r && rs.share > 0.05) return true;
+    return false;
+  };
+  const StepSpec amg = make_amg(128)->step(0, placement_, topo_, rng_);
+  EXPECT_TRUE(has_routine(amg, mon::MpiRoutine::Iprobe));
+  EXPECT_TRUE(has_routine(amg, mon::MpiRoutine::Testall));
+  EXPECT_TRUE(has_routine(amg, mon::MpiRoutine::Allreduce));
+
+  const StepSpec milc = make_milc(128)->step(30, placement_, topo_, rng_);
+  EXPECT_TRUE(has_routine(milc, mon::MpiRoutine::Wait));
+  EXPECT_TRUE(has_routine(milc, mon::MpiRoutine::Isend));
+  EXPECT_TRUE(has_routine(milc, mon::MpiRoutine::Irecv));
+
+  const StepSpec mv = make_minivite(128)->step(0, placement_, topo_, rng_);
+  EXPECT_TRUE(has_routine(mv, mon::MpiRoutine::Waitall));
+
+  const StepSpec umt = make_umt(128)->step(0, placement_, topo_, rng_);
+  EXPECT_TRUE(has_routine(umt, mon::MpiRoutine::Wait));
+  EXPECT_TRUE(has_routine(umt, mon::MpiRoutine::Barrier));
+  EXPECT_TRUE(has_routine(umt, mon::MpiRoutine::Allreduce));
+}
+
+TEST_F(AppsTest, DemandsStayWithinPlacement) {
+  for (const auto& spec : paper_datasets()) {
+    if (spec.nodes != 128) continue;
+    const auto app = make_app(spec.app, spec.nodes);
+    const StepSpec s = app->step(0, placement_, topo_, rng_);
+    std::set<net::RouterId> allowed(placement_.routers.begin(),
+                                    placement_.routers.end());
+    for (const auto& phase : s.phases)
+      for (const auto& d : phase.demands) {
+        EXPECT_TRUE(allowed.count(d.src)) << spec.app;
+        EXPECT_TRUE(allowed.count(d.dst)) << spec.app;
+      }
+  }
+}
+
+TEST_F(AppsTest, StepIndexBoundsChecked) {
+  const auto amg = make_amg(128);
+  EXPECT_THROW((void)amg->step(-1, placement_, topo_, rng_), ContractError);
+  EXPECT_THROW((void)amg->step(20, placement_, topo_, rng_), ContractError);
+}
+
+TEST_F(AppsTest, MiniViteVolumeIsStochasticAndDrivesTime) {
+  const auto mv = make_minivite(128);
+  std::vector<double> bases, volumes;
+  for (int rep = 0; rep < 30; ++rep) {
+    const StepSpec s = mv->step(2, placement_, topo_, rng_);
+    bases.push_back(s.phases[0].base_seconds);
+    double vol = 0.0;
+    for (const auto& d : s.phases[0].demands) vol += d.bytes;
+    volumes.push_back(vol);
+  }
+  EXPECT_GT(stats::stddev(bases) / stats::mean(bases), 0.1);
+  // Time and volume move together (shared multiplier).
+  EXPECT_GT(stats::pearson(bases, volumes), 0.6);
+}
+
+TEST_F(AppsTest, CoefficientsEncodePaperSensitivities) {
+  // MILC is transit-dominated; UMT is endpoint-dominated (Fig. 9).
+  const auto milc = make_milc(128);
+  const auto umt = make_umt(128);
+  EXPECT_GT(milc->coefficients().rt_weight, milc->coefficients().pt_weight);
+  EXPECT_GT(umt->coefficients().pt_weight, 5.0 * umt->coefficients().rt_weight);
+  // AMG at 512 has more transit exposure than at 128.
+  EXPECT_GT(make_amg(512)->coefficients().rt_weight,
+            make_amg(128)->coefficients().rt_weight);
+}
+
+}  // namespace
+}  // namespace dfv::apps

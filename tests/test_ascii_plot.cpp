@@ -1,0 +1,64 @@
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dfv {
+namespace {
+
+TEST(LinePlot, ContainsTitleLegendAndAxis) {
+  Series s{"demo", {1, 2, 3, 2, 1}};
+  const std::string out = line_plot(s, {.width = 20, .height = 6, .title = "hello"});
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(LinePlot, MultiSeriesUsesDistinctGlyphs) {
+  const std::string out = line_plot({Series{"a", {1, 2}}, Series{"b", {2, 1}}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LinePlot, EmptyDataHandled) {
+  Series s{"empty", {}};
+  EXPECT_NE(line_plot(s).find("(no data)"), std::string::npos);
+}
+
+TEST(LinePlot, ConstantSeriesDoesNotDivideByZero) {
+  Series s{"flat", {5, 5, 5}};
+  EXPECT_FALSE(line_plot(s).empty());
+}
+
+TEST(LinePlot, YFromZeroExtendsAxis) {
+  Series s{"pos", {100, 101}};
+  const std::string with = line_plot(s, {.y_from_zero = true});
+  EXPECT_NE(with.find("0.00"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::vector<std::string> labels = {"small", "big"};
+  const std::vector<double> values = {1.0, 10.0};
+  const std::string out = bar_chart(labels, values, 10);
+  // The larger bar has 10 hashes, the smaller one 1.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("small"), std::string::npos);
+}
+
+TEST(BarChart, MismatchedInputThrows) {
+  const std::vector<std::string> labels = {"one"};
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW((void)bar_chart(labels, values), ContractError);
+}
+
+TEST(BarChart, NegativeValuesClampToZeroBars) {
+  const std::vector<std::string> labels = {"neg", "pos"};
+  const std::vector<double> values = {-5.0, 5.0};
+  const std::string out = bar_chart(labels, values, 8);
+  EXPECT_NE(out.find("neg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfv

@@ -1,0 +1,129 @@
+#include "ml/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::ml {
+namespace {
+
+AttentionParams fast_params(std::uint64_t seed = 0xa77) {
+  AttentionParams p;
+  p.d_model = 8;
+  p.d_hidden = 8;
+  p.epochs = 60;
+  p.batch = 16;
+  p.seed = seed;
+  return p;
+}
+
+/// Windows where the target is a weighted sum of one feature's history:
+/// y = 2 * x[t-1][f0] + x[t-2][f0] + 60 (f1 is noise).
+void make_temporal(std::size_t n, int m, Matrix& x, std::vector<double>& y, Rng& rng) {
+  const int F = 2;
+  x = Matrix(n, std::size_t(m) * F);
+  y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int t = 0; t < m; ++t) {
+      x(i, std::size_t(t) * F + 0) = rng.uniform(-1, 1);
+      x(i, std::size_t(t) * F + 1) = rng.uniform(-1, 1);
+    }
+    y[i] = 60.0 + 2.0 * x(i, std::size_t(m - 1) * F) + x(i, std::size_t(m - 2) * F);
+  }
+}
+
+TEST(Attention, LearnsTemporalPattern) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<double> y;
+  const int m = 4;
+  make_temporal(800, m, x, y, rng);
+
+  AttentionParams p = fast_params();
+  p.epochs = 150;
+  AttentionForecaster model(m, 2, p);
+  model.fit(x, y);
+
+  // Held-out windows.
+  Matrix xt;
+  std::vector<double> yt;
+  make_temporal(200, m, xt, yt, rng);
+  const double err = mape(yt, model.predict(xt));
+  EXPECT_LT(err, 1.5);  // % error on targets near 60
+
+  // Far better than predicting the mean.
+  const std::vector<double> mean_pred(yt.size(), 60.0);
+  EXPECT_LT(err, 0.5 * mape(yt, mean_pred));
+}
+
+TEST(Attention, OverfitsTinyDataset) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<double> y;
+  make_temporal(16, 3, x, y, rng);
+  AttentionParams p = fast_params();
+  p.epochs = 300;
+  AttentionForecaster model(3, 2, p);
+  model.fit(x, y);
+  EXPECT_LT(mape(y, model.predict(x)), 1.0);
+}
+
+TEST(Attention, PermutationImportanceFindsInformativeFeature) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y;
+  make_temporal(800, 4, x, y, rng);
+  AttentionForecaster model(4, 2, fast_params());
+  model.fit(x, y);
+  Rng perm_rng(7);
+  const auto imp = model.permutation_importance(x, y, perm_rng);
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 0.8);  // feature 0 drives the target
+  EXPECT_LT(imp[1], 0.2);
+}
+
+TEST(Attention, AttentionWeightsAreDistribution) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<double> y;
+  const int m = 5;
+  make_temporal(300, m, x, y, rng);
+  AttentionForecaster model(m, 2, fast_params());
+  model.fit(x, y);
+  const auto w = model.attention_weights(x.row(0));
+  ASSERT_EQ(w.size(), std::size_t(m));
+  double sum = 0.0;
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Attention, DeterministicGivenSeed) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<double> y;
+  make_temporal(200, 3, x, y, rng);
+  AttentionForecaster a(3, 2, fast_params(42)), b(3, 2, fast_params(42));
+  a.fit(x, y);
+  b.fit(x, y);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.predict_one(x.row(i)), b.predict_one(x.row(i)));
+}
+
+TEST(Attention, InputValidation) {
+  AttentionForecaster model(3, 2, fast_params());
+  Matrix wrong(4, 5);  // should be 3*2 = 6 columns
+  const std::vector<double> y(4, 1.0);
+  EXPECT_THROW(model.fit(wrong, y), ContractError);
+  EXPECT_THROW((void)AttentionForecaster(0, 2), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

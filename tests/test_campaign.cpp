@@ -1,0 +1,134 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/log.hpp"
+
+namespace dfv::sim {
+namespace {
+
+CampaignConfig tiny_config(std::uint64_t seed = 42) {
+  CampaignConfig cfg = CampaignConfig::small(seed);
+  cfg.days = 3;
+  cfg.datasets = {{"MILC", 128}, {"UMT", 128}};
+  return cfg;
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(CampaignTest, ProducesRequestedDatasets) {
+  const CampaignResult res = run_campaign(tiny_config());
+  ASSERT_EQ(res.datasets.size(), 2u);
+  EXPECT_EQ(res.datasets[0].spec.label(), "MILC-128");
+  EXPECT_EQ(res.datasets[1].spec.label(), "UMT-128");
+  // ~1-2 jobs per dataset per day over 3 days.
+  for (const auto& ds : res.datasets) {
+    EXPECT_GE(ds.num_runs(), 3u);
+    EXPECT_LE(ds.num_runs(), 6u);
+  }
+  EXPECT_EQ(res.datasets[0].steps_per_run(), 80);
+  EXPECT_EQ(res.datasets[1].steps_per_run(), 7);
+}
+
+TEST_F(CampaignTest, RunsAreChronologicalAndDisjoint) {
+  const CampaignResult res = run_campaign(tiny_config());
+  for (const auto& ds : res.datasets) {
+    for (std::size_t i = 1; i < ds.runs.size(); ++i)
+      EXPECT_GE(ds.runs[i].start_time_s, ds.runs[i - 1].end_time_s);
+  }
+}
+
+TEST_F(CampaignTest, NeighborhoodsFilledAndExcludeSelf) {
+  const CampaignResult res = run_campaign(tiny_config());
+  bool any_users = false;
+  for (const auto& ds : res.datasets)
+    for (const auto& run : ds.runs) {
+      any_users |= !run.neighborhood_users.empty();
+      EXPECT_TRUE(std::is_sorted(run.neighborhood_users.begin(),
+                                 run.neighborhood_users.end()));
+    }
+  EXPECT_TRUE(any_users);
+}
+
+TEST_F(CampaignTest, SacctContainsInstrumentedAndBackgroundJobs) {
+  const CampaignConfig cfg = tiny_config();
+  const CampaignResult res = run_campaign(cfg);
+  int ours = 0, theirs = 0;
+  for (const auto& rec : res.sacct)
+    (rec.user_id == sched::kCampaignUserId ? ours : theirs) += 1;
+  // Our account has at least the instrumented runs; others ran too.
+  std::size_t instrumented = 0;
+  for (const auto& ds : res.datasets) instrumented += ds.num_runs();
+  EXPECT_GE(std::size_t(ours), instrumented);
+  EXPECT_GT(theirs, 0);
+}
+
+TEST_F(CampaignTest, DeterministicForSameSeed) {
+  const CampaignResult a = run_campaign(tiny_config(7));
+  const CampaignResult b = run_campaign(tiny_config(7));
+  ASSERT_EQ(a.datasets[0].num_runs(), b.datasets[0].num_runs());
+  for (std::size_t r = 0; r < a.datasets[0].runs.size(); ++r)
+    EXPECT_DOUBLE_EQ(a.datasets[0].runs[r].total_time_s(),
+                     b.datasets[0].runs[r].total_time_s());
+}
+
+TEST_F(CampaignTest, DifferentSeedsDiffer) {
+  const CampaignResult a = run_campaign(tiny_config(7));
+  const CampaignResult b = run_campaign(tiny_config(8));
+  bool differs = a.datasets[0].num_runs() != b.datasets[0].num_runs();
+  if (!differs)
+    for (std::size_t r = 0; r < a.datasets[0].runs.size(); ++r)
+      differs |= a.datasets[0].runs[r].total_time_s() !=
+                 b.datasets[0].runs[r].total_time_s();
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(CampaignTest, FingerprintSensitivity) {
+  const CampaignConfig base = tiny_config();
+  CampaignConfig other = base;
+  EXPECT_EQ(config_fingerprint(base), config_fingerprint(other));
+  other.seed += 1;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(other));
+  other = base;
+  other.days += 1;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(other));
+  other = base;
+  other.datasets.pop_back();
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(other));
+}
+
+TEST_F(CampaignTest, CacheRoundTrip) {
+  namespace fs = std::filesystem;
+  const std::string cache = testing::TempDir() + "/dfv_campaign_cache";
+  fs::remove_all(cache);
+  const CampaignConfig cfg = tiny_config(11);
+
+  const CampaignResult fresh = run_campaign_cached(cfg, cache);
+  // A second call loads from disk and matches.
+  const CampaignResult loaded = run_campaign_cached(cfg, cache);
+  ASSERT_EQ(loaded.datasets.size(), fresh.datasets.size());
+  for (std::size_t d = 0; d < fresh.datasets.size(); ++d) {
+    ASSERT_EQ(loaded.datasets[d].num_runs(), fresh.datasets[d].num_runs());
+    for (std::size_t r = 0; r < fresh.datasets[d].runs.size(); ++r)
+      EXPECT_NEAR(loaded.datasets[d].runs[r].total_time_s(),
+                  fresh.datasets[d].runs[r].total_time_s(), 1e-6);
+  }
+  fs::remove_all(cache);
+}
+
+TEST_F(CampaignTest, DatasetLookup) {
+  const CampaignResult res = run_campaign(tiny_config());
+  EXPECT_EQ(res.dataset("MILC", 128).spec.app, "MILC");
+  EXPECT_THROW((void)res.dataset("AMG", 512), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::sim

@@ -1,0 +1,128 @@
+#include "apps/comm_patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "sched/allocator.hpp"
+
+namespace dfv::apps {
+namespace {
+
+TEST(Factor3, ProductAndNearCubic) {
+  for (int n : {1, 8, 27, 64, 128, 512, 1000}) {
+    const auto d = factor3(n);
+    EXPECT_EQ(d[0] * d[1] * d[2], n) << n;
+    EXPECT_GE(d[0], d[1]);
+    EXPECT_GE(d[1], d[2]);
+  }
+  EXPECT_EQ(factor3(128), (std::array<int, 3>{8, 4, 4}));
+  EXPECT_EQ(factor3(512), (std::array<int, 3>{8, 8, 8}));
+}
+
+TEST(Factor4, ProductPreserved) {
+  for (int n : {16, 128, 256, 512, 1024}) {
+    const auto d = factor4(n);
+    EXPECT_EQ(d[0] * d[1] * d[2] * d[3], n) << n;
+    for (int x : d) EXPECT_GE(x, 1);
+  }
+}
+
+class PatternsTest : public ::testing::Test {
+ protected:
+  PatternsTest() : topo_(net::DragonflyConfig::small(6)) {
+    sched::NodeAllocator alloc(topo_);
+    Rng rng(9);
+    placement_ = sched::make_placement(
+        alloc.allocate(64, sched::AllocPolicy::Clustered, rng), topo_);
+  }
+  net::Topology topo_;
+  sched::Placement placement_;
+  Rng rng_{21};
+};
+
+TEST_F(PatternsTest, DemandBuilderMergesDuplicatesAndSkipsLocal) {
+  DemandBuilder b(placement_, topo_);
+  b.add(0, 8, 100.0);
+  b.add(0, 8, 50.0);   // same node pair: merged
+  b.add(0, 1, 999.0);  // nodes 0,1 share a router in a packed allocation: dropped
+  const auto demands = b.build();
+  double total = 0.0;
+  for (const auto& d : demands) total += d.bytes;
+  const net::RouterId r0 = topo_.router_of_node(placement_.nodes[0]);
+  const net::RouterId r1 = topo_.router_of_node(placement_.nodes[1]);
+  if (r0 == r1) {
+    ASSERT_EQ(demands.size(), 1u);
+    EXPECT_DOUBLE_EQ(total, 150.0);
+  } else {
+    EXPECT_DOUBLE_EQ(total, 150.0 + 999.0);
+  }
+}
+
+TEST_F(PatternsTest, DemandBuilderBoundsChecked) {
+  DemandBuilder b(placement_, topo_);
+  EXPECT_THROW(b.add(-1, 0, 1.0), ContractError);
+  EXPECT_THROW(b.add(0, placement_.num_nodes(), 1.0), ContractError);
+}
+
+TEST_F(PatternsTest, Stencil3dVolumeMatchesFaces) {
+  const auto dims = factor3(placement_.num_nodes());
+  const double bytes_per_face = 1e6;
+  const auto demands = stencil3d(placement_, topo_, dims, bytes_per_face);
+  // Total volume (before same-router drops) = nodes * 2 faces per dim with
+  // dims > 1 * bytes. Demands only lose same-router pairs, so the total is
+  // bounded above by that and positive.
+  int active_dims = 0;
+  for (int d : dims)
+    if (d > 1) ++active_dims;
+  const double upper = double(placement_.num_nodes()) * 2.0 * active_dims * bytes_per_face;
+  double total = 0.0;
+  for (const auto& d : demands) total += d.bytes;
+  EXPECT_GT(total, 0.0);
+  EXPECT_LE(total, upper + 1e-6);
+}
+
+TEST_F(PatternsTest, Stencil3dRejectsWrongDims) {
+  EXPECT_THROW((void)stencil3d(placement_, topo_, {3, 3, 3}, 1.0), ContractError);
+}
+
+TEST_F(PatternsTest, Stencil4dSymmetricDemands) {
+  const auto dims = factor4(placement_.num_nodes());
+  const auto demands = stencil4d(placement_, topo_, dims, 1e6);
+  // Every demand's reverse direction exists with the same volume.
+  std::map<std::pair<net::RouterId, net::RouterId>, double> vol;
+  for (const auto& d : demands) vol[{d.src, d.dst}] += d.bytes;
+  for (const auto& [key, v] : vol) {
+    const auto rev = vol.find({key.second, key.first});
+    ASSERT_NE(rev, vol.end());
+    EXPECT_NEAR(rev->second, v, 1e-6);
+  }
+}
+
+TEST_F(PatternsTest, IrregularExchangeVolumeApproximatesTarget) {
+  const double target = 1e9;
+  // Average over draws: lognormal with sigma 0.8 is noisy per flow.
+  double total = 0.0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    const auto demands = irregular_exchange(placement_, topo_, 8, target, 0.8, rng_);
+    for (const auto& d : demands) total += d.bytes;
+  }
+  // Same-router pairs drop some volume; expect the ballpark.
+  EXPECT_GT(total / trials, 0.3 * target);
+  EXPECT_LT(total / trials, 1.3 * target);
+}
+
+TEST_F(PatternsTest, IrregularExchangeEndpointsWithinJob) {
+  const auto demands = irregular_exchange(placement_, topo_, 8, 1e8, 0.5, rng_);
+  std::set<net::RouterId> allowed(placement_.routers.begin(), placement_.routers.end());
+  for (const auto& d : demands) {
+    EXPECT_TRUE(allowed.count(d.src));
+    EXPECT_TRUE(allowed.count(d.dst));
+    EXPECT_NE(d.src, d.dst);
+  }
+}
+
+}  // namespace
+}  // namespace dfv::apps

@@ -1,0 +1,124 @@
+#include "sim/congestion_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/registry.hpp"
+#include "common/check.hpp"
+#include "sched/workload.hpp"
+
+namespace dfv::sim {
+namespace {
+
+net::DragonflyConfig small_machine() {
+  net::DragonflyConfig m = net::DragonflyConfig::small(8);
+  m.nodes_per_router = 4;
+  return m;
+}
+
+std::vector<sched::UserArchetype> small_population() {
+  auto users = sched::default_user_population(4);
+  for (auto& u : users) {
+    u.min_nodes = std::min(u.min_nodes, 48);
+    u.max_nodes = std::min(u.max_nodes, 96);
+  }
+  return users;
+}
+
+ClusterParams capped() {
+  ClusterParams p;
+  p.max_bg_utilization = 0.6;
+  return p;
+}
+
+TEST(CongestionAware, DisabledPolicyAdmitsImmediately) {
+  Cluster cluster(small_machine(), capped(), small_population(), 31);
+  cluster.slurm().advance_to(6 * 3600.0);
+  CongestionAwarePolicy policy;
+  policy.max_predicted_slowdown = 0.0;  // both gates off
+  CongestionAwareScheduler sched(cluster, policy);
+  const auto milc = apps::make_milc(128);
+  const AwareRun r = sched.run_when_clear(*milc);
+  EXPECT_DOUBLE_EQ(r.decision.waited_s, 0.0);
+  EXPECT_FALSE(r.decision.gave_up);
+  EXPECT_GT(r.record.total_time_s(), 0.0);
+}
+
+TEST(CongestionAware, BlameGateDetectsAggressors) {
+  Cluster cluster(small_machine(), capped(), small_population(), 32);
+  cluster.slurm().advance_to(12 * 3600.0);
+  // Find a user actually running a big job and blame them: gate must trip.
+  int running_user = -1;
+  for (const auto& job : cluster.slurm().running_background())
+    if (job.placement.num_nodes() >= 48) {
+      running_user = job.user_id;
+      break;
+    }
+  ASSERT_NE(running_user, -1);
+  CongestionAwarePolicy policy;
+  policy.blamed_users = {running_user};
+  policy.min_blamed_nodes = 48;
+  CongestionAwareScheduler sched(cluster, policy);
+  EXPECT_TRUE(sched.blamed_user_active());
+
+  CongestionAwarePolicy other;
+  other.blamed_users = {987654};  // nobody
+  CongestionAwareScheduler sched2(cluster, other);
+  EXPECT_FALSE(sched2.blamed_user_active());
+}
+
+TEST(CongestionAware, ProbeReleasesItsAllocation) {
+  Cluster cluster(small_machine(), capped(), small_population(), 33);
+  cluster.slurm().advance_to(6 * 3600.0);
+  CongestionAwareScheduler sched(cluster, CongestionAwarePolicy{});
+  const auto milc = apps::make_milc(128);
+  const int busy_before = cluster.slurm().busy_nodes();
+  const double s = sched.predicted_slowdown(*milc);
+  EXPECT_GE(s, 1.0);
+  EXPECT_EQ(cluster.slurm().busy_nodes(), busy_before);
+}
+
+TEST(CongestionAware, GivesUpAfterMaxDelay) {
+  Cluster cluster(small_machine(), capped(), small_population(), 34);
+  cluster.slurm().advance_to(6 * 3600.0);
+  CongestionAwarePolicy policy;
+  // Impossible bar: any congestion (even zero) exceeds a 0.5 threshold,
+  // because predicted slowdown is always >= 1.
+  policy.max_predicted_slowdown = 0.5;
+  policy.max_delay_s = 2 * 3600.0;
+  policy.check_interval_s = 3600.0;
+  CongestionAwareScheduler sched(cluster, policy);
+  const auto umt = apps::make_umt(128);
+  const AwareRun r = sched.run_when_clear(*umt);
+  EXPECT_TRUE(r.decision.gave_up);
+  EXPECT_GE(r.decision.waited_s, policy.max_delay_s);
+  EXPECT_GT(r.decision.holds_congestion, 0);
+  EXPECT_GT(r.record.total_time_s(), 0.0);  // still ran after giving up
+}
+
+TEST(CongestionAware, WaitingAdvancesSimulatedTime) {
+  Cluster cluster(small_machine(), capped(), small_population(), 35);
+  cluster.slurm().advance_to(6 * 3600.0);
+  const double t0 = cluster.slurm().now();
+  CongestionAwarePolicy policy;
+  policy.max_predicted_slowdown = 0.5;  // always holds
+  policy.max_delay_s = 3600.0;
+  policy.check_interval_s = 1800.0;
+  CongestionAwareScheduler sched(cluster, policy);
+  const auto milc = apps::make_milc(128);
+  const AwareRun r = sched.run_when_clear(*milc);
+  EXPECT_GE(cluster.slurm().now() - t0, r.decision.waited_s);
+}
+
+TEST(CongestionAware, RejectsNonPositiveCheckInterval) {
+  Cluster cluster(small_machine(), capped(), {}, 36);
+  CongestionAwarePolicy policy;
+  policy.check_interval_s = 0.0;
+  CongestionAwareScheduler sched(cluster, policy);
+  const auto milc = apps::make_milc(128);
+  EXPECT_THROW((void)sched.run_when_clear(*milc), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::sim

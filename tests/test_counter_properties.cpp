@@ -1,0 +1,109 @@
+// Property sweeps over the counter model: non-negativity, monotonicity
+// in traffic, and additivity across parameter settings (TEST_P).
+#include <gtest/gtest.h>
+
+#include "mon/counter_model.hpp"
+
+namespace dfv::mon {
+namespace {
+
+class CounterProperties : public ::testing::TestWithParam<double /*traffic scale*/> {
+ protected:
+  CounterProperties() : topo_(net::DragonflyConfig::small(4)), model_(topo_) {
+    bg_.resize(topo_);
+    job_.resize(topo_);
+  }
+  net::Topology topo_;
+  CounterModel model_;
+  net::RateLoads bg_;
+  net::ByteLoads job_;
+};
+
+TEST_P(CounterProperties, AllCountersNonNegative) {
+  const double scale = GetParam();
+  Rng rng(31);
+  for (int e = 0; e < topo_.num_links(); e += 3)
+    job_.link_bytes[std::size_t(e)] = scale * rng.uniform() * 1e8;
+  for (int r = 0; r < topo_.config().num_routers(); r += 2) {
+    job_.inject_bytes[std::size_t(r)] = scale * rng.uniform() * 1e9;
+    job_.eject_bytes[std::size_t(r)] = scale * rng.uniform() * 1e9;
+  }
+  for (net::RouterId r = 0; r < topo_.config().num_routers(); r += 7) {
+    const CounterVec v = model_.router_counters(r, bg_, job_, 1.0);
+    for (int c = 0; c < kNumCounters; ++c)
+      EXPECT_GE(v[std::size_t(c)], 0.0)
+          << counter_name(counter_from_index(c)) << " scale=" << scale;
+  }
+}
+
+TEST_P(CounterProperties, FlitCountersLinearInTraffic) {
+  const double scale = GetParam();
+  job_.inject_bytes[0] = 1e8;
+  const CounterVec base = model_.router_counters(0, bg_, job_, 1.0);
+  job_.inject_bytes[0] = 1e8 * scale;
+  const CounterVec scaled = model_.router_counters(0, bg_, job_, 1.0);
+  if (scale > 0.0) {
+    EXPECT_NEAR(scaled[size_t(Counter::PT_FLIT_TOT)],
+                base[size_t(Counter::PT_FLIT_TOT)] * scale,
+                base[size_t(Counter::PT_FLIT_TOT)] * scale * 1e-9);
+  }
+}
+
+TEST_P(CounterProperties, StallCountersMonotoneInLoad) {
+  const double scale = GetParam();
+  const net::LinkId e = topo_.green_link(0, 0, 0, 1);
+  const net::RouterId r = topo_.link(e).to;
+
+  job_.link_bytes[std::size_t(e)] = 0.4 * scale * topo_.link(e).capacity;
+  const CounterVec low = model_.router_counters(r, bg_, job_, 1.0);
+  job_.link_bytes[std::size_t(e)] = 0.8 * scale * topo_.link(e).capacity;
+  const CounterVec high = model_.router_counters(r, bg_, job_, 1.0);
+  EXPECT_GE(high[size_t(Counter::RT_RB_STL)], low[size_t(Counter::RT_RB_STL)]);
+  EXPECT_GE(high[size_t(Counter::RT_RB_2X_USG)], low[size_t(Counter::RT_RB_2X_USG)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CounterProperties,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.5, 3.0));
+
+TEST(CounterModelParams, WeightsShapeCbStalls) {
+  const net::Topology topo(net::DragonflyConfig::small(4));
+  CounterModelParams heavy_ep;
+  heavy_ep.cb_endpoint_weight = 1.0;
+  heavy_ep.cb_transit_weight = 0.0;
+  CounterModelParams heavy_tr;
+  heavy_tr.cb_endpoint_weight = 0.0;
+  heavy_tr.cb_transit_weight = 1.0;
+  const CounterModel ep_model(topo, heavy_ep);
+  const CounterModel tr_model(topo, heavy_tr);
+
+  net::RateLoads bg;
+  bg.resize(topo);
+  net::ByteLoads job;
+  job.resize(topo);
+  job.inject_bytes[0] = 1.2 * topo.config().endpoint_bw;  // endpoint congestion only
+
+  const CounterVec ep = ep_model.router_counters(0, bg, job, 1.0);
+  const CounterVec tr = tr_model.router_counters(0, bg, job, 1.0);
+  EXPECT_GT(ep[size_t(Counter::PT_CB_STL_RQ)], 0.0);
+  EXPECT_DOUBLE_EQ(tr[size_t(Counter::PT_CB_STL_RQ)], 0.0);
+}
+
+TEST(CounterModelParams, ResponseFractionBoundsVc4) {
+  const net::Topology topo(net::DragonflyConfig::small(4));
+  for (double rf : {0.0, 0.25, 0.5, 1.0}) {
+    CounterModelParams p;
+    p.response_fraction = rf;
+    const CounterModel model(topo, p);
+    net::RateLoads bg;
+    bg.resize(topo);
+    net::ByteLoads job;
+    job.resize(topo);
+    job.inject_bytes[0] = 1e8;
+    const CounterVec v = model.router_counters(0, bg, job, 1.0);
+    EXPECT_NEAR(v[size_t(Counter::PT_FLIT_VC4)], rf * v[size_t(Counter::PT_FLIT_TOT)],
+                1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace dfv::mon

@@ -1,0 +1,126 @@
+#include "sim/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dfv::sim {
+namespace {
+
+Dataset make_synthetic(int runs, int steps, std::uint64_t seed) {
+  Dataset ds;
+  ds.spec = {"MILC", 128};
+  Rng rng(seed);
+  for (int r = 0; r < runs; ++r) {
+    RunRecord rec;
+    rec.job_id = 100 + r;
+    rec.submit_time_s = r * 1000.0;
+    rec.start_time_s = r * 1000.0 + 60.0;
+    rec.num_routers = 32 + r;
+    rec.num_groups = 3;
+    rec.neighborhood_users = {2, 8, 100 + r};
+    rec.profile.add_compute(12.5);
+    rec.profile.add(mon::MpiRoutine::Wait, 30.0);
+    for (int t = 0; t < steps; ++t) {
+      rec.step_times.push_back(5.0 + t + rng.uniform());
+      mon::CounterVec cv{};
+      for (int c = 0; c < mon::kNumCounters; ++c) cv[std::size_t(c)] = rng.uniform(0, 1e9);
+      rec.step_counters.push_back(cv);
+      mon::LdmsFeatures lf;
+      for (auto& v : lf.io) v = rng.uniform(0, 1e8);
+      for (auto& v : lf.sys) v = rng.uniform(0, 1e8);
+      rec.step_ldms.push_back(lf);
+    }
+    rec.end_time_s = rec.start_time_s + rec.total_time_s();
+    ds.runs.push_back(std::move(rec));
+  }
+  return ds;
+}
+
+TEST(Dataset, MeanStepCurve) {
+  Dataset ds;
+  ds.spec = {"AMG", 128};
+  for (double base : {1.0, 3.0}) {
+    RunRecord r;
+    r.step_times = {base, base + 1.0};
+    r.step_counters.assign(2, mon::CounterVec{});
+    r.step_ldms.assign(2, mon::LdmsFeatures{});
+    ds.runs.push_back(r);
+  }
+  const auto curve = ds.mean_step_curve();
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0], 2.0);
+  EXPECT_DOUBLE_EQ(curve[1], 3.0);
+}
+
+TEST(Dataset, MeanCounterCurve) {
+  Dataset ds;
+  ds.spec = {"AMG", 128};
+  RunRecord r;
+  r.step_times = {1.0};
+  mon::CounterVec cv{};
+  cv[size_t(mon::Counter::RT_RB_STL)] = 42.0;
+  r.step_counters = {cv};
+  r.step_ldms.assign(1, mon::LdmsFeatures{});
+  ds.runs.push_back(r);
+  const auto curve = ds.mean_counter_curve(mon::Counter::RT_RB_STL);
+  EXPECT_DOUBLE_EQ(curve[0], 42.0);
+}
+
+TEST(Dataset, CsvRoundTripPreservesEverything) {
+  const Dataset ds = make_synthetic(3, 4, 77);
+  const Dataset back = dataset_from_csv(dataset_to_csv(ds));
+  ASSERT_EQ(back.runs.size(), ds.runs.size());
+  EXPECT_EQ(back.spec.app, "MILC");
+  EXPECT_EQ(back.spec.nodes, 128);
+  for (std::size_t r = 0; r < ds.runs.size(); ++r) {
+    const RunRecord& a = ds.runs[r];
+    const RunRecord& b = back.runs[r];
+    EXPECT_EQ(a.job_id, b.job_id);
+    EXPECT_EQ(a.num_routers, b.num_routers);
+    EXPECT_EQ(a.num_groups, b.num_groups);
+    EXPECT_EQ(a.neighborhood_users, b.neighborhood_users);
+    ASSERT_EQ(a.step_times.size(), b.step_times.size());
+    for (std::size_t t = 0; t < a.step_times.size(); ++t) {
+      EXPECT_NEAR(a.step_times[t], b.step_times[t], 1e-9 * a.step_times[t]);
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        EXPECT_NEAR(a.step_counters[t][std::size_t(c)], b.step_counters[t][std::size_t(c)],
+                    1.0);
+      for (int i = 0; i < mon::kNumIoFeatures; ++i)
+        EXPECT_NEAR(a.step_ldms[t].io[std::size_t(i)], b.step_ldms[t].io[std::size_t(i)],
+                    1.0);
+    }
+    EXPECT_NEAR(a.profile.compute_s, b.profile.compute_s, 1e-9);
+    EXPECT_NEAR(a.profile.routine(mon::MpiRoutine::Wait),
+                b.profile.routine(mon::MpiRoutine::Wait), 1e-9);
+  }
+}
+
+TEST(Dataset, FileRoundTrip) {
+  const Dataset ds = make_synthetic(2, 3, 5);
+  const std::string path = testing::TempDir() + "/dfv_dataset_test.csv";
+  ASSERT_TRUE(save_dataset(ds, path));
+  const Dataset back = load_dataset(path);
+  EXPECT_EQ(back.runs.size(), 2u);
+  EXPECT_EQ(back.steps_per_run(), 3);
+  EXPECT_THROW((void)load_dataset("/nonexistent/x.csv"), ContractError);
+}
+
+TEST(Dataset, TotalTimes) {
+  const Dataset ds = make_synthetic(2, 3, 6);
+  const auto totals = ds.total_times();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_NEAR(totals[0], ds.runs[0].total_time_s(), 1e-12);
+}
+
+TEST(Dataset, EmptyDatasetHandled) {
+  Dataset ds;
+  EXPECT_EQ(ds.steps_per_run(), 0);
+  EXPECT_TRUE(ds.mean_step_curve().empty());
+  const Dataset back = dataset_from_csv(dataset_to_csv(ds));
+  EXPECT_TRUE(back.runs.empty());
+}
+
+}  // namespace
+}  // namespace dfv::sim

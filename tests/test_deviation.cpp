@@ -1,0 +1,87 @@
+#include "analysis/deviation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "synthetic.hpp"
+
+namespace dfv::analysis {
+namespace {
+
+DeviationConfig fast_config() {
+  DeviationConfig cfg;
+  cfg.rfe.folds = 4;
+  cfg.rfe.gbr.n_trees = 30;
+  return cfg;
+}
+
+TEST(Deviation, CenteredSamplesRemoveMeanTrend) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 40;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const CenteredSamples cs = build_centered_samples(ds);
+
+  EXPECT_EQ(cs.y.size(), std::size_t(spec.runs * spec.steps));
+  EXPECT_EQ(cs.x.rows(), cs.y.size());
+  EXPECT_EQ(cs.x.cols(), std::size_t(mon::kNumCounters));
+
+  // Per-step mean of the centered target is ~0 for every step index.
+  for (int t = 0; t < spec.steps; ++t) {
+    double mean = 0.0;
+    for (int r = 0; r < spec.runs; ++r) mean += cs.y[std::size_t(r * spec.steps + t)];
+    EXPECT_NEAR(mean / spec.runs, 0.0, 1e-9) << "step " << t;
+  }
+  // The offset is the removed (non-constant) mean curve.
+  const auto [mn, mx] =
+      std::minmax_element(cs.mean_offset.begin(), cs.mean_offset.end());
+  EXPECT_GT(*mx - *mn, 1.0);
+  // run_of labels.
+  EXPECT_EQ(cs.run_of[0], 0u);
+  EXPECT_EQ(cs.run_of.back(), std::size_t(spec.runs - 1));
+}
+
+TEST(Deviation, IdentifiesPlantedDriverCounter) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 80;
+  spec.driver_counter = int(mon::Counter::RT_RB_STL);
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const DeviationResult res = analyze_deviation(ds, fast_config());
+
+  ASSERT_EQ(res.relevance.size(), std::size_t(mon::kNumCounters));
+  // The driver is (nearly) always in the best-performing subset.
+  EXPECT_GT(res.relevance[std::size_t(spec.driver_counter)], 0.7);
+  // And survives elimination longer than any other counter.
+  for (int c = 0; c < mon::kNumCounters; ++c) {
+    if (c == spec.driver_counter) continue;
+    EXPECT_GT(res.survival[std::size_t(spec.driver_counter)],
+              res.survival[std::size_t(c)])
+        << mon::counter_name(mon::counter_from_index(c));
+  }
+}
+
+TEST(Deviation, DifferentDriverDifferentVerdict) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 80;
+  spec.driver_counter = int(mon::Counter::PT_FLIT_VC0);
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const DeviationResult res = analyze_deviation(ds, fast_config());
+  EXPECT_GT(res.relevance[std::size_t(spec.driver_counter)], 0.7);
+  EXPECT_GT(res.survival[std::size_t(spec.driver_counter)],
+            res.survival[std::size_t(int(mon::Counter::RT_RB_STL))]);
+}
+
+TEST(Deviation, MapeBelowFivePercentOnLearnableData) {
+  // The paper reports < 5% MAPE for all datasets (§V-B); our synthetic
+  // data is as learnable.
+  testutil::SyntheticSpec spec;
+  spec.runs = 80;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const DeviationResult res = analyze_deviation(ds, fast_config());
+  EXPECT_LT(res.cv_mape, 5.0);
+  EXPECT_GT(res.cv_mape, 0.0);
+  EXPECT_EQ(res.samples, std::size_t(spec.runs * spec.steps));
+}
+
+}  // namespace
+}  // namespace dfv::analysis

@@ -1,0 +1,162 @@
+#include "net/flow_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dfv::net {
+namespace {
+
+class FlowModelTest : public ::testing::Test {
+ protected:
+  FlowModelTest() : topo_(DragonflyConfig::small(4)), model_(topo_) {
+    bg_.resize(topo_);
+  }
+  Topology topo_;
+  FlowModel model_;
+  RateLoads bg_;
+  Rng rng_{55};
+};
+
+TEST(StallFraction, ShapeProperties) {
+  EXPECT_DOUBLE_EQ(stall_fraction(0.0), 0.0);
+  EXPECT_LT(stall_fraction(0.1), 1e-9);  // below threshold: no stalls
+  EXPECT_LT(stall_fraction(0.3), 0.1);
+  // Monotone non-decreasing.
+  double prev = 0.0;
+  for (double u = 0.0; u <= 2.0; u += 0.01) {
+    const double s = stall_fraction(u);
+    EXPECT_GE(s, prev - 1e-12) << "u=" << u;
+    prev = s;
+  }
+  // Clamped for absurd overload.
+  EXPECT_LE(stall_fraction(50.0), 6.0);
+}
+
+TEST_F(FlowModelTest, BackgroundRoutingConservesInjectedRates) {
+  const std::vector<Demand> demands = {{0, 20, 1e9}, {5, 40, 2e9}};
+  RateLoads out;
+  out.resize(topo_);
+  model_.route_background(demands, RoutingPolicy::Minimal, 1.0, rng_, out);
+  EXPECT_DOUBLE_EQ(out.inject_rate[0], 1e9);
+  EXPECT_DOUBLE_EQ(out.inject_rate[5], 2e9);
+  EXPECT_DOUBLE_EQ(out.eject_rate[20], 1e9);
+  EXPECT_DOUBLE_EQ(out.eject_rate[40], 2e9);
+  // Link rates sum to demand rate times hop count (1..5 hops per chunk).
+  double total_link = 0.0;
+  for (double v : out.link_rate) total_link += v;
+  EXPECT_GE(total_link, 3e9 * 1);
+  EXPECT_LE(total_link, 3e9 * 5 + 1e-3);
+}
+
+TEST_F(FlowModelTest, SameRouterDemandTouchesOnlyEndpoints) {
+  const std::vector<Demand> demands = {{7, 7, 5e8}};
+  RateLoads out;
+  out.resize(topo_);
+  model_.route_background(demands, RoutingPolicy::Minimal, 1.0, rng_, out);
+  for (double v : out.link_rate) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(out.inject_rate[7], 5e8);
+  EXPECT_DOUBLE_EQ(out.eject_rate[7], 5e8);
+}
+
+TEST_F(FlowModelTest, TransferRatesRespectCapacity) {
+  // Many flows from one router: the endpoint (16 GB/s) is the bottleneck.
+  std::vector<Demand> demands;
+  for (int i = 1; i <= 8; ++i) demands.push_back({0, RouterId(i), 100e6});
+  const TransferResult res = model_.transfer(demands, RoutingPolicy::Ugal, bg_, rng_);
+  double total_rate = 0.0;
+  for (const auto& m : res.messages) {
+    EXPECT_GT(m.rate, 0.0);
+    total_rate += m.rate;
+  }
+  // All flows share router 0's injection: aggregate within endpoint bw.
+  EXPECT_LE(total_rate, topo_.config().endpoint_bw * 1.01);
+}
+
+TEST_F(FlowModelTest, MakespanIsMaxMessageTime) {
+  const std::vector<Demand> demands = {{0, 10, 1e6}, {1, 11, 64e6}};
+  const TransferResult res = model_.transfer(demands, RoutingPolicy::Ugal, bg_, rng_);
+  double mx = 0.0;
+  for (const auto& m : res.messages) mx = std::max(mx, m.time);
+  EXPECT_DOUBLE_EQ(res.makespan, mx);
+  EXPECT_GT(res.messages[1].time, res.messages[0].time);
+}
+
+TEST_F(FlowModelTest, BackgroundLoadSlowsTransfers) {
+  const std::vector<Demand> demands = {{0, topo_.router_at(2, 1, 1), 64e6}};
+  const double idle_time =
+      model_.transfer(demands, RoutingPolicy::Minimal, bg_, rng_).makespan;
+
+  // Saturate everything.
+  RateLoads heavy;
+  heavy.resize(topo_);
+  for (int e = 0; e < topo_.num_links(); ++e)
+    heavy.link_rate[std::size_t(e)] = topo_.link(LinkId(e)).capacity * 0.9;
+  const double busy_time =
+      model_.transfer(demands, RoutingPolicy::Minimal, heavy, rng_).makespan;
+  EXPECT_GT(busy_time, idle_time * 2.0);
+}
+
+TEST_F(FlowModelTest, ByteAccountingMatchesDemands) {
+  const std::vector<Demand> demands = {{0, 10, 32e6}, {3, 17, 8e6}};
+  ByteLoads ours;
+  ours.resize(topo_);
+  (void)model_.transfer(demands, RoutingPolicy::Ugal, bg_, rng_, &ours);
+  EXPECT_DOUBLE_EQ(ours.inject_bytes[0], 32e6);
+  EXPECT_DOUBLE_EQ(ours.inject_bytes[3], 8e6);
+  EXPECT_DOUBLE_EQ(ours.eject_bytes[10], 32e6);
+  EXPECT_DOUBLE_EQ(ours.eject_bytes[17], 8e6);
+  double total_link_bytes = 0.0;
+  for (double v : ours.link_bytes) total_link_bytes += v;
+  EXPECT_GE(total_link_bytes, 40e6);  // at least one hop each
+}
+
+TEST_F(FlowModelTest, EmptyTransferIsWellDefined) {
+  const TransferResult res = model_.transfer({}, RoutingPolicy::Ugal, bg_, rng_);
+  EXPECT_EQ(res.messages.size(), 0u);
+  EXPECT_DOUBLE_EQ(res.makespan, 0.0);
+}
+
+TEST_F(FlowModelTest, ZeroByteMessagesAreIgnored) {
+  const std::vector<Demand> demands = {{0, 10, 0.0}};
+  const TransferResult res = model_.transfer(demands, RoutingPolicy::Ugal, bg_, rng_);
+  EXPECT_DOUBLE_EQ(res.messages[0].time, 0.0);
+}
+
+TEST_F(FlowModelTest, CongestionFactorBaselineAndMonotonicity) {
+  std::vector<RouterId> routers = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(model_.congestion_factor(routers, bg_), 1.0);
+
+  RateLoads mild, heavy;
+  mild.resize(topo_);
+  heavy.resize(topo_);
+  for (int e = 0; e < topo_.num_links(); ++e) {
+    mild.link_rate[std::size_t(e)] = topo_.link(LinkId(e)).capacity * 0.3;
+    heavy.link_rate[std::size_t(e)] = topo_.link(LinkId(e)).capacity * 0.9;
+  }
+  const double f_mild = model_.congestion_factor(routers, mild);
+  const double f_heavy = model_.congestion_factor(routers, heavy);
+  EXPECT_GT(f_mild, 1.0);
+  EXPECT_GT(f_heavy, f_mild);
+}
+
+TEST_F(FlowModelTest, FairnessBetweenIdenticalFlows) {
+  // Two identical flows sharing one bottleneck get (nearly) equal rates.
+  const RouterId dst = topo_.router_at(1, 0, 0);
+  const std::vector<Demand> demands = {{0, dst, 50e6}, {0, dst, 50e6}};
+  const TransferResult res = model_.transfer(demands, RoutingPolicy::Minimal, bg_, rng_);
+  const double r0 = res.messages[0].rate, r1 = res.messages[1].rate;
+  EXPECT_NEAR(r0 / r1, 1.0, 0.75);  // chunk paths differ, rates same order
+}
+
+TEST_F(FlowModelTest, ParamValidation) {
+  FlowModelParams bad;
+  bad.capacity_headroom = 0.0;
+  EXPECT_THROW(FlowModel(topo_, bad), ContractError);
+  FlowModelParams bad2;
+  bad2.max_chunks = 0;
+  EXPECT_THROW(FlowModel(topo_, bad2), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::net

@@ -1,0 +1,140 @@
+#include "analysis/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "ml/metrics.hpp"
+#include "synthetic.hpp"
+
+namespace dfv::analysis {
+namespace {
+
+ForecastConfig fast_config() {
+  ForecastConfig cfg;
+  cfg.folds = 3;
+  cfg.attention.epochs = 25;
+  cfg.attention.d_model = 8;
+  cfg.attention.d_hidden = 8;
+  return cfg;
+}
+
+TEST(Forecast, FeatureSetSizesAndNames) {
+  EXPECT_EQ(feature_count(FeatureSet::App), 13);
+  EXPECT_EQ(feature_count(FeatureSet::AppPlacement), 15);
+  EXPECT_EQ(feature_count(FeatureSet::AppPlacementIo), 19);
+  EXPECT_EQ(feature_count(FeatureSet::AppPlacementIoSys), 23);
+  const auto names = feature_names(FeatureSet::AppPlacementIoSys);
+  ASSERT_EQ(names.size(), 23u);
+  EXPECT_EQ(names[0], "RT_FLIT_TOT");
+  EXPECT_EQ(names[13], "NUM_ROUTERS");
+  EXPECT_EQ(names[15], "IO_RT_FLIT_TOT");
+  EXPECT_EQ(names[19], "SYS_RT_FLIT_TOT");
+  EXPECT_STREQ(to_string(FeatureSet::AppPlacementIo), "app+placement+io");
+}
+
+TEST(Forecast, WindowConstruction) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 10;
+  spec.steps = 12;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const WindowConfig wcfg{/*m=*/3, /*k=*/4, FeatureSet::AppPlacement};
+  const WindowData wd = build_windows(ds, wcfg);
+
+  // t_c slides from m to T-k: T - k - m + 1 windows per run.
+  const std::size_t per_run = std::size_t(spec.steps - 3 - 4 + 1);
+  EXPECT_EQ(wd.y.size(), per_run * std::size_t(spec.runs));
+  EXPECT_EQ(wd.x.cols(), std::size_t(3 * 15));
+  EXPECT_EQ(wd.run_of.front(), 0u);
+  EXPECT_EQ(wd.run_of.back(), std::size_t(spec.runs - 1));
+
+  // First window of run 0: target = sum of steps 3..6, persistence from
+  // steps 0..2.
+  const auto& run = ds.runs[0];
+  double target = 0.0;
+  for (int t = 3; t < 7; ++t) target += run.step_times[std::size_t(t)];
+  EXPECT_NEAR(wd.y[0], target, 1e-12);
+  double recent = 0.0;
+  for (int t = 0; t < 3; ++t) recent += run.step_times[std::size_t(t)];
+  EXPECT_NEAR(wd.persistence[0], recent / 3.0 * 4.0, 1e-12);
+
+  // The window's first feature vector equals step 0's features.
+  std::vector<double> f(15);
+  step_features(run, 0, FeatureSet::AppPlacement, f);
+  for (int i = 0; i < 15; ++i) EXPECT_DOUBLE_EQ(wd.x(0, std::size_t(i)), f[std::size_t(i)]);
+}
+
+TEST(Forecast, WindowTooLargeThrows) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 4;
+  spec.steps = 6;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  EXPECT_THROW((void)build_windows(ds, WindowConfig{4, 4, FeatureSet::App}),
+               ContractError);
+}
+
+TEST(Forecast, AttentionBeatsMeanBaselineOnAutocorrelatedData) {
+  // phi = 0.9 makes the counter history genuinely predictive of the next
+  // k steps' total time.
+  testutil::SyntheticSpec spec;
+  spec.runs = 60;
+  spec.steps = 24;
+  spec.phi = 0.9;
+  spec.driver_strength = 2.0;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const WindowConfig wcfg{/*m=*/4, /*k=*/6, FeatureSet::App};
+  const ForecastEval eval = evaluate_forecast(ds, wcfg, fast_config());
+
+  EXPECT_GT(eval.windows, 100u);
+  EXPECT_LT(eval.mape_attention, eval.mape_mean);
+  EXPECT_LT(eval.mape_attention, 20.0);
+}
+
+TEST(Forecast, ImportanceHighlightsDriverCounter) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 60;
+  spec.steps = 24;
+  spec.phi = 0.9;
+  spec.driver_strength = 3.0;
+  spec.driver_counter = int(mon::Counter::RT_RB_STL);
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const WindowConfig wcfg{4, 6, FeatureSet::App};
+  const auto imp = forecast_feature_importance(ds, wcfg, fast_config());
+  ASSERT_EQ(imp.size(), 13u);
+  // The driver counter dominates the permutation importance.
+  for (int c = 0; c < mon::kNumCounters; ++c) {
+    if (c == spec.driver_counter) continue;
+    EXPECT_GE(imp[std::size_t(spec.driver_counter)], imp[std::size_t(c)]);
+  }
+}
+
+TEST(Forecast, LongRunSegments) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 40;
+  spec.steps = 24;
+  spec.phi = 0.9;
+  const sim::Dataset train = testutil::make_planted_dataset(spec);
+
+  testutil::SyntheticSpec long_spec = spec;
+  long_spec.runs = 1;
+  long_spec.steps = 120;
+  long_spec.seed = 999;
+  const sim::Dataset long_ds = testutil::make_planted_dataset(long_spec);
+
+  const WindowConfig wcfg{/*m=*/4, /*k=*/6, FeatureSet::App};
+  const LongRunForecast lr =
+      forecast_long_run(train, long_ds.runs[0], wcfg, fast_config());
+
+  // Segments tile [m, T): (120 - 4) / 6 full segments.
+  EXPECT_EQ(lr.observed.size(), std::size_t((120 - 4) / 6));
+  EXPECT_EQ(lr.observed.size(), lr.predicted.size());
+  EXPECT_EQ(lr.segment_start.front(), 4);
+  EXPECT_GT(lr.mape, 0.0);
+  // Better than predicting the constant k * (train mean step time).
+  const double mean_step = stats::mean(train.mean_step_curve());
+  const std::vector<double> constant(lr.observed.size(), mean_step * wcfg.k);
+  EXPECT_LT(lr.mape, ml::mape(lr.observed, constant));
+}
+
+}  // namespace
+}  // namespace dfv::analysis

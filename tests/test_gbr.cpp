@@ -1,0 +1,126 @@
+#include "ml/gbr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::ml {
+namespace {
+
+/// Nonlinear test function with two informative features of four.
+void make_nonlinear(std::size_t n, Matrix& x, std::vector<double>& y, Rng& rng,
+                    double noise = 0.0) {
+  x = Matrix(n, 4);
+  y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) x(i, c) = rng.uniform(-1, 1);
+    y[i] = std::sin(3.0 * x(i, 0)) + x(i, 2) * x(i, 2) + noise * rng.normal();
+  }
+}
+
+TEST(Gbr, FitsNonlinearFunction) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(2000, x, y, rng);
+  GbrParams params;
+  params.n_trees = 80;
+  params.subsample = 0.7;
+  GradientBoostedRegressor gbr(params);
+  gbr.fit(x, y);
+  EXPECT_GT(r2(y, gbr.predict(x)), 0.9);
+}
+
+TEST(Gbr, BeatsLinearBaselineOnNonlinearData) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(2000, x, y, rng, 0.05);
+  GradientBoostedRegressor gbr;
+  gbr.fit(x, y);
+  LinearRegression lin;
+  lin.fit(x, y);
+  EXPECT_LT(rmse(y, gbr.predict(x)), rmse(y, lin.predict(x)));
+}
+
+TEST(Gbr, ImportancesIdentifyInformativeFeatures) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(3000, x, y, rng);
+  GradientBoostedRegressor gbr;
+  gbr.fit(x, y);
+  const auto imp = gbr.feature_importances();
+  ASSERT_EQ(imp.size(), 4u);
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Features 0 and 2 are informative; 1 and 3 are noise.
+  EXPECT_GT(imp[0] + imp[2], 0.9);
+  EXPECT_LT(imp[1] + imp[3], 0.1);
+}
+
+TEST(Gbr, MorTreesReduceTrainError) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(1000, x, y, rng);
+  GbrParams few, many;
+  few.n_trees = 5;
+  many.n_trees = 80;
+  GradientBoostedRegressor a(few), b(many);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_LT(rmse(y, b.predict(x)), rmse(y, a.predict(x)));
+  EXPECT_EQ(a.tree_count(), 5u);
+  EXPECT_EQ(b.tree_count(), 80u);
+}
+
+TEST(Gbr, ConstantTargetPredictsConstant) {
+  Matrix x(50, 2);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t c = 0; c < 2; ++c) x(i, c) = rng.normal();
+  const std::vector<double> y(50, -4.5);
+  GradientBoostedRegressor gbr;
+  gbr.fit(x, y);
+  EXPECT_NEAR(gbr.predict_one(x.row(7)), -4.5, 1e-9);
+  // No splits => all-zero importances.
+  const auto imp = gbr.feature_importances();
+  for (double v : imp) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Gbr, DeterministicGivenSeed) {
+  Rng rng(6);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(500, x, y, rng);
+  GbrParams params;
+  params.seed = 99;
+  GradientBoostedRegressor a(params), b(params);
+  a.fit(x, y);
+  b.fit(x, y);
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.predict_one(x.row(i)), b.predict_one(x.row(i)));
+}
+
+TEST(Gbr, InputValidation) {
+  GradientBoostedRegressor gbr;
+  Matrix x(3, 1);
+  const std::vector<double> wrong(2, 0.0);
+  EXPECT_THROW(gbr.fit(x, wrong), ContractError);
+  GbrParams bad;
+  bad.subsample = 0.0;
+  GradientBoostedRegressor g2(bad);
+  const std::vector<double> y(3, 0.0);
+  EXPECT_THROW(g2.fit(x, y), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

@@ -1,0 +1,90 @@
+#include "ml/kfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+namespace {
+
+class KFoldParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(KFoldParam, PartitionProperties) {
+  const auto [n, k] = GetParam();
+  Rng rng(4);
+  const auto folds = kfold(std::size_t(n), std::size_t(k), rng);
+  ASSERT_EQ(folds.size(), std::size_t(k));
+
+  std::set<std::size_t> all_test;
+  for (const auto& f : folds) {
+    // Train/test disjoint and covering.
+    EXPECT_EQ(f.train.size() + f.test.size(), std::size_t(n));
+    std::set<std::size_t> tr(f.train.begin(), f.train.end());
+    for (auto i : f.test) EXPECT_EQ(tr.count(i), 0u);
+    for (auto i : f.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "sample in two test sets";
+    }
+    // Balanced folds.
+    EXPECT_LE(f.test.size(), std::size_t(n / k) + 1);
+    EXPECT_GE(f.test.size(), std::size_t(n / k));
+  }
+  EXPECT_EQ(all_test.size(), std::size_t(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KFoldParam,
+                         ::testing::Values(std::pair{10, 2}, std::pair{10, 10},
+                                           std::pair{103, 10}, std::pair{50, 3},
+                                           std::pair{1000, 7}));
+
+TEST(KFold, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)kfold(5, 1, rng), ContractError);
+  EXPECT_THROW((void)kfold(3, 4, rng), ContractError);
+}
+
+TEST(KFold, ShuffleDependsOnSeed) {
+  Rng r1(1), r2(2);
+  const auto f1 = kfold(100, 5, r1);
+  const auto f2 = kfold(100, 5, r2);
+  EXPECT_NE(f1[0].test, f2[0].test);
+}
+
+TEST(GroupKFold, GroupsNeverStraddleFolds) {
+  // 30 samples in 10 groups of 3.
+  std::vector<std::size_t> groups;
+  for (std::size_t g = 0; g < 10; ++g)
+    for (int i = 0; i < 3; ++i) groups.push_back(g);
+  Rng rng(9);
+  const auto folds = group_kfold(groups, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  for (const auto& f : folds) {
+    std::set<std::size_t> test_groups, train_groups;
+    for (auto i : f.test) test_groups.insert(groups[i]);
+    for (auto i : f.train) train_groups.insert(groups[i]);
+    for (auto g : test_groups) EXPECT_EQ(train_groups.count(g), 0u);
+    // All 3 samples of each test group are present.
+    EXPECT_EQ(f.test.size(), test_groups.size() * 3);
+  }
+}
+
+TEST(GroupKFold, CoversAllSamplesExactlyOnce) {
+  std::vector<std::size_t> groups = {0, 0, 1, 2, 2, 2, 3, 4, 4, 5};
+  Rng rng(3);
+  const auto folds = group_kfold(groups, 3, rng);
+  std::vector<int> seen(groups.size(), 0);
+  for (const auto& f : folds)
+    for (auto i : f.test) ++seen[i];
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(GroupKFold, RequiresEnoughGroups) {
+  std::vector<std::size_t> groups = {0, 0, 1, 1};
+  Rng rng(3);
+  EXPECT_THROW((void)group_kfold(groups, 3, rng), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

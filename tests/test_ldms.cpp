@@ -1,0 +1,93 @@
+#include "mon/ldms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dfv::mon {
+namespace {
+
+class LdmsTest : public ::testing::Test {
+ protected:
+  LdmsTest()
+      : topo_(net::DragonflyConfig::small(4)),
+        model_(topo_),
+        sampler_(model_, make_default_io_routers(topo_, 1)) {
+    bg_.resize(topo_);
+    job_.resize(topo_);
+  }
+  net::Topology topo_;
+  CounterModel model_;
+  LdmsSampler sampler_;
+  net::RateLoads bg_;
+  net::ByteLoads job_;
+};
+
+TEST_F(LdmsTest, DefaultIoRoutersOnePerGroup) {
+  const auto io = make_default_io_routers(topo_, 1);
+  EXPECT_EQ(io.size(), std::size_t(topo_.config().groups));
+  std::vector<net::GroupId> groups;
+  for (auto r : io) groups.push_back(topo_.group_of(r));
+  std::sort(groups.begin(), groups.end());
+  EXPECT_EQ(std::unique(groups.begin(), groups.end()) - groups.begin(),
+            topo_.config().groups);
+}
+
+TEST_F(LdmsTest, MultipleIoRoutersPerGroupDistinct) {
+  const auto io = make_default_io_routers(topo_, 3);
+  EXPECT_EQ(io.size(), std::size_t(3 * topo_.config().groups));
+}
+
+TEST_F(LdmsTest, ZeroTrafficZeroFeatures) {
+  const LdmsFeatures f = sampler_.sample(bg_, job_, 1.0, {});
+  for (double v : f.io) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : f.sys) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(LdmsTest, IoAggregateSeesIoRouterTraffic) {
+  const net::RouterId io_router = sampler_.io_routers().front();
+  bg_.inject_rate[std::size_t(io_router)] = 1e9;
+  const LdmsFeatures f = sampler_.sample(bg_, job_, 1.0, {});
+  EXPECT_GT(f.io[2], 0.0);  // IO_PT_FLIT_TOT
+  EXPECT_GT(f.io[3], 0.0);  // IO_PT_PKT_TOT
+}
+
+TEST_F(LdmsTest, SysAggregateExcludesJobRouters) {
+  // Traffic injected only at the job's router must not appear in sys.
+  const net::RouterId job_router = 5;
+  ASSERT_EQ(std::count(sampler_.io_routers().begin(), sampler_.io_routers().end(),
+                       job_router),
+            0);
+  job_.inject_bytes[std::size_t(job_router)] = 64e6;
+  const std::vector<net::RouterId> job_routers = {job_router};
+
+  const LdmsFeatures with_exclusion = sampler_.sample(bg_, job_, 1.0, job_routers);
+  const LdmsFeatures without = sampler_.sample(bg_, job_, 1.0, {});
+  EXPECT_NEAR(with_exclusion.sys[2], 0.0, 1e-6);
+  EXPECT_GT(without.sys[2], 0.0);
+}
+
+TEST_F(LdmsTest, SysSeesRemoteTraffic) {
+  // Traffic on a router that is neither ours nor I/O shows up in sys.
+  net::RouterId remote = 9;
+  while (std::count(sampler_.io_routers().begin(), sampler_.io_routers().end(), remote))
+    ++remote;
+  bg_.inject_rate[std::size_t(remote)] = 2e9;
+  const std::vector<net::RouterId> job_routers = {0};
+  const LdmsFeatures f = sampler_.sample(bg_, job_, 1.0, job_routers);
+  EXPECT_GT(f.sys[2], 0.0);
+  EXPECT_NEAR(f.sys[3], f.sys[2] / topo_.config().flits_per_packet, 1e-6);
+}
+
+TEST_F(LdmsTest, LinkStallsCountedSystemWide) {
+  // Saturate one link not adjacent to the job: SYS_RT_RB_STL > 0.
+  const net::LinkId e = topo_.green_link(2, 1, 0, 1);
+  bg_.link_rate[std::size_t(e)] = topo_.link(e).capacity * 1.1;
+  const std::vector<net::RouterId> job_routers = {0};
+  const LdmsFeatures f = sampler_.sample(bg_, job_, 1.0, job_routers);
+  EXPECT_GT(f.sys[1], 0.0);  // SYS_RT_RB_STL
+  EXPECT_GT(f.sys[0], 0.0);  // SYS_RT_FLIT_TOT
+}
+
+}  // namespace
+}  // namespace dfv::mon

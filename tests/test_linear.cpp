@@ -1,0 +1,74 @@
+#include "ml/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::ml {
+namespace {
+
+TEST(Linear, RecoversExactLinearFunction) {
+  // y = 3 x0 - 2 x1 + 5
+  Rng rng(1);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 1) + 5.0;
+  }
+  LinearRegression lr(1e-10);
+  lr.fit(x, y);
+  EXPECT_NEAR(lr.weights()[0], 3.0, 1e-5);
+  EXPECT_NEAR(lr.weights()[1], -2.0, 1e-5);
+  EXPECT_NEAR(lr.intercept(), 5.0, 1e-5);
+  EXPECT_LT(mape(y, lr.predict(x)), 1e-2);
+}
+
+TEST(Linear, RobustToNoise) {
+  Rng rng(2);
+  Matrix x(500, 1);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.uniform(0, 10);
+    y[i] = 2.0 * x(i, 0) + 1.0 + 0.1 * rng.normal();
+  }
+  LinearRegression lr;
+  lr.fit(x, y);
+  EXPECT_NEAR(lr.weights()[0], 2.0, 0.05);
+  EXPECT_NEAR(lr.intercept(), 1.0, 0.1);
+}
+
+TEST(Linear, HandlesConstantColumn) {
+  Rng rng(3);
+  Matrix x(20, 2);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = 4.0;  // constant: ridge keeps the solve well-posed
+    y[i] = x(i, 0);
+  }
+  LinearRegression lr(1e-4);
+  lr.fit(x, y);
+  EXPECT_NEAR(lr.weights()[0], 1.0, 0.01);
+  EXPECT_NEAR(lr.predict_one(std::vector<double>{0.5, 4.0}), 0.5, 0.01);
+}
+
+TEST(Linear, PredictOneMatchesBatch) {
+  Rng rng(4);
+  Matrix x(10, 3);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.normal();
+    y[i] = rng.normal();
+  }
+  LinearRegression lr;
+  lr.fit(x, y);
+  const auto batch = lr.predict(x);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(batch[i], lr.predict_one(x.row(i)));
+}
+
+}  // namespace
+}  // namespace dfv::ml

@@ -1,0 +1,103 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, AppendRowGrowsAndChecksWidth) {
+  Matrix m;
+  m.append_row(std::vector<double>{1, 2});
+  m.append_row(std::vector<double>{3, 4});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.append_row(std::vector<double>{1, 2, 3}), ContractError);
+}
+
+TEST(Matrix, RowViewIsMutable) {
+  Matrix m(1, 2);
+  m.row(0)[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, ColumnExtraction) {
+  Matrix m(2, 2);
+  m(0, 1) = 5.0;
+  m(1, 1) = 7.0;
+  const auto c = m.col(1);
+  EXPECT_EQ(c, (std::vector<double>{5.0, 7.0}));
+  EXPECT_THROW((void)m.col(2), ContractError);
+}
+
+TEST(Matrix, SelectRowsAndCols) {
+  Matrix m(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = double(10 * r + c);
+  const std::vector<std::size_t> rows = {2, 0};
+  const Matrix mr = m.select_rows(rows);
+  EXPECT_DOUBLE_EQ(mr(0, 1), 21.0);
+  EXPECT_DOUBLE_EQ(mr(1, 1), 1.0);
+
+  const std::vector<std::size_t> cols = {1};
+  const Matrix mc = m.select_cols(cols);
+  EXPECT_EQ(mc.cols(), 1u);
+  EXPECT_DOUBLE_EQ(mc(2, 0), 21.0);
+}
+
+TEST(Matrix, DotProducts) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const auto y = m.dot(std::vector<double>{1.0, 1.0});
+  EXPECT_EQ(y, (std::vector<double>{3.0, 7.0}));
+  const auto t = m.tdot(std::vector<double>{1.0, 1.0});
+  EXPECT_EQ(t, (std::vector<double>{4.0, 6.0}));
+}
+
+TEST(Matrix, GramIsSymmetricPsd) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 1) = 2;
+  m(2, 0) = 3;
+  const Matrix g = m.gram();
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 4.0);
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = cholesky_solve(a, {10, 9});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW((void)cholesky_solve(a, {1, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

@@ -1,0 +1,60 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+#include "common/check.hpp"
+
+namespace dfv::ml {
+namespace {
+
+TEST(Metrics, MapeBasics) {
+  const std::vector<double> y = {100, 200};
+  const std::vector<double> p = {110, 180};
+  EXPECT_NEAR(mape(y, p), 10.0, 1e-9);  // (10% + 10%) / 2
+  EXPECT_DOUBLE_EQ(mape(y, y), 0.0);
+}
+
+TEST(Metrics, MapeSkipsNearZeroTargets) {
+  const std::vector<double> y = {0.0, 100.0};
+  const std::vector<double> p = {50.0, 150.0};
+  EXPECT_NEAR(mape(y, p, 1e-6), 50.0, 1e-9);  // only the second pair counts
+}
+
+TEST(Metrics, MaeAndRmse) {
+  const std::vector<double> y = {1, 2, 3};
+  const std::vector<double> p = {2, 2, 1};
+  EXPECT_NEAR(mae(y, p), 1.0, 1e-12);
+  EXPECT_NEAR(rmse(y, p), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Metrics, R2PerfectAndMeanPredictor) {
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2(y, y), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(r2(y, mean_pred), 0.0, 1e-12);
+  const std::vector<double> bad = {4, 3, 2, 1};
+  EXPECT_LT(r2(y, bad), 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> y = {1, 2};
+  const std::vector<double> p = {1};
+  EXPECT_THROW((void)mape(y, p), ContractError);
+  EXPECT_THROW((void)mae(y, p), ContractError);
+  EXPECT_THROW((void)rmse(y, p), ContractError);
+  EXPECT_THROW((void)r2(y, p), ContractError);
+}
+
+TEST(Metrics, EmptyInputsAreZero) {
+  const std::vector<double> e;
+  EXPECT_DOUBLE_EQ(mape(e, e), 0.0);
+  EXPECT_DOUBLE_EQ(mae(e, e), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(e, e), 0.0);
+}
+
+}  // namespace
+}  // namespace dfv::ml

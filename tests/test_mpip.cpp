@@ -1,0 +1,48 @@
+#include "mon/mpip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfv::mon {
+namespace {
+
+TEST(MpiProfile, StartsEmpty) {
+  const MpiProfile p;
+  EXPECT_DOUBLE_EQ(p.total_s(), 0.0);
+  EXPECT_DOUBLE_EQ(p.mpi_fraction(), 0.0);
+}
+
+TEST(MpiProfile, AccumulatesRoutinesAndCompute) {
+  MpiProfile p;
+  p.add_compute(10.0);
+  p.add(MpiRoutine::Allreduce, 5.0);
+  p.add(MpiRoutine::Allreduce, 2.0);
+  p.add(MpiRoutine::Waitall, 3.0);
+  EXPECT_DOUBLE_EQ(p.routine(MpiRoutine::Allreduce), 7.0);
+  EXPECT_DOUBLE_EQ(p.mpi_s(), 10.0);
+  EXPECT_DOUBLE_EQ(p.total_s(), 20.0);
+  EXPECT_DOUBLE_EQ(p.mpi_fraction(), 0.5);
+}
+
+TEST(MpiProfile, MergeAddsFieldwise) {
+  MpiProfile a, b;
+  a.add_compute(1.0);
+  a.add(MpiRoutine::Wait, 2.0);
+  b.add_compute(3.0);
+  b.add(MpiRoutine::Wait, 4.0);
+  b.add(MpiRoutine::Iprobe, 1.0);
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.compute_s, 4.0);
+  EXPECT_DOUBLE_EQ(a.routine(MpiRoutine::Wait), 6.0);
+  EXPECT_DOUBLE_EQ(a.routine(MpiRoutine::Iprobe), 1.0);
+}
+
+TEST(MpiProfile, AllRoutineNamesDistinct) {
+  for (int i = 0; i < kNumRoutines; ++i)
+    for (int j = i + 1; j < kNumRoutines; ++j)
+      EXPECT_STRNE(routine_name(static_cast<MpiRoutine>(i)),
+                   routine_name(static_cast<MpiRoutine>(j)));
+  EXPECT_STREQ(routine_name(MpiRoutine::Testall), "Testall");
+}
+
+}  // namespace
+}  // namespace dfv::mon

@@ -1,0 +1,83 @@
+#include "ml/mutual_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dfv::ml {
+namespace {
+
+TEST(MutualInfo, IdenticalVariablesEqualEntropy) {
+  const std::vector<int> x = {0, 0, 1, 1, 1, 0, 1, 0};
+  EXPECT_NEAR(mutual_information(x, x), entropy(x), 1e-12);
+}
+
+TEST(MutualInfo, DeterministicFunctionPreservesMi) {
+  const std::vector<int> x = {0, 1, 0, 1, 1, 0};
+  std::vector<int> y;
+  for (int v : x) y.push_back(1 - v);  // bijection
+  EXPECT_NEAR(mutual_information(x, y), entropy(x), 1e-12);
+}
+
+TEST(MutualInfo, IndependentVariablesNearZero) {
+  Rng rng(5);
+  std::vector<int> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(int(rng.bernoulli(0.5)));
+    y.push_back(int(rng.bernoulli(0.3)));
+  }
+  EXPECT_LT(mutual_information(x, y), 0.002);
+}
+
+TEST(MutualInfo, Symmetric) {
+  Rng rng(6);
+  std::vector<int> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const int v = int(rng.uniform_index(3));
+    x.push_back(v);
+    y.push_back(rng.bernoulli(0.7) ? v : int(rng.uniform_index(3)));
+  }
+  EXPECT_NEAR(mutual_information(x, y), mutual_information(y, x), 1e-12);
+  EXPECT_GT(mutual_information(x, y), 0.1);  // strongly dependent
+}
+
+TEST(MutualInfo, BoundedByMinEntropy) {
+  const std::vector<int> x = {0, 1, 2, 3, 0, 1, 2, 3};
+  const std::vector<int> y = {0, 0, 1, 1, 0, 0, 1, 1};
+  const double mi = mutual_information(x, y);
+  EXPECT_LE(mi, entropy(y) + 1e-12);
+  EXPECT_LE(mi, entropy(x) + 1e-12);
+}
+
+TEST(MutualInfo, ConstantVariableGivesZero) {
+  const std::vector<int> c(10, 7);
+  const std::vector<int> y = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(mutual_information(c, y), 0.0, 1e-12);
+}
+
+TEST(MutualInfo, BinaryDoubleConvenience) {
+  const std::vector<double> x = {0, 1, 0, 1};
+  const std::vector<double> y = {0, 1, 0, 1};
+  EXPECT_NEAR(mutual_information_binary(x, y), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInfo, SizeMismatchThrows) {
+  const std::vector<int> x = {1};
+  const std::vector<int> y = {1, 2};
+  EXPECT_THROW((void)mutual_information(x, y), ContractError);
+}
+
+TEST(Entropy, UniformAndDegenerate) {
+  const std::vector<int> uniform = {0, 1, 2, 3};
+  EXPECT_NEAR(entropy(uniform), std::log(4.0), 1e-12);
+  const std::vector<int> constant(5, 9);
+  EXPECT_DOUBLE_EQ(entropy(constant), 0.0);
+  EXPECT_DOUBLE_EQ(entropy(std::vector<int>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace dfv::ml

@@ -1,0 +1,86 @@
+#include "analysis/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <algorithm>
+
+#include "synthetic.hpp"
+
+namespace dfv::analysis {
+namespace {
+
+TEST(Neighborhood, RecoversPlantedAggressor) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 120;
+  spec.aggressor_effect = 2.5;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const NeighborhoodResult res = analyze_neighborhood(ds);
+
+  ASSERT_FALSE(res.ranked.empty());
+  EXPECT_EQ(res.ranked.front().user_id, spec.aggressor_user);
+  EXPECT_TRUE(res.ranked.front().negatively_correlated());
+  EXPECT_GT(res.ranked.front().mi, 0.05);
+}
+
+TEST(Neighborhood, BystandersScoreLow) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 150;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const NeighborhoodResult res = analyze_neighborhood(ds);
+  double aggressor_mi = 0.0, max_bystander_mi = 0.0;
+  for (const auto& s : res.ranked) {
+    if (s.user_id == spec.aggressor_user)
+      aggressor_mi = s.mi;
+    else
+      max_bystander_mi = std::max(max_bystander_mi, s.mi);
+  }
+  EXPECT_GT(aggressor_mi, 2.0 * max_bystander_mi);
+}
+
+TEST(Neighborhood, BlamedUsersFiltersDirectionAndCount) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 120;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const NeighborhoodResult res = analyze_neighborhood(ds);
+  const auto blamed = blamed_users(res, /*top_k=*/3, /*min_mi=*/1e-3);
+  EXPECT_LE(blamed.size(), 3u);
+  EXPECT_NE(std::find(blamed.begin(), blamed.end(), spec.aggressor_user), blamed.end());
+  EXPECT_TRUE(std::is_sorted(blamed.begin(), blamed.end()));
+}
+
+TEST(Neighborhood, OptimalityThresholdTau) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 80;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const NeighborhoodResult strict = analyze_neighborhood(ds, 0.8);
+  const NeighborhoodResult loose = analyze_neighborhood(ds, 1.3);
+  EXPECT_LT(strict.optimal_fraction, loose.optimal_fraction);
+}
+
+TEST(Neighborhood, StatsAreConsistent) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 60;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const NeighborhoodResult res = analyze_neighborhood(ds);
+  EXPECT_GT(res.mean_total_time, 0.0);
+  EXPECT_GT(res.optimal_fraction, 0.0);
+  EXPECT_LT(res.optimal_fraction, 1.0);
+  for (const auto& s : res.ranked) {
+    EXPECT_GE(s.mi, 0.0);
+    EXPECT_GE(s.presence, 0.0);
+    EXPECT_LE(s.presence, 1.0);
+  }
+  // Ranked by MI descending.
+  for (std::size_t i = 1; i < res.ranked.size(); ++i)
+    EXPECT_GE(res.ranked[i - 1].mi, res.ranked[i].mi);
+}
+
+TEST(Neighborhood, RequiresRuns) {
+  sim::Dataset empty;
+  EXPECT_THROW((void)analyze_neighborhood(empty), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::analysis

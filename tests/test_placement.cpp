@@ -1,0 +1,48 @@
+#include "sched/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dfv::sched {
+namespace {
+
+TEST(Placement, DerivesRoutersAndGroups) {
+  const net::Topology topo(net::DragonflyConfig::small(4));
+  const int npr = topo.config().nodes_per_router;
+  // Two nodes on router 0, one on router 1, one in another group.
+  const net::RouterId remote = topo.router_at(2, 1, 1);
+  const std::vector<net::NodeId> nodes = {0, 1, net::NodeId(npr),
+                                          topo.first_node_of(remote)};
+  const Placement p = make_placement(nodes, topo);
+  EXPECT_EQ(p.num_nodes(), 4);
+  EXPECT_EQ(p.num_routers(), 3);  // routers 0, 1, remote
+  EXPECT_EQ(p.num_groups, 2);
+  EXPECT_TRUE(std::is_sorted(p.routers.begin(), p.routers.end()));
+}
+
+TEST(Placement, SingleRouterPlacement) {
+  const net::Topology topo(net::DragonflyConfig::small(4));
+  const std::vector<net::NodeId> nodes = {0, 1};
+  const Placement p = make_placement(nodes, topo);
+  EXPECT_EQ(p.num_routers(), 1);
+  EXPECT_EQ(p.num_groups, 1);
+}
+
+TEST(Placement, PreservesNodeOrder) {
+  const net::Topology topo(net::DragonflyConfig::small(4));
+  const std::vector<net::NodeId> nodes = {9, 3, 7};
+  const Placement p = make_placement(nodes, topo);
+  EXPECT_EQ(p.nodes, nodes);  // rank order, not sorted
+}
+
+TEST(Placement, EmptyPlacement) {
+  const net::Topology topo(net::DragonflyConfig::small(4));
+  const Placement p = make_placement({}, topo);
+  EXPECT_EQ(p.num_nodes(), 0);
+  EXPECT_EQ(p.num_routers(), 0);
+  EXPECT_EQ(p.num_groups, 0);
+}
+
+}  // namespace
+}  // namespace dfv::sched

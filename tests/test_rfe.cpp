@@ -1,0 +1,96 @@
+#include "ml/rfe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dfv::ml {
+namespace {
+
+/// 6 features, only 0 and 3 informative; offset shifts the target so MAPE
+/// is well defined.
+void make_data(std::size_t n, Matrix& x, std::vector<double>& y,
+               std::vector<double>& offset, Rng& rng) {
+  x = Matrix(n, 6);
+  y.assign(n, 0.0);
+  offset.assign(n, 50.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 6; ++c) x(i, c) = rng.uniform(-1, 1);
+    y[i] = 4.0 * x(i, 0) + std::sin(3.0 * x(i, 3)) * 3.0 + 0.05 * rng.normal();
+  }
+}
+
+RfeParams fast_params() {
+  RfeParams p;
+  p.folds = 4;
+  p.gbr.n_trees = 30;
+  p.gbr.subsample = 0.7;
+  return p;
+}
+
+TEST(Rfe, FindsInformativeFeatures) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<double> y, offset;
+  make_data(1200, x, y, offset, rng);
+  const RfeResult res = rfe_cv(x, y, fast_params(), offset);
+
+  ASSERT_EQ(res.relevance.size(), 6u);
+  // The informative features belong to the best subset in (almost) every
+  // fold; noise features rarely do.
+  EXPECT_GT(res.relevance[0], 0.7);
+  EXPECT_GT(res.relevance[3], 0.7);
+  for (std::size_t f : {1u, 2u, 4u, 5u}) EXPECT_LT(res.relevance[f], 0.6) << f;
+  // Survival ranking agrees.
+  EXPECT_GT(res.survival[0], res.survival[1]);
+  EXPECT_GT(res.survival[3], res.survival[4]);
+}
+
+TEST(Rfe, ReportsMapeOfFullModelAndBaseline) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<double> y, offset;
+  make_data(1200, x, y, offset, rng);
+  const RfeResult res = rfe_cv(x, y, fast_params(), offset);
+  EXPECT_GT(res.cv_mape_full, 0.0);
+  EXPECT_LT(res.cv_mape_full, 10.0);  // offset 50 +- ~7: a few percent error
+  // The target has a nonlinear component: GBR beats the linear baseline.
+  EXPECT_LT(res.cv_mape_full, res.cv_mape_linear * 1.05);
+}
+
+TEST(Rfe, GroupFoldsKeepGroupsTogether) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y, offset;
+  make_data(600, x, y, offset, rng);
+  std::vector<std::size_t> groups(600);
+  for (std::size_t i = 0; i < 600; ++i) groups[i] = i / 30;  // 20 groups
+  const RfeResult res = rfe_cv(x, y, fast_params(), offset, groups);
+  EXPECT_GT(res.relevance[0], 0.5);
+}
+
+TEST(Rfe, WorksWithoutOffset) {
+  Rng rng(4);
+  Matrix x(300, 3);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.uniform(0.5, 1.5);
+    y[i] = 10.0 + 3.0 * x(i, 1);
+  }
+  RfeParams p = fast_params();
+  const RfeResult res = rfe_cv(x, y, p);
+  EXPECT_GT(res.relevance[1], 0.7);
+}
+
+TEST(Rfe, RequiresAtLeastTwoFeatures) {
+  Matrix x(10, 1);
+  const std::vector<double> y(10, 1.0);
+  EXPECT_THROW((void)rfe_cv(x, y, fast_params()), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

@@ -1,0 +1,70 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+namespace dfv::ml {
+namespace {
+
+TEST(Scaler, StandardizesColumns) {
+  Matrix x(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    x(r, 0) = double(r);          // mean 1.5
+    x(r, 1) = 100.0 + 10.0 * r;   // mean 115
+  }
+  StandardScaler s;
+  const Matrix z = s.fit_transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < 4; ++r) mean += z(r, c);
+    mean /= 4.0;
+    for (std::size_t r = 0; r < 4; ++r) var += (z(r, c) - mean) * (z(r, c) - mean);
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(Scaler, ConstantColumnMapsToZero) {
+  Matrix x(3, 1, 7.0);
+  StandardScaler s;
+  const Matrix z = s.fit_transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+}
+
+TEST(Scaler, TransformUsesFitStatistics) {
+  Matrix train(2, 1);
+  train(0, 0) = 0.0;
+  train(1, 0) = 2.0;  // mean 1, std 1
+  StandardScaler s;
+  s.fit(train);
+  Matrix test(1, 1);
+  test(0, 0) = 3.0;
+  s.transform(test);
+  EXPECT_NEAR(test(0, 0), 2.0, 1e-12);
+}
+
+TEST(Scaler, TargetRoundTrip) {
+  StandardScaler s;
+  const std::vector<double> y = {10, 20, 30};
+  s.fit_target(y);
+  for (double v : {5.0, 20.0, 100.0})
+    EXPECT_NEAR(s.inverse_target(s.transform_target(v)), v, 1e-9);
+  EXPECT_NEAR(s.transform_target(20.0), 0.0, 1e-12);
+}
+
+TEST(Scaler, MismatchedTransformThrows) {
+  Matrix train(2, 2);
+  StandardScaler s;
+  s.fit(train);
+  Matrix wrong(2, 3);
+  EXPECT_THROW(s.transform(wrong), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

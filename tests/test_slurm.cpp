@@ -1,0 +1,130 @@
+#include "sched/slurm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mon/ldms.hpp"
+
+namespace dfv::sched {
+namespace {
+
+class SlurmTest : public ::testing::Test {
+ protected:
+  SlurmTest() : topo_(net::DragonflyConfig::small(6)) {}
+
+  SlurmSim make_sim(int quiet_users = 4) {
+    auto users = default_user_population(quiet_users);
+    for (auto& u : users) {
+      u.min_nodes = std::min(u.min_nodes, 32);
+      u.max_nodes = std::min(u.max_nodes, 64);
+    }
+    return SlurmSim(topo_, std::move(users), mon::make_default_io_routers(topo_, 1), 11);
+  }
+
+  net::Topology topo_;
+};
+
+TEST_F(SlurmTest, TimeAdvancesMonotonically) {
+  SlurmSim sim = make_sim();
+  sim.advance_to(3600.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 3600.0);
+  EXPECT_THROW(sim.advance_to(1800.0), ContractError);
+}
+
+TEST_F(SlurmTest, BackgroundJobsArriveAndFinish) {
+  SlurmSim sim = make_sim();
+  sim.advance_to(86400.0);
+  EXPECT_GT(sim.running_background().size(), 0u);
+  EXPECT_GT(sim.sacct().size(), sim.running_background().size());
+  // Finished jobs have end times within the window.
+  int finished = 0;
+  for (const auto& rec : sim.sacct())
+    if (rec.end_s >= 0.0) {
+      ++finished;
+      EXPECT_GE(rec.end_s, rec.start_s);
+    }
+  EXPECT_GT(finished, 0);
+}
+
+TEST_F(SlurmTest, UtilizationCapRespected) {
+  SlurmSim sim = make_sim();
+  sim.set_max_background_utilization(0.5);
+  sim.advance_to(5 * 86400.0);
+  EXPECT_LE(sim.utilization(), 0.5 + 64.0 / sim.busy_nodes());
+}
+
+TEST_F(SlurmTest, InstrumentedJobLifecycle) {
+  SlurmSim sim = make_sim();
+  sim.advance_to(3600.0);
+  const auto id = sim.start_instrumented_job("MILC", 16, kCampaignUserId);
+  ASSERT_TRUE(id.has_value());
+  const Placement& p = sim.placement_of(*id);
+  EXPECT_EQ(p.num_nodes(), 16);
+  const int busy_with_job = sim.busy_nodes();
+  sim.end_instrumented_job(*id);
+  EXPECT_EQ(sim.busy_nodes(), busy_with_job - 16);
+  EXPECT_THROW((void)sim.placement_of(*id), ContractError);
+
+  // sacct recorded the job under our user with an end time.
+  const auto& sacct = sim.sacct();
+  const auto it = std::find_if(sacct.begin(), sacct.end(),
+                               [&](const JobRecord& r) { return r.job_id == *id; });
+  ASSERT_NE(it, sacct.end());
+  EXPECT_EQ(it->user_id, kCampaignUserId);
+  EXPECT_GE(it->end_s, it->start_s);
+}
+
+TEST_F(SlurmTest, BackgroundEpochChangesOnJobChurn) {
+  SlurmSim sim = make_sim();
+  const auto e0 = sim.background_epoch();
+  sim.advance_to(86400.0);
+  EXPECT_NE(sim.background_epoch(), e0);
+}
+
+TEST_F(SlurmTest, NeighborhoodFindsOverlappingLargeJobs) {
+  SlurmSim sim = make_sim();
+  sim.advance_to(2 * 86400.0);
+  ASSERT_FALSE(sim.running_background().empty());
+  const auto& job = sim.running_background().front();
+  const auto users = sim.neighborhood_users(sim.now() - 10.0, sim.now(), 1);
+  EXPECT_NE(std::find(users.begin(), users.end(), job.user_id), users.end());
+
+  // A threshold larger than every job excludes everyone.
+  const auto none = sim.neighborhood_users(sim.now() - 10.0, sim.now(), 100000);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SlurmTest, NeighborhoodRespectsTimeWindow) {
+  SlurmSim sim = make_sim();
+  sim.advance_to(86400.0);
+  // A window before any job started sees nobody.
+  const auto users = sim.neighborhood_users(-100.0, -50.0, 1);
+  EXPECT_TRUE(users.empty());
+}
+
+TEST_F(SlurmTest, IntensitiesEvolve) {
+  SlurmSim sim = make_sim();
+  sim.advance_to(2 * 86400.0);
+  ASSERT_FALSE(sim.running_background().empty());
+  const double before = sim.running_background().front().intensity();
+  sim.step_intensities(3600.0);
+  const double after = sim.running_background().front().intensity();
+  EXPECT_NE(before, after);
+  EXPECT_GT(after, 0.0);
+}
+
+TEST_F(SlurmTest, DeterministicGivenSeed) {
+  SlurmSim a = make_sim(), b = make_sim();
+  a.advance_to(86400.0);
+  b.advance_to(86400.0);
+  ASSERT_EQ(a.sacct().size(), b.sacct().size());
+  for (std::size_t i = 0; i < a.sacct().size(); ++i) {
+    EXPECT_EQ(a.sacct()[i].user_id, b.sacct()[i].user_id);
+    EXPECT_DOUBLE_EQ(a.sacct()[i].start_s, b.sacct()[i].start_s);
+  }
+}
+
+}  // namespace
+}  // namespace dfv::sched

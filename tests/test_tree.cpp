@@ -1,0 +1,137 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace dfv::ml {
+namespace {
+
+std::vector<std::size_t> all_rows(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(Tree, FitsStepFunctionExactly) {
+  // y = 1 if x0 > 0.5 else 0: one split suffices.
+  Rng rng(1);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = x(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  RegressionTree tree;
+  TreeParams params;
+  params.max_depth = 2;
+  params.min_samples_leaf = 5;
+  tree.fit(x, y, all_rows(200), params);
+  int correct = 0;
+  for (std::size_t i = 0; i < 200; ++i)
+    correct += std::abs(tree.predict_one(x.row(i)) - y[i]) < 0.2;
+  EXPECT_GT(correct, 190);
+}
+
+TEST(Tree, SplitsOnInformativeFeatureOnly) {
+  Rng rng(2);
+  Matrix x(400, 3);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.normal();
+    y[i] = 5.0 * x(i, 1);  // only feature 1 matters
+  }
+  RegressionTree tree;
+  tree.fit(x, y, all_rows(400), TreeParams{});
+  const auto& gains = tree.feature_gains();
+  EXPECT_GT(gains[1], 10.0 * (gains[0] + gains[2] + 1e-12));
+}
+
+TEST(Tree, RespectsDepthLimit) {
+  Rng rng(3);
+  Matrix x(500, 1);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(10.0 * x(i, 0));
+  }
+  RegressionTree stump;
+  TreeParams p1;
+  p1.max_depth = 1;
+  stump.fit(x, y, all_rows(500), p1);
+  EXPECT_LE(stump.node_count(), 3u);  // root + 2 leaves
+
+  RegressionTree deep;
+  TreeParams p5;
+  p5.max_depth = 5;
+  p5.min_samples_leaf = 5;
+  deep.fit(x, y, all_rows(500), p5);
+  EXPECT_GT(deep.node_count(), stump.node_count());
+
+  // Deeper fits better.
+  std::vector<double> ps, pd;
+  for (std::size_t i = 0; i < 500; ++i) {
+    ps.push_back(stump.predict_one(x.row(i)));
+    pd.push_back(deep.predict_one(x.row(i)));
+  }
+  EXPECT_LT(rmse(y, pd), rmse(y, ps));
+}
+
+TEST(Tree, ConstantTargetIsSingleLeaf) {
+  Matrix x(50, 2);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t c = 0; c < 2; ++c) x(i, c) = rng.normal();
+  const std::vector<double> y(50, 3.25);
+  RegressionTree tree;
+  tree.fit(x, y, all_rows(50), TreeParams{});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_one(x.row(0)), 3.25);
+}
+
+TEST(Tree, FitsOnRowSubsetOnly) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = double(i);
+    y[i] = i < 50 ? 0.0 : 100.0;
+  }
+  // Fit on the first half only: the tree never sees the step.
+  std::vector<std::size_t> first_half = all_rows(50);
+  RegressionTree tree;
+  tree.fit(x, y, first_half, TreeParams{});
+  EXPECT_NEAR(tree.predict_one(x.row(80)), 0.0, 1e-9);
+}
+
+TEST(Tree, MinSamplesLeafRespected) {
+  Matrix x(30, 1);
+  std::vector<double> y(30);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = x(i, 0);
+  }
+  RegressionTree tree;
+  TreeParams p;
+  p.min_samples_leaf = 30;  // cannot split at all
+  tree.fit(x, y, all_rows(30), p);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(Tree, ParamValidation) {
+  Matrix x(10, 1);
+  std::vector<double> y(10, 1.0);
+  RegressionTree tree;
+  TreeParams bad;
+  bad.histogram_bins = 1;
+  EXPECT_THROW(tree.fit(x, y, all_rows(10), bad), ContractError);
+  EXPECT_THROW(tree.fit(x, y, {}, TreeParams{}), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

@@ -1,0 +1,83 @@
+// Property sweep over the credit/VC DES: delivery completeness, hop
+// bounds, stall accounting sanity, and conservation must hold for every
+// routing policy and traffic pattern (TEST_P grid).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/vc_sim.hpp"
+
+namespace dfv::net {
+namespace {
+
+using Param = std::tuple<RoutingPolicy, TrafficPattern>;
+
+class VcProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  VcProperties() : topo_(DragonflyConfig::small(5)) {}
+
+  VcStats run(double load, int packets) {
+    VcSimParams params;
+    params.policy = std::get<0>(GetParam());
+    VcPacketSim sim(topo_, params, 77);
+    return sim.run_synthetic(std::get<1>(GetParam()), load, packets);
+  }
+
+  Topology topo_;
+};
+
+TEST_P(VcProperties, AllPacketsDeliveredAtModerateLoad) {
+  const VcStats s = run(0.3, 80);
+  EXPECT_EQ(s.delivered, s.injected);
+  EXPECT_FALSE(s.deadlocked);
+}
+
+TEST_P(VcProperties, HopCountsWithinDiameterBounds) {
+  const VcStats s = run(0.2, 60);
+  // Minimal <= 5 hops; Valiant and per-hop adaptive detours stay within
+  // the two-leg bound (~10); adaptive wandering cannot exceed it because
+  // every hop makes progress toward the (possibly intermediate) target.
+  EXPECT_GE(s.mean_hops, 1.0);
+  EXPECT_LE(s.mean_hops, 10.0);
+}
+
+TEST_P(VcProperties, LatencyNonNegativeAndOrdered) {
+  const VcStats s = run(0.2, 60);
+  EXPECT_GT(s.mean_latency, 0.0);
+  EXPECT_GE(s.p99_latency, s.mean_latency);
+  EXPECT_GT(s.throughput, 0.0);
+}
+
+TEST_P(VcProperties, StallCyclesNonNegative) {
+  const VcStats s = run(0.8, 120);
+  for (double v : s.stall_cycles_rq) EXPECT_GE(v, 0.0);
+  for (double v : s.stall_cycles_rs) EXPECT_GE(v, 0.0);
+}
+
+TEST_P(VcProperties, HigherLoadNeverReducesStalls) {
+  VcSimParams params;
+  params.policy = std::get<0>(GetParam());
+  params.buffer_flits = 12;
+  VcPacketSim low(topo_, params, 5), high(topo_, params, 5);
+  const VcStats a = low.run_synthetic(std::get<1>(GetParam()), 0.1, 120);
+  const VcStats b = high.run_synthetic(std::get<1>(GetParam()), 1.0, 120);
+  EXPECT_GE(b.total_stall_cycles() + 1.0, a.total_stall_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VcProperties,
+    ::testing::Combine(::testing::Values(RoutingPolicy::Minimal, RoutingPolicy::Valiant,
+                                         RoutingPolicy::Ugal),
+                       ::testing::Values(TrafficPattern::Uniform,
+                                         TrafficPattern::AdversarialShift,
+                                         TrafficPattern::Hotspot)),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      std::string name = std::string(to_string(std::get<0>(pinfo.param))) + "_" +
+                         to_string(std::get<1>(pinfo.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace dfv::net

@@ -1,0 +1,121 @@
+#include "net/vc_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dfv::net {
+namespace {
+
+VcSimParams params_with(RoutingPolicy p) {
+  VcSimParams ps;
+  ps.policy = p;
+  return ps;
+}
+
+TEST(VcSim, DeliversEveryPacketWithoutDeadlock) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcPacketSim sim(topo, params_with(RoutingPolicy::Ugal), 1);
+  const VcStats stats = sim.run_synthetic(TrafficPattern::Uniform, 0.2, 40);
+  EXPECT_EQ(stats.injected, stats.delivered);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_GT(stats.delivered, 0u);
+}
+
+TEST(VcSim, SinglePacketTakesMinimalRoute) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcPacketSim sim(topo, params_with(RoutingPolicy::Minimal), 2);
+  sim.inject(0.0, 0, topo.router_at(2, 1, 2));
+  const VcStats stats = sim.run();
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_LE(stats.mean_hops, 5.0);
+  EXPECT_GE(stats.mean_latency, topo.config().global_latency);
+}
+
+TEST(VcSim, IntraGroupPacketsStayLocal) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcPacketSim sim(topo, params_with(RoutingPolicy::Ugal), 3);
+  sim.inject(0.0, topo.router_at(1, 0, 0), topo.router_at(1, 2, 3));
+  const VcStats stats = sim.run();
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_LE(stats.mean_hops, 2.0);
+}
+
+TEST(VcSim, CreditStallsAppearUnderCongestion) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcSimParams ps = params_with(RoutingPolicy::Minimal);
+  ps.buffer_flits = 8;  // shallow buffers back-pressure quickly
+  VcPacketSim sim(topo, ps, 4);
+  const VcStats stats = sim.run_synthetic(TrafficPattern::Hotspot, 0.8, 150);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_GT(stats.total_stall_cycles(), 0.0);
+}
+
+TEST(VcSim, ResponseFractionSplitsStallClasses) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcSimParams ps = params_with(RoutingPolicy::Minimal);
+  ps.buffer_flits = 8;
+  ps.response_fraction = 0.5;
+  VcPacketSim sim(topo, ps, 5);
+  const VcStats stats = sim.run_synthetic(TrafficPattern::Hotspot, 0.8, 150);
+  double rq = 0.0, rs = 0.0;
+  for (double v : stats.stall_cycles_rq) rq += v;
+  for (double v : stats.stall_cycles_rs) rs += v;
+  EXPECT_GT(rq, 0.0);
+  EXPECT_GT(rs, 0.0);
+}
+
+TEST(VcSim, DeeperBuffersReduceStalls) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcSimParams shallow = params_with(RoutingPolicy::Minimal);
+  shallow.buffer_flits = 8;
+  VcSimParams deep = params_with(RoutingPolicy::Minimal);
+  deep.buffer_flits = 128;
+  VcPacketSim a(topo, shallow, 6), b(topo, deep, 6);
+  const VcStats sa = a.run_synthetic(TrafficPattern::Uniform, 0.6, 120);
+  const VcStats sb = b.run_synthetic(TrafficPattern::Uniform, 0.6, 120);
+  EXPECT_GE(sa.total_stall_cycles(), sb.total_stall_cycles());
+}
+
+TEST(VcSim, AdversarialTrafficFavorsNonMinimalPolicies) {
+  DragonflyConfig cfg = DragonflyConfig::small(9);
+  cfg.global_ports_per_router = 1;  // tapered: direct bundles saturate
+  const Topology topo(cfg);
+  VcPacketSim minimal(topo, params_with(RoutingPolicy::Minimal), 7);
+  VcPacketSim ugal(topo, params_with(RoutingPolicy::Ugal), 7);
+  const VcStats m = minimal.run_synthetic(TrafficPattern::AdversarialShift, 0.3, 400);
+  const VcStats u = ugal.run_synthetic(TrafficPattern::AdversarialShift, 0.3, 400);
+  EXPECT_FALSE(m.deadlocked);
+  EXPECT_FALSE(u.deadlocked);
+  EXPECT_LT(u.mean_latency, m.mean_latency);
+}
+
+TEST(VcSim, ValiantRaisesHopCount) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcPacketSim minimal(topo, params_with(RoutingPolicy::Minimal), 8);
+  VcPacketSim valiant(topo, params_with(RoutingPolicy::Valiant), 8);
+  const VcStats m = minimal.run_synthetic(TrafficPattern::Uniform, 0.1, 40);
+  const VcStats v = valiant.run_synthetic(TrafficPattern::Uniform, 0.1, 40);
+  EXPECT_GT(v.mean_hops, m.mean_hops);
+}
+
+TEST(VcSim, RejectsBuffersSmallerThanPacket) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcSimParams bad;
+  bad.buffer_flits = 2;
+  bad.packet_flits = 4;
+  EXPECT_THROW(VcPacketSim(topo, bad, 1), ContractError);
+}
+
+TEST(VcSim, DeterministicGivenSeed) {
+  const Topology topo(DragonflyConfig::small(4));
+  VcPacketSim a(topo, params_with(RoutingPolicy::Ugal), 42);
+  VcPacketSim b(topo, params_with(RoutingPolicy::Ugal), 42);
+  const VcStats sa = a.run_synthetic(TrafficPattern::Uniform, 0.3, 50);
+  const VcStats sb = b.run_synthetic(TrafficPattern::Uniform, 0.3, 50);
+  EXPECT_DOUBLE_EQ(sa.mean_latency, sb.mean_latency);
+  EXPECT_EQ(sa.delivered, sb.delivered);
+}
+
+}  // namespace
+}  // namespace dfv::net

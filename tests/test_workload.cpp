@@ -1,0 +1,135 @@
+#include "sched/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "mon/ldms.hpp"
+#include "sched/allocator.hpp"
+#include "sched/slurm.hpp"
+
+namespace dfv::sched {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : topo_(net::DragonflyConfig::small(6)) {
+    NodeAllocator alloc(topo_);
+    Rng rng(3);
+    placement_ = make_placement(alloc.allocate(48, AllocPolicy::Clustered, rng), topo_);
+    io_routers_ = mon::make_default_io_routers(topo_, 1);
+  }
+
+  double total_bytes(const std::vector<net::Demand>& demands) const {
+    double sum = 0.0;
+    for (const auto& d : demands) sum += d.bytes;
+    return sum;
+  }
+
+  bool endpoints_within(const std::vector<net::Demand>& demands) const {
+    std::set<net::RouterId> allowed(placement_.routers.begin(), placement_.routers.end());
+    allowed.insert(io_routers_.begin(), io_routers_.end());
+    return std::all_of(demands.begin(), demands.end(), [&](const net::Demand& d) {
+      return allowed.count(d.src) && allowed.count(d.dst);
+    });
+  }
+
+  net::Topology topo_;
+  Placement placement_;
+  std::vector<net::RouterId> io_routers_;
+  Rng rng_{17};
+};
+
+TEST_F(WorkloadTest, DefaultPopulationContainsPaperUsers) {
+  const auto users = default_user_population(10);
+  std::set<int> ids;
+  for (const auto& u : users) ids.insert(u.user_id);
+  // All of the paper's recurring blamed users except 8 (the campaign
+  // account itself, added by the campaign driver).
+  for (int u : {1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14}) EXPECT_TRUE(ids.count(u));
+  EXPECT_FALSE(ids.count(kCampaignUserId));
+  EXPECT_EQ(users.size(), 13u + 10u);
+}
+
+TEST_F(WorkloadTest, AggressorsAreTheHeaviestUsers) {
+  const auto users = default_user_population(10);
+  const auto aggressors = ground_truth_aggressors();
+  double min_aggressor = 1e18, max_quiet = 0.0;
+  for (const auto& u : users) {
+    const double load = u.traffic.net_bytes_per_node_per_s +
+                        u.traffic.io_bytes_per_node_per_s;
+    const bool is_aggr = std::find(aggressors.begin(), aggressors.end(), u.user_id) !=
+                         aggressors.end();
+    if (is_aggr) min_aggressor = std::min(min_aggressor, load);
+    if (u.user_id >= 100) max_quiet = std::max(max_quiet, load);
+  }
+  EXPECT_GT(min_aggressor, 3.0 * max_quiet);
+}
+
+TEST_F(WorkloadTest, PatternsConserveVolumeAndStayInBounds) {
+  for (BgPattern pat : {BgPattern::NearestNeighbor, BgPattern::UniformPairs,
+                        BgPattern::AllreduceHeavy, BgPattern::IoHeavy}) {
+    TrafficSpec spec;
+    spec.net_bytes_per_node_per_s = 1e8;
+    spec.io_bytes_per_node_per_s = 0.0;
+    spec.pattern = pat;
+    const auto demands =
+        generate_background_demands(placement_, spec, io_routers_, topo_, rng_);
+    EXPECT_TRUE(endpoints_within(demands)) << to_string(pat);
+    const double expect_total = 1e8 * placement_.num_nodes();
+    const double got = total_bytes(demands);
+    // NN/UniformPairs/AllreduceHeavy conserve total volume; IoHeavy's
+    // intra-job share is pairwise (n/2 flows), still bounded by total.
+    EXPECT_LE(got, expect_total * 1.01) << to_string(pat);
+    EXPECT_GT(got, expect_total * 0.2) << to_string(pat);
+  }
+}
+
+TEST_F(WorkloadTest, IoShareFlowsToIoRouters) {
+  TrafficSpec spec;
+  spec.net_bytes_per_node_per_s = 0.0;
+  spec.io_bytes_per_node_per_s = 1e8;
+  spec.pattern = BgPattern::UniformPairs;
+  const auto demands =
+      generate_background_demands(placement_, spec, io_routers_, topo_, rng_);
+  ASSERT_FALSE(demands.empty());
+  std::set<net::RouterId> io_set(io_routers_.begin(), io_routers_.end());
+  for (const auto& d : demands) EXPECT_TRUE(io_set.count(d.src) || io_set.count(d.dst));
+  // Writes dominate reads 2:1.
+  double to_io = 0.0, from_io = 0.0;
+  for (const auto& d : demands) (io_set.count(d.dst) ? to_io : from_io) += d.bytes;
+  EXPECT_NEAR(to_io / from_io, 2.0, 0.01);
+}
+
+TEST_F(WorkloadTest, AllreduceHeavyCreatesHotspots) {
+  TrafficSpec spec;
+  spec.net_bytes_per_node_per_s = 1e8;
+  spec.pattern = BgPattern::AllreduceHeavy;
+  const auto demands =
+      generate_background_demands(placement_, spec, io_routers_, topo_, rng_);
+  // Count per-router received bytes: roots should receive far more than
+  // the median router.
+  std::map<net::RouterId, double> rx;
+  for (const auto& d : demands) rx[d.dst] += d.bytes;
+  std::vector<double> values;
+  for (auto& [r, v] : rx) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  EXPECT_GT(values.back(), 3.0 * values[values.size() / 2]);
+}
+
+TEST_F(WorkloadTest, EmptyPlacementYieldsNoDemands) {
+  TrafficSpec spec;
+  spec.net_bytes_per_node_per_s = 1e8;
+  const Placement empty;
+  EXPECT_TRUE(generate_background_demands(empty, spec, io_routers_, topo_, rng_).empty());
+}
+
+TEST_F(WorkloadTest, BackgroundJobIntensityMedianNearOne) {
+  BackgroundJob job;
+  EXPECT_NEAR(job.intensity(), 1.0, 1e-9);  // OU starts at 0 on the log scale
+}
+
+}  // namespace
+}  // namespace dfv::sched

@@ -1,0 +1,215 @@
+// dfv — command-line driver for the dragonfly-variability library.
+//
+//   dfv topology  [--groups N]
+//   dfv campaign  [--days N] [--cache DIR] [--out DIR]
+//   dfv blame     --app APP --nodes N [--tau X] [--cache DIR]
+//   dfv deviation --app APP --nodes N [--cache DIR]
+//   dfv forecast  --app APP --nodes N --m M --k K [--features FS] [--cache DIR]
+//   dfv simulate  [--pattern P] [--policy P] [--load X] [--groups N] [--vc]
+//
+// Every analysis subcommand generates (or loads) the canonical campaign
+// into the cache directory, so the first invocation takes a few minutes
+// and subsequent ones are instant.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/forecast.hpp"
+#include "analysis/neighborhood.hpp"
+#include "apps/registry.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "core/study.hpp"
+#include "net/packet_sim.hpp"
+#include "net/vc_sim.hpp"
+
+namespace {
+
+using namespace dfv;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::stoi(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    a.kv[key] = argv[i + 1];
+  }
+  return a;
+}
+
+core::VariabilityStudy make_study(const Args& a) {
+  sim::CampaignConfig cfg;
+  cfg.seed = 20181203;
+  cfg.days = a.get_int("days", cfg.days);
+  return core::VariabilityStudy(cfg, a.get("cache", "dfv_cache"));
+}
+
+int cmd_topology(const Args& a) {
+  net::DragonflyConfig cfg = net::DragonflyConfig::cori();
+  if (a.kv.count("groups")) cfg = net::DragonflyConfig::small(a.get_int("groups", 4));
+  std::cout << net::Topology(cfg).describe();
+  return 0;
+}
+
+int cmd_campaign(const Args& a) {
+  set_log_level(LogLevel::Info);
+  auto study = make_study(a);
+  const auto& result = study.campaign();
+  Table t({"dataset", "runs", "steps/run"});
+  for (const auto& ds : result.datasets)
+    t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
+               std::to_string(ds.steps_per_run())});
+  std::cout << t.str();
+  if (a.kv.count("out")) {
+    for (const auto& ds : result.datasets) {
+      const std::string path = a.get("out", ".") + "/" + ds.spec.label() + ".csv";
+      std::cout << (sim::save_dataset(ds, path) ? "wrote " : "FAILED to write ") << path
+                << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_blame(const Args& a) {
+  auto study = make_study(a);
+  const auto res = study.neighborhood(a.get("app", "MILC"), a.get_int("nodes", 128),
+                                      a.get_double("tau", 1.0));
+  Table t({"user", "MI (nats)", "present in runs", "P(optimal|present)", "P(optimal)"});
+  for (const auto& s : res.ranked) {
+    if (s.mi < 1e-4) break;
+    t.add_row({"User-" + std::to_string(s.user_id), format_double(s.mi, 4),
+               format_double(100.0 * s.presence, 1) + "%",
+               format_double(s.optimal_when_present, 2),
+               format_double(s.optimal_overall, 2)});
+  }
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_deviation(const Args& a) {
+  auto study = make_study(a);
+  const auto res = study.deviation(a.get("app", "MILC"), a.get_int("nodes", 128));
+  std::vector<std::string> labels;
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    labels.emplace_back(mon::counter_name(mon::counter_from_index(c)));
+  std::cout << bar_chart(labels, res.survival, 48, "RFE survival relevance");
+  std::cout << "\nGBR CV MAPE: " << format_double(res.cv_mape, 2)
+            << "%   linear baseline: " << format_double(res.cv_mape_linear, 2) << "%\n";
+  return 0;
+}
+
+int cmd_forecast(const Args& a) {
+  auto study = make_study(a);
+  const std::string fs_name = a.get("features", "app");
+  analysis::FeatureSet fs = analysis::FeatureSet::App;
+  for (auto cand : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacement,
+                    analysis::FeatureSet::AppPlacementIo,
+                    analysis::FeatureSet::AppPlacementIoSys})
+    if (fs_name == analysis::to_string(cand)) fs = cand;
+  const analysis::WindowConfig wcfg{a.get_int("m", 10), a.get_int("k", 20), fs};
+  const auto eval =
+      study.forecast(a.get("app", "MILC"), a.get_int("nodes", 128), wcfg);
+  Table t({"model", "MAPE (%)"});
+  t.add_row({"attention", format_double(eval.mape_attention, 2)});
+  t.add_row({"persistence", format_double(eval.mape_persistence, 2)});
+  t.add_row({"dataset mean", format_double(eval.mape_mean, 2)});
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  net::DragonflyConfig cfg = net::DragonflyConfig::small(a.get_int("groups", 6));
+  const net::Topology topo(cfg);
+  net::TrafficPattern pattern = net::TrafficPattern::Uniform;
+  if (a.get("pattern", "uniform") == "adversarial")
+    pattern = net::TrafficPattern::AdversarialShift;
+  else if (a.get("pattern", "uniform") == "hotspot")
+    pattern = net::TrafficPattern::Hotspot;
+  net::RoutingPolicy policy = net::RoutingPolicy::Ugal;
+  if (a.get("policy", "ugal") == "minimal") policy = net::RoutingPolicy::Minimal;
+  else if (a.get("policy", "ugal") == "valiant") policy = net::RoutingPolicy::Valiant;
+  const double load = a.get_double("load", 0.3);
+  const int packets = a.get_int("packets", 300);
+
+  Table t({"engine", "mean latency (us)", "p99 (us)", "mean hops", "throughput (GB/s)"});
+  {
+    net::PacketSimParams params;
+    params.policy = policy;
+    net::PacketSim sim(topo, params, 1);
+    const auto s = sim.run_synthetic(pattern, load, packets);
+    t.add_row({"source-routed", format_double(s.mean_latency * 1e6, 2),
+               format_double(s.p99_latency * 1e6, 2), format_double(s.mean_hops, 2),
+               format_double(s.throughput / 1e9, 2)});
+  }
+  {
+    net::VcSimParams params;
+    params.policy = policy;
+    net::VcPacketSim sim(topo, params, 1);
+    const auto s = sim.run_synthetic(pattern, load, packets);
+    t.add_row({std::string("credit/VC") + (s.deadlocked ? " [DEADLOCK]" : ""),
+               format_double(s.mean_latency * 1e6, 2),
+               format_double(s.p99_latency * 1e6, 2), format_double(s.mean_hops, 2),
+               format_double(s.throughput / 1e9, 2)});
+  }
+  std::cout << "pattern=" << net::to_string(pattern) << " policy=" << net::to_string(policy)
+            << " load=" << load << "\n"
+            << t.str();
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "dfv — dragonfly performance-variability toolkit\n"
+      "\n"
+      "  dfv topology  [--groups N]\n"
+      "  dfv campaign  [--days N] [--cache DIR] [--out DIR]\n"
+      "  dfv blame     --app APP --nodes N [--tau X] [--cache DIR]\n"
+      "  dfv deviation --app APP --nodes N [--cache DIR]\n"
+      "  dfv forecast  --app APP --nodes N --m M --k K [--features FS] [--cache DIR]\n"
+      "  dfv simulate  [--pattern uniform|adversarial|hotspot]\n"
+      "                [--policy minimal|valiant|ugal] [--load X] [--groups N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warn);
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "topology") return cmd_topology(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "blame") return cmd_blame(args);
+    if (cmd == "deviation") return cmd_deviation(args);
+    if (cmd == "forecast") return cmd_forecast(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  usage();
+  return 1;
+}
