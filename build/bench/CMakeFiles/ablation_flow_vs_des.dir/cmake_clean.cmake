@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_vs_des.dir/ablation_flow_vs_des.cpp.o"
+  "CMakeFiles/ablation_flow_vs_des.dir/ablation_flow_vs_des.cpp.o.d"
+  "ablation_flow_vs_des"
+  "ablation_flow_vs_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_vs_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_flow_vs_des.
+# This may be replaced when dependencies are built.

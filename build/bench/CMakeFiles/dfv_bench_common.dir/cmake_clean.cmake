@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/dfv_bench_common.dir/bench_common.cpp.o.d"
+  "libdfv_bench_common.a"
+  "libdfv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

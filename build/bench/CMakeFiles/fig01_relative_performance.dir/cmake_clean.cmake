@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_relative_performance.dir/fig01_relative_performance.cpp.o"
+  "CMakeFiles/fig01_relative_performance.dir/fig01_relative_performance.cpp.o.d"
+  "fig01_relative_performance"
+  "fig01_relative_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_relative_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_topology.dir/fig02_topology.cpp.o"
+  "CMakeFiles/fig02_topology.dir/fig02_topology.cpp.o.d"
+  "fig02_topology"
+  "fig02_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

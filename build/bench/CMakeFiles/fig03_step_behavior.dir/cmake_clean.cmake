@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_step_behavior.dir/fig03_step_behavior.cpp.o"
+  "CMakeFiles/fig03_step_behavior.dir/fig03_step_behavior.cpp.o.d"
+  "fig03_step_behavior"
+  "fig03_step_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_step_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

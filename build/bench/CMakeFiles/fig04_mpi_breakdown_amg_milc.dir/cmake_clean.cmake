@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mpi_breakdown_amg_milc.dir/fig04_mpi_breakdown_amg_milc.cpp.o"
+  "CMakeFiles/fig04_mpi_breakdown_amg_milc.dir/fig04_mpi_breakdown_amg_milc.cpp.o.d"
+  "fig04_mpi_breakdown_amg_milc"
+  "fig04_mpi_breakdown_amg_milc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mpi_breakdown_amg_milc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_mpi_breakdown_minivite_umt.dir/fig05_mpi_breakdown_minivite_umt.cpp.o"
+  "CMakeFiles/fig05_mpi_breakdown_minivite_umt.dir/fig05_mpi_breakdown_minivite_umt.cpp.o.d"
+  "fig05_mpi_breakdown_minivite_umt"
+  "fig05_mpi_breakdown_minivite_umt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_mpi_breakdown_minivite_umt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

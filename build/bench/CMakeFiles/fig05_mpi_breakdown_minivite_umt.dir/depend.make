@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_mpi_breakdown_minivite_umt.
+# This may be replaced when dependencies are built.

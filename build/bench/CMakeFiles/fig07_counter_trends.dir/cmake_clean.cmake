@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_counter_trends.dir/fig07_counter_trends.cpp.o"
+  "CMakeFiles/fig07_counter_trends.dir/fig07_counter_trends.cpp.o.d"
+  "fig07_counter_trends"
+  "fig07_counter_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_counter_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_forecast_amg.dir/fig08_forecast_amg.cpp.o"
+  "CMakeFiles/fig08_forecast_amg.dir/fig08_forecast_amg.cpp.o.d"
+  "fig08_forecast_amg"
+  "fig08_forecast_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_forecast_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_deviation_relevance.dir/fig09_deviation_relevance.cpp.o"
+  "CMakeFiles/fig09_deviation_relevance.dir/fig09_deviation_relevance.cpp.o.d"
+  "fig09_deviation_relevance"
+  "fig09_deviation_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_deviation_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

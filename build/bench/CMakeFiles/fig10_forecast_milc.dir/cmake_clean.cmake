@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_forecast_milc.dir/fig10_forecast_milc.cpp.o"
+  "CMakeFiles/fig10_forecast_milc.dir/fig10_forecast_milc.cpp.o.d"
+  "fig10_forecast_milc"
+  "fig10_forecast_milc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_forecast_milc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_forecast_importance.dir/fig11_forecast_importance.cpp.o"
+  "CMakeFiles/fig11_forecast_importance.dir/fig11_forecast_importance.cpp.o.d"
+  "fig11_forecast_importance"
+  "fig11_forecast_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_forecast_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_longrun_forecast.dir/fig12_longrun_forecast.cpp.o"
+  "CMakeFiles/fig12_longrun_forecast.dir/fig12_longrun_forecast.cpp.o.d"
+  "fig12_longrun_forecast"
+  "fig12_longrun_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_longrun_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_longrun_forecast.
+# This may be replaced when dependencies are built.

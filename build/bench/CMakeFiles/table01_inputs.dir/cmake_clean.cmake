@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_inputs.dir/table01_inputs.cpp.o"
+  "CMakeFiles/table01_inputs.dir/table01_inputs.cpp.o.d"
+  "table01_inputs"
+  "table01_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

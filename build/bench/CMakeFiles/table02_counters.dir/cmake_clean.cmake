@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_counters.dir/table02_counters.cpp.o"
+  "CMakeFiles/table02_counters.dir/table02_counters.cpp.o.d"
+  "table02_counters"
+  "table02_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_neighborhood.dir/table03_neighborhood.cpp.o"
+  "CMakeFiles/table03_neighborhood.dir/table03_neighborhood.cpp.o.d"
+  "table03_neighborhood"
+  "table03_neighborhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_demo.dir/forecast_demo.cpp.o"
+  "CMakeFiles/forecast_demo.dir/forecast_demo.cpp.o.d"
+  "forecast_demo"
+  "forecast_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_whatif.dir/scheduler_whatif.cpp.o"
+  "CMakeFiles/scheduler_whatif.dir/scheduler_whatif.cpp.o.d"
+  "scheduler_whatif"
+  "scheduler_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_analysis.dir/deviation.cpp.o"
+  "CMakeFiles/dfv_analysis.dir/deviation.cpp.o.d"
+  "CMakeFiles/dfv_analysis.dir/forecast.cpp.o"
+  "CMakeFiles/dfv_analysis.dir/forecast.cpp.o.d"
+  "CMakeFiles/dfv_analysis.dir/neighborhood.cpp.o"
+  "CMakeFiles/dfv_analysis.dir/neighborhood.cpp.o.d"
+  "libdfv_analysis.a"
+  "libdfv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amg.cpp" "src/apps/CMakeFiles/dfv_apps.dir/amg.cpp.o" "gcc" "src/apps/CMakeFiles/dfv_apps.dir/amg.cpp.o.d"
+  "/root/repo/src/apps/comm_patterns.cpp" "src/apps/CMakeFiles/dfv_apps.dir/comm_patterns.cpp.o" "gcc" "src/apps/CMakeFiles/dfv_apps.dir/comm_patterns.cpp.o.d"
+  "/root/repo/src/apps/milc.cpp" "src/apps/CMakeFiles/dfv_apps.dir/milc.cpp.o" "gcc" "src/apps/CMakeFiles/dfv_apps.dir/milc.cpp.o.d"
+  "/root/repo/src/apps/minivite.cpp" "src/apps/CMakeFiles/dfv_apps.dir/minivite.cpp.o" "gcc" "src/apps/CMakeFiles/dfv_apps.dir/minivite.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/dfv_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/dfv_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/umt.cpp" "src/apps/CMakeFiles/dfv_apps.dir/umt.cpp.o" "gcc" "src/apps/CMakeFiles/dfv_apps.dir/umt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/dfv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfv_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_apps.dir/amg.cpp.o"
+  "CMakeFiles/dfv_apps.dir/amg.cpp.o.d"
+  "CMakeFiles/dfv_apps.dir/comm_patterns.cpp.o"
+  "CMakeFiles/dfv_apps.dir/comm_patterns.cpp.o.d"
+  "CMakeFiles/dfv_apps.dir/milc.cpp.o"
+  "CMakeFiles/dfv_apps.dir/milc.cpp.o.d"
+  "CMakeFiles/dfv_apps.dir/minivite.cpp.o"
+  "CMakeFiles/dfv_apps.dir/minivite.cpp.o.d"
+  "CMakeFiles/dfv_apps.dir/registry.cpp.o"
+  "CMakeFiles/dfv_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/dfv_apps.dir/umt.cpp.o"
+  "CMakeFiles/dfv_apps.dir/umt.cpp.o.d"
+  "libdfv_apps.a"
+  "libdfv_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

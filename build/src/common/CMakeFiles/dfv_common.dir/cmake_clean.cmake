@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/dfv_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/dfv_common.dir/csv.cpp.o"
+  "CMakeFiles/dfv_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dfv_common.dir/log.cpp.o"
+  "CMakeFiles/dfv_common.dir/log.cpp.o.d"
+  "CMakeFiles/dfv_common.dir/rng.cpp.o"
+  "CMakeFiles/dfv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dfv_common.dir/stats.cpp.o"
+  "CMakeFiles/dfv_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dfv_common.dir/table.cpp.o"
+  "CMakeFiles/dfv_common.dir/table.cpp.o.d"
+  "CMakeFiles/dfv_common.dir/timeseries.cpp.o"
+  "CMakeFiles/dfv_common.dir/timeseries.cpp.o.d"
+  "libdfv_common.a"
+  "libdfv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_core.dir/study.cpp.o"
+  "CMakeFiles/dfv_core.dir/study.cpp.o.d"
+  "libdfv_core.a"
+  "libdfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

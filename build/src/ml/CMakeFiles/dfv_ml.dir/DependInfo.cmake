@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/attention.cpp" "src/ml/CMakeFiles/dfv_ml.dir/attention.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/attention.cpp.o.d"
+  "/root/repo/src/ml/gbr.cpp" "src/ml/CMakeFiles/dfv_ml.dir/gbr.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/gbr.cpp.o.d"
+  "/root/repo/src/ml/kfold.cpp" "src/ml/CMakeFiles/dfv_ml.dir/kfold.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/kfold.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/dfv_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/dfv_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/dfv_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mutual_info.cpp" "src/ml/CMakeFiles/dfv_ml.dir/mutual_info.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/mutual_info.cpp.o.d"
+  "/root/repo/src/ml/rfe.cpp" "src/ml/CMakeFiles/dfv_ml.dir/rfe.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/rfe.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/dfv_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/dfv_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/dfv_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

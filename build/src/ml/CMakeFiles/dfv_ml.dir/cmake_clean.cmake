@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_ml.dir/attention.cpp.o"
+  "CMakeFiles/dfv_ml.dir/attention.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/gbr.cpp.o"
+  "CMakeFiles/dfv_ml.dir/gbr.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/kfold.cpp.o"
+  "CMakeFiles/dfv_ml.dir/kfold.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/linear.cpp.o"
+  "CMakeFiles/dfv_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/matrix.cpp.o"
+  "CMakeFiles/dfv_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/metrics.cpp.o"
+  "CMakeFiles/dfv_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/mutual_info.cpp.o"
+  "CMakeFiles/dfv_ml.dir/mutual_info.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/rfe.cpp.o"
+  "CMakeFiles/dfv_ml.dir/rfe.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/scaler.cpp.o"
+  "CMakeFiles/dfv_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/dfv_ml.dir/tree.cpp.o"
+  "CMakeFiles/dfv_ml.dir/tree.cpp.o.d"
+  "libdfv_ml.a"
+  "libdfv_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

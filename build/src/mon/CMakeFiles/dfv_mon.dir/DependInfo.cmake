@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mon/counter_model.cpp" "src/mon/CMakeFiles/dfv_mon.dir/counter_model.cpp.o" "gcc" "src/mon/CMakeFiles/dfv_mon.dir/counter_model.cpp.o.d"
+  "/root/repo/src/mon/counters.cpp" "src/mon/CMakeFiles/dfv_mon.dir/counters.cpp.o" "gcc" "src/mon/CMakeFiles/dfv_mon.dir/counters.cpp.o.d"
+  "/root/repo/src/mon/ldms.cpp" "src/mon/CMakeFiles/dfv_mon.dir/ldms.cpp.o" "gcc" "src/mon/CMakeFiles/dfv_mon.dir/ldms.cpp.o.d"
+  "/root/repo/src/mon/mpip.cpp" "src/mon/CMakeFiles/dfv_mon.dir/mpip.cpp.o" "gcc" "src/mon/CMakeFiles/dfv_mon.dir/mpip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

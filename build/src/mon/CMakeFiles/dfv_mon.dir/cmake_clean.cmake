@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_mon.dir/counter_model.cpp.o"
+  "CMakeFiles/dfv_mon.dir/counter_model.cpp.o.d"
+  "CMakeFiles/dfv_mon.dir/counters.cpp.o"
+  "CMakeFiles/dfv_mon.dir/counters.cpp.o.d"
+  "CMakeFiles/dfv_mon.dir/ldms.cpp.o"
+  "CMakeFiles/dfv_mon.dir/ldms.cpp.o.d"
+  "CMakeFiles/dfv_mon.dir/mpip.cpp.o"
+  "CMakeFiles/dfv_mon.dir/mpip.cpp.o.d"
+  "libdfv_mon.a"
+  "libdfv_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dfv_mon.
+# This may be replaced when dependencies are built.

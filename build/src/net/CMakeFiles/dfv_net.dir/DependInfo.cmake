@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow_model.cpp" "src/net/CMakeFiles/dfv_net.dir/flow_model.cpp.o" "gcc" "src/net/CMakeFiles/dfv_net.dir/flow_model.cpp.o.d"
+  "/root/repo/src/net/packet_sim.cpp" "src/net/CMakeFiles/dfv_net.dir/packet_sim.cpp.o" "gcc" "src/net/CMakeFiles/dfv_net.dir/packet_sim.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/dfv_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/dfv_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/dfv_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/dfv_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/vc_sim.cpp" "src/net/CMakeFiles/dfv_net.dir/vc_sim.cpp.o" "gcc" "src/net/CMakeFiles/dfv_net.dir/vc_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

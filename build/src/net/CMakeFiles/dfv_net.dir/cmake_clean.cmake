@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_net.dir/flow_model.cpp.o"
+  "CMakeFiles/dfv_net.dir/flow_model.cpp.o.d"
+  "CMakeFiles/dfv_net.dir/packet_sim.cpp.o"
+  "CMakeFiles/dfv_net.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/dfv_net.dir/routing.cpp.o"
+  "CMakeFiles/dfv_net.dir/routing.cpp.o.d"
+  "CMakeFiles/dfv_net.dir/topology.cpp.o"
+  "CMakeFiles/dfv_net.dir/topology.cpp.o.d"
+  "CMakeFiles/dfv_net.dir/vc_sim.cpp.o"
+  "CMakeFiles/dfv_net.dir/vc_sim.cpp.o.d"
+  "libdfv_net.a"
+  "libdfv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

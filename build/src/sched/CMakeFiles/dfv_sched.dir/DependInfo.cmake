@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocator.cpp" "src/sched/CMakeFiles/dfv_sched.dir/allocator.cpp.o" "gcc" "src/sched/CMakeFiles/dfv_sched.dir/allocator.cpp.o.d"
+  "/root/repo/src/sched/placement.cpp" "src/sched/CMakeFiles/dfv_sched.dir/placement.cpp.o" "gcc" "src/sched/CMakeFiles/dfv_sched.dir/placement.cpp.o.d"
+  "/root/repo/src/sched/slurm.cpp" "src/sched/CMakeFiles/dfv_sched.dir/slurm.cpp.o" "gcc" "src/sched/CMakeFiles/dfv_sched.dir/slurm.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/dfv_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/dfv_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

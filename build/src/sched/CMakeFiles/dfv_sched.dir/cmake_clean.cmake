@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_sched.dir/allocator.cpp.o"
+  "CMakeFiles/dfv_sched.dir/allocator.cpp.o.d"
+  "CMakeFiles/dfv_sched.dir/placement.cpp.o"
+  "CMakeFiles/dfv_sched.dir/placement.cpp.o.d"
+  "CMakeFiles/dfv_sched.dir/slurm.cpp.o"
+  "CMakeFiles/dfv_sched.dir/slurm.cpp.o.d"
+  "CMakeFiles/dfv_sched.dir/workload.cpp.o"
+  "CMakeFiles/dfv_sched.dir/workload.cpp.o.d"
+  "libdfv_sched.a"
+  "libdfv_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

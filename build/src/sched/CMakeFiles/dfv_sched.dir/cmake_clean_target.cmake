@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfv_sched.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/dfv_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/dfv_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/dfv_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/dfv_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/congestion_aware.cpp" "src/sim/CMakeFiles/dfv_sim.dir/congestion_aware.cpp.o" "gcc" "src/sim/CMakeFiles/dfv_sim.dir/congestion_aware.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/dfv_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/dfv_sim.dir/dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/dfv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dfv_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfv_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_sim.dir/campaign.cpp.o"
+  "CMakeFiles/dfv_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/dfv_sim.dir/cluster.cpp.o"
+  "CMakeFiles/dfv_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/dfv_sim.dir/congestion_aware.cpp.o"
+  "CMakeFiles/dfv_sim.dir/congestion_aware.cpp.o.d"
+  "CMakeFiles/dfv_sim.dir/dataset.cpp.o"
+  "CMakeFiles/dfv_sim.dir/dataset.cpp.o.d"
+  "libdfv_sim.a"
+  "libdfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention.dir/test_attention.cpp.o"
+  "CMakeFiles/test_attention.dir/test_attention.cpp.o.d"
+  "test_attention"
+  "test_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

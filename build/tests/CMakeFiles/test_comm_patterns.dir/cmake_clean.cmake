@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_patterns.dir/test_comm_patterns.cpp.o"
+  "CMakeFiles/test_comm_patterns.dir/test_comm_patterns.cpp.o.d"
+  "test_comm_patterns"
+  "test_comm_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

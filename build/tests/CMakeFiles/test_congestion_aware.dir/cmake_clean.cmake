@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congestion_aware.dir/test_congestion_aware.cpp.o"
+  "CMakeFiles/test_congestion_aware.dir/test_congestion_aware.cpp.o.d"
+  "test_congestion_aware"
+  "test_congestion_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congestion_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_properties.dir/test_counter_properties.cpp.o"
+  "CMakeFiles/test_counter_properties.dir/test_counter_properties.cpp.o.d"
+  "test_counter_properties"
+  "test_counter_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deviation.dir/test_deviation.cpp.o"
+  "CMakeFiles/test_deviation.dir/test_deviation.cpp.o.d"
+  "test_deviation"
+  "test_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_model.dir/test_flow_model.cpp.o"
+  "CMakeFiles/test_flow_model.dir/test_flow_model.cpp.o.d"
+  "test_flow_model"
+  "test_flow_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

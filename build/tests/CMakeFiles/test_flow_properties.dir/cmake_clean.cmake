@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_properties.dir/test_flow_properties.cpp.o"
+  "CMakeFiles/test_flow_properties.dir/test_flow_properties.cpp.o.d"
+  "test_flow_properties"
+  "test_flow_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

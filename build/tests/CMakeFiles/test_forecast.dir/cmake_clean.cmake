@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast.dir/test_forecast.cpp.o"
+  "CMakeFiles/test_forecast.dir/test_forecast.cpp.o.d"
+  "test_forecast"
+  "test_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbr.dir/test_gbr.cpp.o"
+  "CMakeFiles/test_gbr.dir/test_gbr.cpp.o.d"
+  "test_gbr"
+  "test_gbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kfold.dir/test_kfold.cpp.o"
+  "CMakeFiles/test_kfold.dir/test_kfold.cpp.o.d"
+  "test_kfold"
+  "test_kfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldms.dir/test_ldms.cpp.o"
+  "CMakeFiles/test_ldms.dir/test_ldms.cpp.o.d"
+  "test_ldms"
+  "test_ldms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

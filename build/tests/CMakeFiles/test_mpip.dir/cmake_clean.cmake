@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpip.dir/test_mpip.cpp.o"
+  "CMakeFiles/test_mpip.dir/test_mpip.cpp.o.d"
+  "test_mpip"
+  "test_mpip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

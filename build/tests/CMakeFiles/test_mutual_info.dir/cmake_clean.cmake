@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutual_info.dir/test_mutual_info.cpp.o"
+  "CMakeFiles/test_mutual_info.dir/test_mutual_info.cpp.o.d"
+  "test_mutual_info"
+  "test_mutual_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutual_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

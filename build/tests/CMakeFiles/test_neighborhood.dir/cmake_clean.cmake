@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighborhood.dir/test_neighborhood.cpp.o"
+  "CMakeFiles/test_neighborhood.dir/test_neighborhood.cpp.o.d"
+  "test_neighborhood"
+  "test_neighborhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

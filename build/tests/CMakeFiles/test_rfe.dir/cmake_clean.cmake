@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfe.dir/test_rfe.cpp.o"
+  "CMakeFiles/test_rfe.dir/test_rfe.cpp.o.d"
+  "test_rfe"
+  "test_rfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

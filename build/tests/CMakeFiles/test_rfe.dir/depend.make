@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rfe.
+# This may be replaced when dependencies are built.

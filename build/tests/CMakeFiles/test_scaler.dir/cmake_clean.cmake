@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaler.dir/test_scaler.cpp.o"
+  "CMakeFiles/test_scaler.dir/test_scaler.cpp.o.d"
+  "test_scaler"
+  "test_scaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slurm.dir/test_slurm.cpp.o"
+  "CMakeFiles/test_slurm.dir/test_slurm.cpp.o.d"
+  "test_slurm"
+  "test_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

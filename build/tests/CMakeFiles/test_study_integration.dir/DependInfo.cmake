@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_study_integration.cpp" "tests/CMakeFiles/test_study_integration.dir/test_study_integration.cpp.o" "gcc" "tests/CMakeFiles/test_study_integration.dir/test_study_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dfv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dfv_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/dfv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfv_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_csv.dir/test_table_csv.cpp.o"
+  "CMakeFiles/test_table_csv.dir/test_table_csv.cpp.o.d"
+  "test_table_csv"
+  "test_table_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree.dir/test_tree.cpp.o"
+  "CMakeFiles/test_tree.dir/test_tree.cpp.o.d"
+  "test_tree"
+  "test_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_properties.dir/test_vc_properties.cpp.o"
+  "CMakeFiles/test_vc_properties.dir/test_vc_properties.cpp.o.d"
+  "test_vc_properties"
+  "test_vc_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_sim.dir/test_vc_sim.cpp.o"
+  "CMakeFiles/test_vc_sim.dir/test_vc_sim.cpp.o.d"
+  "test_vc_sim"
+  "test_vc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_cli.dir/dfv.cpp.o"
+  "CMakeFiles/dfv_cli.dir/dfv.cpp.o.d"
+  "dfv"
+  "dfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
