@@ -7,13 +7,13 @@
 #include "common/table.hpp"
 
 #include "common/log.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::bench {
 
 sim::CampaignConfig paper_campaign_config() {
-  sim::CampaignConfig cfg;  // Cori-scale defaults: 34 groups, 120 days
-  cfg.seed = 20181203;      // campaign start: Dec 3, 2018
-  return cfg;
+  // Cori-scale defaults: 34 groups, 120 days; campaign start Dec 3, 2018.
+  return sim::CampaignConfig::cori().seed(20181203).build();
 }
 
 std::string cache_dir() {
@@ -28,7 +28,19 @@ std::string cache_dir() {
 
 core::VariabilityStudy make_study() {
   set_log_level(LogLevel::Warn);
+  exec::configure_threads(0);  // size the pool from DFV_THREADS (or hardware)
   return core::VariabilityStudy(paper_campaign_config(), cache_dir());
+}
+
+PhaseTimer::PhaseTimer(std::string phase)
+    : phase_(std::move(phase)), start_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() {
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const int threads = exec::ThreadPool::instance().size();
+  std::cerr << "[" << phase_ << "] wall-clock " << format_double(secs, 2) << " s on "
+            << threads << " thread" << (threads == 1 ? "" : "s") << "\n";
 }
 
 void print_header(const std::string& experiment, const std::string& description) {

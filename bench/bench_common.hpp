@@ -4,6 +4,7 @@
 // every bench binary through an on-disk cache.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "core/study.hpp"
@@ -27,5 +28,21 @@ void print_header(const std::string& experiment, const std::string& description)
 /// Figures 4-5 panel: compute vs. MPI split (best/average/worst run) and
 /// the per-routine MPI breakdown of one dataset.
 void print_mpi_breakdown(const sim::Dataset& ds);
+
+/// Scope guard that prints "[phase] wall-clock X s on N threads" to
+/// stderr on destruction, so each bench phase reports the speedup the
+/// dfv::exec pool delivered. Usage:
+///   { PhaseTimer t("campaign"); auto& res = study.campaign(); ... }
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace dfv::bench

@@ -16,6 +16,7 @@ int main() {
   bench::print_header("Figure 1",
                       "Relative performance vs. best run, 128-node datasets over time");
   auto study = bench::make_study();
+  bench::PhaseTimer timer("fig01");
 
   std::vector<Series> series;
   Table t({"app", "runs", "best (s)", "median rel.", "worst rel."});

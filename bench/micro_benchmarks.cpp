@@ -6,15 +6,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <thread>
 
 #include "apps/registry.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
+#include "exec/exec.hpp"
 #include "ml/attention.hpp"
 #include "ml/gbr.hpp"
 #include "mon/counter_model.hpp"
 #include "net/flow_model.hpp"
 #include "net/packet_sim.hpp"
 #include "sched/allocator.hpp"
+#include "sim/campaign.hpp"
 #include "sim/cluster.hpp"
 
 namespace {
@@ -176,6 +180,61 @@ void BM_ClusterMilcStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClusterMilcStep)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+// parallel_scaling: the same work at different dfv::exec pool widths.
+// Output is bit-identical for every width (the determinism contract);
+// only wall-clock changes. The `hw_cores` counter names the machine's
+// concurrency so speedups are read against what the hardware can give —
+// widths past hw_cores measure oversubscription overhead, not speedup.
+
+void BM_ParallelScalingCampaign(benchmark::State& state) {
+  set_log_level(LogLevel::Warn);
+  exec::ThreadPool::instance().resize(int(state.range(0)));
+  const sim::CampaignConfig cfg = sim::CampaignConfig::small_machine(42)
+                                      .days(2)
+                                      .dataset("MILC", 128)
+                                      .build();
+  for (auto _ : state) benchmark::DoNotOptimize(sim::run_campaign(cfg));
+  state.counters["threads"] = double(state.range(0));
+  state.counters["hw_cores"] = double(std::thread::hardware_concurrency());
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+}
+BENCHMARK(BM_ParallelScalingCampaign)
+    ->Name("parallel_scaling/campaign")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ParallelScalingBackgroundRoute(benchmark::State& state) {
+  exec::ThreadPool::instance().resize(int(state.range(0)));
+  const auto& topo = cori();
+  const net::FlowModel flow(topo);
+  sched::NodeAllocator alloc(topo);
+  Rng rng(5);
+  const auto placement =
+      sched::make_placement(alloc.allocate(512, sched::AllocPolicy::Clustered, rng), topo);
+  sched::TrafficSpec spec;
+  spec.net_bytes_per_node_per_s = 1e9;
+  const auto demands = sched::generate_background_demands(placement, spec, {}, topo, rng);
+  for (auto _ : state) {
+    net::RateLoads out;
+    out.resize(topo);
+    Rng r(6);
+    flow.route_background(demands, net::RoutingPolicy::Ugal, 1.0, r, out);
+    benchmark::DoNotOptimize(out.link_rate.data());
+  }
+  state.counters["threads"] = double(state.range(0));
+  state.counters["hw_cores"] = double(std::thread::hardware_concurrency());
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+}
+BENCHMARK(BM_ParallelScalingBackgroundRoute)
+    ->Name("parallel_scaling/background_route")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

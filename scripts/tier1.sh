@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + full ctest, then rebuild the
+# concurrency-sensitive targets under ThreadSanitizer and run the exec
+# pool and campaign determinism tests with real data races fatal.
+#
+#   scripts/tier1.sh            # full run
+#   DFV_SKIP_TSAN=1 scripts/tier1.sh   # plain build + ctest only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -G Ninja
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "=== ThreadSanitizer pass (test_exec + test_campaign) ==="
+  cmake --preset tsan
+  cmake --build build-tsan -j --target test_exec test_campaign
+  # TSan needs real concurrency to observe races; force an oversubscribed
+  # pool so worker interleavings actually happen even on small machines.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_campaign
+fi
+
+echo "tier-1: OK"

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "exec/exec.hpp"
 #include "ml/kfold.hpp"
 #include "ml/metrics.hpp"
 
@@ -112,14 +113,21 @@ ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
 
   Rng rng(fcfg.seed);
   const auto folds = ml::group_kfold(wd.run_of, std::size_t(fcfg.folds), rng);
-  std::uint64_t seed = fcfg.attention.seed;
-  for (const auto& fold : folds) {
+  // Fold-parallel CV: each fold trains from its own substream seed and
+  // writes a private partial; partials combine in fold order, so the
+  // result is identical for any thread count.
+  struct FoldPartial {
+    double attention = 0.0, persistence = 0.0, mean = 0.0;
+  };
+  std::vector<FoldPartial> parts(folds.size());
+  ml::run_folds(folds.size(), [&](std::size_t fold_i) {
+    const auto& fold = folds[fold_i];
     const ml::Matrix x_train = wd.x.select_rows(fold.train);
     std::vector<double> y_train(fold.train.size());
     for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = wd.y[fold.train[i]];
 
     ml::AttentionParams ap = fcfg.attention;
-    ap.seed = seed++;
+    ap.seed = exec::substream_seed(fcfg.attention.seed, fold_i);
     ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), ap);
     model.fit(x_train, y_train);
 
@@ -131,11 +139,30 @@ ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
       persist[i] = wd.persistence[fold.test[i]];
       mean_pred[i] = mean_step * double(wcfg.k);
     }
-    eval.mape_attention += ml::mape(y_test, pred) / double(folds.size());
-    eval.mape_persistence += ml::mape(y_test, persist) / double(folds.size());
-    eval.mape_mean += ml::mape(y_test, mean_pred) / double(folds.size());
+    parts[fold_i] = {ml::mape(y_test, pred), ml::mape(y_test, persist),
+                     ml::mape(y_test, mean_pred)};
+  });
+  for (const FoldPartial& p : parts) {
+    eval.mape_attention += p.attention / double(folds.size());
+    eval.mape_persistence += p.persistence / double(folds.size());
+    eval.mape_mean += p.mean / double(folds.size());
   }
   return eval;
+}
+
+std::vector<ForecastGridCell> evaluate_forecast_grid(const sim::Dataset& ds,
+                                                     std::span<const WindowConfig> cells,
+                                                     const ForecastConfig& fcfg) {
+  std::vector<ForecastGridCell> out(cells.size());
+  // One task per (m, k, feature-set) cell; cells are fully independent, so
+  // each slot holds exactly what a standalone evaluate_forecast would
+  // return (inner fold tasks run inline when cells already occupy the
+  // pool).
+  exec::parallel_for(0, cells.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      out[i] = {cells[i], evaluate_forecast(ds, cells[i], fcfg)};
+  });
+  return out;
 }
 
 std::vector<double> forecast_feature_importance(const sim::Dataset& ds,

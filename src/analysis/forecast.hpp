@@ -71,6 +71,20 @@ struct ForecastEval {
                                              const WindowConfig& wcfg,
                                              const ForecastConfig& fcfg);
 
+/// One evaluated cell of the Fig. 8 / Fig. 10 ablation grids.
+struct ForecastGridCell {
+  WindowConfig window;
+  ForecastEval eval;
+};
+
+/// Evaluate a whole (m, k, feature-set) ablation grid. Cells are
+/// independent and run as parallel tasks on the dfv::exec pool; the
+/// result order matches `cells`, and every cell's numbers are identical
+/// to evaluating it alone.
+[[nodiscard]] std::vector<ForecastGridCell> evaluate_forecast_grid(
+    const sim::Dataset& ds, std::span<const WindowConfig> cells,
+    const ForecastConfig& fcfg);
+
 /// Permutation feature importances of a forecaster trained on the full
 /// dataset (Fig. 11).
 [[nodiscard]] std::vector<double> forecast_feature_importance(const sim::Dataset& ds,

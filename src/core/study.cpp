@@ -6,7 +6,12 @@
 namespace dfv::core {
 
 VariabilityStudy::VariabilityStudy(sim::CampaignConfig config, std::string cache_dir)
-    : config_(std::move(config)), cache_dir_(std::move(cache_dir)) {}
+    : config_(std::move(config)), cache_dir_(std::move(cache_dir)) {
+  config_.validate();
+}
+
+VariabilityStudy::VariabilityStudy(sim::CampaignBuilder builder, std::string cache_dir)
+    : VariabilityStudy(builder.build(), std::move(cache_dir)) {}
 
 const sim::CampaignResult& VariabilityStudy::campaign() {
   if (!campaign_) {
@@ -34,6 +39,12 @@ analysis::ForecastEval VariabilityStudy::forecast(const std::string& app, int no
                                                   const analysis::WindowConfig& wcfg,
                                                   const analysis::ForecastConfig& fcfg) {
   return analysis::evaluate_forecast(dataset(app, nodes), wcfg, fcfg);
+}
+
+std::vector<analysis::ForecastGridCell> VariabilityStudy::forecast_grid(
+    const std::string& app, int nodes, std::span<const analysis::WindowConfig> cells,
+    const analysis::ForecastConfig& fcfg) {
+  return analysis::evaluate_forecast_grid(dataset(app, nodes), cells, fcfg);
 }
 
 std::vector<double> VariabilityStudy::forecast_importance(

@@ -24,8 +24,14 @@ namespace dfv::core {
 class VariabilityStudy {
  public:
   /// `cache_dir`: when non-empty, datasets are cached there on disk and
-  /// reused by later studies with an identical configuration.
+  /// reused by later studies with an identical configuration. The config
+  /// is validated on construction (throws ContractError on nonsense).
   explicit VariabilityStudy(sim::CampaignConfig config = {}, std::string cache_dir = {});
+
+  /// Construct straight from a fluent builder:
+  ///   VariabilityStudy study(sim::CampaignConfig::cori().days(30).seed(7),
+  ///                          "dfv_cache");
+  explicit VariabilityStudy(sim::CampaignBuilder builder, std::string cache_dir = {});
 
   [[nodiscard]] const sim::CampaignConfig& config() const noexcept { return config_; }
 
@@ -45,6 +51,12 @@ class VariabilityStudy {
   [[nodiscard]] analysis::ForecastEval forecast(const std::string& app, int nodes,
                                                 const analysis::WindowConfig& wcfg,
                                                 const analysis::ForecastConfig& fcfg = {});
+
+  /// Figs. 8/10: a whole (m, k, feature-set) ablation grid, evaluated
+  /// cell-parallel on the dfv::exec pool.
+  [[nodiscard]] std::vector<analysis::ForecastGridCell> forecast_grid(
+      const std::string& app, int nodes, std::span<const analysis::WindowConfig> cells,
+      const analysis::ForecastConfig& fcfg = {});
 
   /// Fig. 11: forecaster permutation feature importances.
   [[nodiscard]] std::vector<double> forecast_importance(

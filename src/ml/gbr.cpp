@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::ml {
 
@@ -39,8 +40,11 @@ void GradientBoostedRegressor::fit(const Matrix& x, std::span<const double> y) {
 
     RegressionTree tree;
     tree.fit(x, residual, idx, params_.tree);
-    for (std::size_t i = 0; i < n; ++i)
-      f[i] += params_.learning_rate * tree.predict_one(x.row(i));
+    // Row-disjoint writes; per-row arithmetic is order-independent.
+    exec::parallel_for(0, n, 256, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        f[i] += params_.learning_rate * tree.predict_one(x.row(i));
+    });
     for (std::size_t c = 0; c < x.cols(); ++c) gain_acc_[c] += tree.feature_gains()[c];
     trees_.push_back(std::move(tree));
   }
@@ -54,7 +58,9 @@ double GradientBoostedRegressor::predict_one(std::span<const double> x) const {
 
 std::vector<double> GradientBoostedRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  exec::parallel_for(0, x.rows(), 128, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
+  });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::ml {
 
@@ -53,6 +54,12 @@ std::vector<FoldSplit> group_kfold(std::span<const std::size_t> groups, std::siz
       (g == f ? folds[g].test : folds[g].train).push_back(i);
   }
   return folds;
+}
+
+void run_folds(std::size_t k, const std::function<void(std::size_t)>& fn) {
+  exec::parallel_for(0, k, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t f = lo; f < hi; ++f) fn(f);
+  });
 }
 
 }  // namespace dfv::ml

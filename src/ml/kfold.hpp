@@ -2,6 +2,7 @@
 // for deviation prediction and CV splits for forecasting MAPE).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -22,5 +23,13 @@ struct FoldSplit {
 /// time steps of one run.
 [[nodiscard]] std::vector<FoldSplit> group_kfold(std::span<const std::size_t> groups,
                                                  std::size_t k, Rng& rng);
+
+/// Run `fn(fold_index)` once per fold on the global dfv::exec pool, one
+/// task per fold. Fold bodies must write only fold-private state (e.g. a
+/// partial-result slot indexed by fold); combine partials serially in fold
+/// order afterwards so CV results are identical for any thread count.
+/// Seed any per-fold model from the fold index (exec::substream_seed), not
+/// from a shared mutable RNG.
+void run_folds(std::size_t k, const std::function<void(std::size_t)>& fn);
 
 }  // namespace dfv::ml

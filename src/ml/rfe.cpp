@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "exec/exec.hpp"
 #include "ml/linear.hpp"
 #include "ml/metrics.hpp"
 
@@ -44,8 +45,25 @@ RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& pa
                          ? kfold(x.rows(), std::size_t(params.folds), rng)
                          : group_kfold(groups, std::size_t(params.folds), rng);
 
-  std::uint64_t fit_seed = params.gbr.seed;
-  for (const FoldSplit& fold : folds) {
+  // Folds are independent given per-fold seeds, so they run as parallel
+  // tasks writing fold-private partials; partials combine serially in fold
+  // order below. Each stage's model is seeded from (fold, stage) rather
+  // than a shared counter so results do not depend on scheduling.
+  struct FoldPartial {
+    double mape_full = 0.0;
+    double mape_linear = 0.0;
+    std::vector<double> relevance;
+    std::vector<double> survival;
+  };
+  std::vector<FoldPartial> parts(folds.size());
+
+  run_folds(folds.size(), [&](std::size_t fold_i) {
+    const FoldSplit& fold = folds[fold_i];
+    FoldPartial& part = parts[fold_i];
+    part.relevance.assign(F, 0.0);
+    part.survival.assign(F, 0.0);
+    const std::uint64_t fold_seed = hash_combine(params.gbr.seed, fold_i);
+
     const Matrix x_train = x.select_rows(fold.train);
     const Matrix x_test = x.select_rows(fold.test);
     std::vector<double> y_train(fold.train.size());
@@ -54,16 +72,14 @@ RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& pa
     // Full-feature reference models (GBR + linear baseline).
     {
       GbrParams gp = params.gbr;
-      gp.seed = fit_seed++;
+      gp.seed = exec::substream_seed(fold_seed, 0);
       GradientBoostedRegressor full(gp);
       full.fit(x_train, y_train);
-      result.cv_mape_full +=
-          offset_mape(y, full.predict(x_test), offset, fold.test) / double(folds.size());
+      part.mape_full = offset_mape(y, full.predict(x_test), offset, fold.test);
 
       LinearRegression lin;
       lin.fit(x_train, y_train);
-      result.cv_mape_linear +=
-          offset_mape(y, lin.predict(x_test), offset, fold.test) / double(folds.size());
+      part.mape_linear = offset_mape(y, lin.predict(x_test), offset, fold.test);
     }
 
     // Recursive elimination: active set shrinks by the least-important
@@ -73,11 +89,12 @@ RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& pa
     std::vector<std::size_t> elimination_order;  // first = dropped first
     std::vector<std::pair<double, std::vector<std::size_t>>> stages;  // err, subset
 
+    std::uint64_t stage_i = 1;
     while (active.size() >= 2) {
       const Matrix xs_train = x_train.select_cols(active);
       const Matrix xs_test = x_test.select_cols(active);
       GbrParams gp = params.gbr;
-      gp.seed = fit_seed++;
+      gp.seed = exec::substream_seed(fold_seed, stage_i++);
       GradientBoostedRegressor model(gp);
       model.fit(xs_train, y_train);
 
@@ -103,10 +120,19 @@ RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& pa
       if (err <= best_err * 1.05 && subset.size() <= best_subset->size())
         best_subset = &subset;
 
-    for (std::size_t f : *best_subset) result.relevance[f] += 1.0 / double(folds.size());
+    for (std::size_t f : *best_subset) part.relevance[f] += 1.0;
     for (std::size_t pos = 0; pos < elimination_order.size(); ++pos)
-      result.survival[elimination_order[pos]] +=
-          double(pos) / double(F - 1) / double(folds.size());
+      part.survival[elimination_order[pos]] += double(pos) / double(F - 1);
+  });
+
+  const double inv_folds = 1.0 / double(folds.size());
+  for (const FoldPartial& part : parts) {
+    result.cv_mape_full += part.mape_full * inv_folds;
+    result.cv_mape_linear += part.mape_linear * inv_folds;
+    for (std::size_t f = 0; f < F; ++f) {
+      result.relevance[f] += part.relevance[f] * inv_folds;
+      result.survival[f] += part.survival[f] * inv_folds;
+    }
   }
   return result;
 }

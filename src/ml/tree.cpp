@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::ml {
 
@@ -41,16 +42,18 @@ void RegressionTree::fit(const Matrix& x, std::span<const double> y,
     }
   }
 
-  // Bin every sample once.
+  // Bin every sample once. Rows are independent (disjoint writes).
   binned_.assign(n * F, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto row = x.row(local_rows_[i]);
-    for (std::size_t f = 0; f < F; ++f) {
-      const auto& edges = bin_edges_[f];
-      const auto it = std::lower_bound(edges.begin(), edges.end(), row[f]);
-      binned_[i * F + f] = std::uint8_t(it - edges.begin());
+  exec::parallel_for(0, n, 256, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto row = x.row(local_rows_[i]);
+      for (std::size_t f = 0; f < F; ++f) {
+        const auto& edges = bin_edges_[f];
+        const auto it = std::lower_bound(edges.begin(), edges.end(), row[f]);
+        binned_[i * F + f] = std::uint8_t(it - edges.begin());
+      }
     }
-  }
+  });
 
   std::vector<std::uint32_t> samples(n);
   for (std::size_t i = 0; i < n; ++i) samples[i] = std::uint32_t(i);
@@ -80,45 +83,65 @@ std::int32_t RegressionTree::build(std::vector<std::uint32_t>& samples, std::siz
   if (depth >= params_.max_depth || n < 2 * std::size_t(params_.min_samples_leaf))
     return node_id;
 
-  // Histogram scan for the best split across all features.
+  // Histogram scan for the best split across all features. The scan is
+  // parallel over features for large nodes: every feature's gain is an
+  // exact function of its own histogram, and the chunk-ordered combine
+  // keeps strict `>` semantics, so the chosen split (earliest feature on
+  // ties) is identical to the serial scan for any thread count. Small
+  // nodes (fixed threshold, never thread-dependent) scan inline to avoid
+  // dispatch overhead near the leaves.
   const std::size_t bins = std::size_t(params_.histogram_bins);
-  std::vector<double> bin_sum(bins);
-  std::vector<std::uint32_t> bin_cnt(bins);
-  double best_gain = 0.0;
-  int best_feature = -1;
-  std::uint8_t best_bin = 0;
   const double parent_score = sum * sum / double(n);
-
-  for (std::size_t f = 0; f < F; ++f) {
-    const std::size_t nb = bin_edges_[f].size() + 1;
-    if (nb < 2) continue;
-    std::fill(bin_sum.begin(), bin_sum.begin() + nb, 0.0);
-    std::fill(bin_cnt.begin(), bin_cnt.begin() + nb, 0u);
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint32_t s = samples[i];
-      const std::uint8_t b = binned_[std::size_t(s) * F + f];
-      bin_sum[b] += y_[local_rows_[s]];
-      ++bin_cnt[b];
-    }
-    double left_sum = 0.0;
-    std::size_t left_cnt = 0;
-    for (std::size_t b = 0; b + 1 < nb; ++b) {
-      left_sum += bin_sum[b];
-      left_cnt += bin_cnt[b];
-      const std::size_t right_cnt = n - left_cnt;
-      if (left_cnt < std::size_t(params_.min_samples_leaf) ||
-          right_cnt < std::size_t(params_.min_samples_leaf))
-        continue;
-      const double right_sum = sum - left_sum;
-      const double gain = left_sum * left_sum / double(left_cnt) +
-                          right_sum * right_sum / double(right_cnt) - parent_score;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = int(f);
-        best_bin = std::uint8_t(b);
+  struct Best {
+    double gain = 0.0;
+    int feature = -1;
+    std::uint8_t bin = 0;
+  };
+  const auto scan_features = [&](std::size_t f_lo, std::size_t f_hi) {
+    Best best;
+    std::vector<double> bin_sum(bins);
+    std::vector<std::uint32_t> bin_cnt(bins);
+    for (std::size_t f = f_lo; f < f_hi; ++f) {
+      const std::size_t nb = bin_edges_[f].size() + 1;
+      if (nb < 2) continue;
+      std::fill(bin_sum.begin(), bin_sum.begin() + nb, 0.0);
+      std::fill(bin_cnt.begin(), bin_cnt.begin() + nb, 0u);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t s = samples[i];
+        const std::uint8_t b = binned_[std::size_t(s) * F + f];
+        bin_sum[b] += y_[local_rows_[s]];
+        ++bin_cnt[b];
+      }
+      double left_sum = 0.0;
+      std::size_t left_cnt = 0;
+      for (std::size_t b = 0; b + 1 < nb; ++b) {
+        left_sum += bin_sum[b];
+        left_cnt += bin_cnt[b];
+        const std::size_t right_cnt = n - left_cnt;
+        if (left_cnt < std::size_t(params_.min_samples_leaf) ||
+            right_cnt < std::size_t(params_.min_samples_leaf))
+          continue;
+        const double right_sum = sum - left_sum;
+        const double gain = left_sum * left_sum / double(left_cnt) +
+                            right_sum * right_sum / double(right_cnt) - parent_score;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = int(f);
+          best.bin = std::uint8_t(b);
+        }
       }
     }
-  }
+    return best;
+  };
+  constexpr std::size_t kParallelNodeSize = 2048;
+  const Best found =
+      n >= kParallelNodeSize && F >= 2
+          ? exec::parallel_reduce(0, F, 1, Best{}, scan_features,
+                                  [](Best a, const Best& b) { return b.gain > a.gain ? b : a; })
+          : scan_features(0, F);
+  const double best_gain = found.gain;
+  const int best_feature = found.feature;
+  const std::uint8_t best_bin = found.bin;
 
   if (best_feature < 0 || best_gain <= 1e-12) return node_id;
 
@@ -158,7 +181,9 @@ double RegressionTree::predict_one(std::span<const double> x) const {
 
 std::vector<double> RegressionTree::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  exec::parallel_for(0, x.rows(), 512, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
+  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::mon {
 
@@ -82,9 +83,20 @@ CounterVec CounterModel::router_counters(net::RouterId r, const net::RateLoads& 
 CounterVec CounterModel::aggregate(std::span<const net::RouterId> routers,
                                    const net::RateLoads& bg, const net::ByteLoads& job,
                                    double dt) const {
-  CounterVec acc = zero_counters();
-  for (net::RouterId r : routers) add_into(acc, router_counters(r, bg, job, dt));
-  return acc;
+  // Chunked in index order with an ordered combine, so the floating-point
+  // sum is bit-identical for any thread count.
+  return exec::parallel_reduce(
+      0, routers.size(), 8, zero_counters(),
+      [&](std::size_t lo, std::size_t hi) {
+        CounterVec part = zero_counters();
+        for (std::size_t i = lo; i < hi; ++i)
+          add_into(part, router_counters(routers[i], bg, job, dt));
+        return part;
+      },
+      [](CounterVec a, const CounterVec& b) {
+        add_into(a, b);
+        return a;
+      });
 }
 
 }  // namespace dfv::mon

@@ -1,8 +1,10 @@
 #include "mon/ldms.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/check.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::mon {
 
@@ -38,43 +40,77 @@ LdmsFeatures LdmsSampler::sample(const net::RateLoads& bg, const net::ByteLoads&
   const double cycles = dt * cfg.clock_hz;
   LdmsFeatures f;
 
+  // All four aggregates below are chunked reductions combined in chunk
+  // order, so each sum is bit-identical for any thread count.
+  using Acc = std::array<double, 4>;
+  const auto add4 = [](Acc a, const Acc& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    return a;
+  };
+
   // ---- io aggregate: per-router counters over the I/O router set -------
-  for (net::RouterId r : io_routers_) {
-    const CounterVec v = model_->router_counters(r, bg, job, dt);
-    f.io[0] += v[size_t(Counter::RT_FLIT_TOT)];
-    f.io[1] += v[size_t(Counter::RT_RB_STL)];
-    f.io[2] += v[size_t(Counter::PT_FLIT_TOT)];
-    f.io[3] += v[size_t(Counter::PT_PKT_TOT)];
-  }
+  const Acc io = exec::parallel_reduce(
+      0, io_routers_.size(), 4, Acc{},
+      [&](std::size_t lo, std::size_t hi) {
+        Acc p{};
+        for (std::size_t i = lo; i < hi; ++i) {
+          const CounterVec v = model_->router_counters(io_routers_[i], bg, job, dt);
+          p[0] += v[size_t(Counter::RT_FLIT_TOT)];
+          p[1] += v[size_t(Counter::RT_RB_STL)];
+          p[2] += v[size_t(Counter::PT_FLIT_TOT)];
+          p[3] += v[size_t(Counter::PT_PKT_TOT)];
+        }
+        return p;
+      },
+      add4);
+  for (std::size_t i = 0; i < io.size(); ++i) f.io[i] = io[i];
 
   // ---- sys aggregate: system totals (one pass over links + router
   // endpoint arrays) minus the instrumented job's routers ----------------
   const auto& prm = model_->params();
-  double tot_rt_flit = 0.0, tot_rt_stl = 0.0;
-  for (int e = 0; e < topo.num_links(); ++e) {
-    const auto idx = std::size_t(e);
-    const double bytes = bg.link_rate[idx] * dt + job.link_bytes[idx];
-    if (bytes <= 0.0) continue;
-    const double u = bytes / (topo.link(net::LinkId(e)).capacity * dt);
-    tot_rt_flit += bytes / flit;
-    tot_rt_stl += cycles * (prm.in_stall_weight + prm.out_stall_weight) *
+  const Acc link_tot = exec::parallel_reduce(
+      0, std::size_t(topo.num_links()), 16384, Acc{},
+      [&](std::size_t lo, std::size_t hi) {
+        Acc p{};
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const double bytes = bg.link_rate[idx] * dt + job.link_bytes[idx];
+          if (bytes <= 0.0) continue;
+          const double u = bytes / (topo.link(net::LinkId(int(idx))).capacity * dt);
+          p[0] += bytes / flit;
+          p[1] += cycles * (prm.in_stall_weight + prm.out_stall_weight) *
                   net::stall_fraction(u);
-  }
-  double tot_pt_flit = 0.0;
+        }
+        return p;
+      },
+      add4);
+  const double tot_rt_flit = link_tot[0], tot_rt_stl = link_tot[1];
   const std::size_t R = std::size_t(cfg.num_routers());
-  for (std::size_t r = 0; r < R; ++r) {
-    tot_pt_flit += (bg.inject_rate[r] * dt + job.inject_bytes[r] + bg.eject_rate[r] * dt +
-                    job.eject_bytes[r]) /
-                   flit;
-  }
+  const double tot_pt_flit = exec::parallel_reduce(
+      0, R, 512, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double p = 0.0;
+        for (std::size_t r = lo; r < hi; ++r)
+          p += (bg.inject_rate[r] * dt + job.inject_bytes[r] + bg.eject_rate[r] * dt +
+                job.eject_bytes[r]) /
+               flit;
+        return p;
+      },
+      [](double a, double b) { return a + b; });
 
-  double job_rt_flit = 0.0, job_rt_stl = 0.0, job_pt_flit = 0.0;
-  for (net::RouterId r : job_routers) {
-    const CounterVec v = model_->router_counters(r, bg, job, dt);
-    job_rt_flit += v[size_t(Counter::RT_FLIT_TOT)];
-    job_rt_stl += v[size_t(Counter::RT_RB_STL)];
-    job_pt_flit += v[size_t(Counter::PT_FLIT_TOT)];
-  }
+  const Acc job_tot = exec::parallel_reduce(
+      0, job_routers.size(), 8, Acc{},
+      [&](std::size_t lo, std::size_t hi) {
+        Acc p{};
+        for (std::size_t i = lo; i < hi; ++i) {
+          const CounterVec v = model_->router_counters(job_routers[i], bg, job, dt);
+          p[0] += v[size_t(Counter::RT_FLIT_TOT)];
+          p[1] += v[size_t(Counter::RT_RB_STL)];
+          p[2] += v[size_t(Counter::PT_FLIT_TOT)];
+        }
+        return p;
+      },
+      add4);
+  const double job_rt_flit = job_tot[0], job_rt_stl = job_tot[1], job_pt_flit = job_tot[2];
 
   f.sys[0] = std::max(0.0, tot_rt_flit - job_rt_flit);
   f.sys[1] = std::max(0.0, tot_rt_stl - job_rt_stl);

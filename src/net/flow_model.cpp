@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "common/check.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::net {
 
@@ -33,29 +36,59 @@ int chunk_count(double bytes, const FlowModelParams& p) {
   return int(std::min<double>(n, p.max_chunks));
 }
 
+/// Demands per routing wave. Within a wave, paths are chosen in parallel
+/// against a frozen load snapshot; the snapshot is refreshed between waves
+/// so adaptive routing still reacts to earlier demands. The wave structure
+/// (and hence every result) depends only on the input order, never on the
+/// thread count.
+constexpr std::size_t kRoutingWave = 64;
+
 }  // namespace
 
 void FlowModel::route_background(std::span<const Demand> demands, RoutingPolicy policy,
                                  double dt, Rng& rng, RateLoads& out) const {
   DFV_CHECK(dt > 0.0);
   if (out.link_rate.size() != std::size_t(topo_->num_links())) out.resize(*topo_);
-  for (const Demand& d : demands) {
-    if (d.bytes <= 0.0 || d.src == d.dst) {
-      if (d.src == d.dst && d.bytes > 0.0) {
-        // Same-router traffic only touches the processor tiles.
-        out.inject_rate[std::size_t(d.src)] += d.bytes / dt;
-        out.eject_rate[std::size_t(d.dst)] += d.bytes / dt;
+  if (demands.empty()) return;
+
+  // One draw from the caller's stream; each demand routes from its own
+  // substream so wave-parallel execution consumes exactly the same random
+  // sequence per demand regardless of scheduling.
+  const std::uint64_t seed = rng();
+
+  std::vector<std::vector<Path>> wave_paths(std::min(kRoutingWave, demands.size()));
+  for (std::size_t wave_lo = 0; wave_lo < demands.size(); wave_lo += kRoutingWave) {
+    const std::size_t wave_hi = std::min(wave_lo + kRoutingWave, demands.size());
+    exec::parallel_for(wave_lo, wave_hi, 8, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        auto& slot = wave_paths[i - wave_lo];
+        slot.clear();
+        const Demand& d = demands[i];
+        if (d.bytes <= 0.0 || d.src == d.dst) continue;
+        Rng dr(exec::substream_seed(seed, i));
+        const int chunks = chunk_count(d.bytes, params_);
+        for (int c = 0; c < chunks; ++c)
+          slot.push_back(chooser_.choose(d.src, d.dst, policy, out.link_rate, dr));
       }
-      continue;
+    });
+    // Apply in demand order so accumulation is independent of scheduling.
+    for (std::size_t i = wave_lo; i < wave_hi; ++i) {
+      const Demand& d = demands[i];
+      if (d.bytes <= 0.0 || d.src == d.dst) {
+        if (d.src == d.dst && d.bytes > 0.0) {
+          // Same-router traffic only touches the processor tiles.
+          out.inject_rate[std::size_t(d.src)] += d.bytes / dt;
+          out.eject_rate[std::size_t(d.dst)] += d.bytes / dt;
+        }
+        continue;
+      }
+      const auto& slot = wave_paths[i - wave_lo];
+      const double chunk_rate = d.bytes / dt / double(slot.size());
+      for (const Path& p : slot)
+        for (LinkId id : p.links) out.link_rate[std::size_t(id)] += chunk_rate;
+      out.inject_rate[std::size_t(d.src)] += d.bytes / dt;
+      out.eject_rate[std::size_t(d.dst)] += d.bytes / dt;
     }
-    const int chunks = chunk_count(d.bytes, params_);
-    const double chunk_rate = d.bytes / dt / double(chunks);
-    for (int c = 0; c < chunks; ++c) {
-      const Path p = chooser_.choose(d.src, d.dst, policy, out.link_rate, rng);
-      for (LinkId id : p.links) out.link_rate[std::size_t(id)] += chunk_rate;
-    }
-    out.inject_rate[std::size_t(d.src)] += d.bytes / dt;
-    out.eject_rate[std::size_t(d.dst)] += d.bytes / dt;
   }
 }
 
@@ -85,52 +118,106 @@ TransferResult FlowModel::transfer(std::span<const Demand> messages, RoutingPoli
   std::vector<Flow> flows;
   flows.reserve(messages.size());
 
+  // Skeleton pass: fix the flow decomposition (message -> chunk-flows)
+  // before any routing so both the wave structure and the per-message RNG
+  // substreams are functions of the input alone.
   result.messages.resize(messages.size());
+  std::vector<std::pair<std::size_t, std::size_t>> msg_flows(messages.size(), {0, 0});
   for (std::size_t i = 0; i < messages.size(); ++i) {
     const Demand& d = messages[i];
     result.messages[i].demand = d;
     if (d.bytes <= 0.0) continue;
     const int chunks = d.src == d.dst ? 1 : chunk_count(d.bytes, params_);
     const double chunk_bytes = d.bytes / double(chunks);
+    msg_flows[i].first = flows.size();
     for (int c = 0; c < chunks; ++c) {
       Flow f;
       f.msg = i;
       f.bytes = chunk_bytes;
-      if (d.src != d.dst) {
-        Path p = chooser_.choose(d.src, d.dst, policy, est_rate, rng);
-        for (LinkId id : p.links) {
-          est_rate[std::size_t(id)] += chunk_bytes / kSelfRateDt;
-          f.resources.push_back(std::size_t(id));
-        }
-        if (c == 0) result.messages[i].path = p;  // representative path
-        if (ours != nullptr)
-          for (LinkId id : p.links) ours->link_bytes[std::size_t(id)] += chunk_bytes;
-      }
-      f.resources.push_back(L + std::size_t(d.src));
-      f.resources.push_back(L + R + std::size_t(d.dst));
       flows.push_back(std::move(f));
     }
+    msg_flows[i].second = flows.size();
     if (ours != nullptr) {
       ours->inject_bytes[std::size_t(d.src)] += d.bytes;
       ours->eject_bytes[std::size_t(d.dst)] += d.bytes;
     }
   }
 
-  // Residual capacities after background traffic, floored so saturated
-  // resources drain slowly instead of deadlocking the solve. Only the
-  // resources actually touched by a flow participate.
-  std::vector<std::size_t> used;
-  used.reserve(flows.size() * 8);
-  for (const Flow& f : flows) used.insert(used.end(), f.resources.begin(), f.resources.end());
-  std::sort(used.begin(), used.end());
-  used.erase(std::unique(used.begin(), used.end()), used.end());
+  // Wave-parallel routing. One draw seeds per-message substreams; each
+  // message routes its chunks sequentially from its own stream against the
+  // load snapshot frozen at the wave boundary, so results are bit-identical
+  // for any thread count. Self-load (est_rate) and byte accounting are
+  // applied serially in message order between waves.
+  const std::uint64_t phase_seed = rng();
+  for (std::size_t wave_lo = 0; wave_lo < messages.size(); wave_lo += kRoutingWave) {
+    const std::size_t wave_hi = std::min(wave_lo + kRoutingWave, messages.size());
+    exec::parallel_for(wave_lo, wave_hi, 8, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Demand& d = messages[i];
+        if (d.bytes <= 0.0 || d.src == d.dst) continue;
+        Rng mr(exec::substream_seed(phase_seed, i));
+        for (std::size_t fi = msg_flows[i].first; fi < msg_flows[i].second; ++fi) {
+          Path p = chooser_.choose(d.src, d.dst, policy, est_rate, mr);
+          Flow& f = flows[fi];
+          f.resources.reserve(p.links.size() + 2);
+          for (LinkId id : p.links) f.resources.push_back(std::size_t(id));
+          if (fi == msg_flows[i].first) result.messages[i].path = std::move(p);
+        }
+      }
+    });
+    for (std::size_t i = wave_lo; i < wave_hi; ++i) {
+      const Demand& d = messages[i];
+      if (d.bytes <= 0.0) continue;
+      for (std::size_t fi = msg_flows[i].first; fi < msg_flows[i].second; ++fi) {
+        Flow& f = flows[fi];
+        for (std::size_t r : f.resources) {
+          est_rate[r] += f.bytes / kSelfRateDt;
+          if (ours != nullptr) ours->link_bytes[r] += f.bytes;
+        }
+        f.resources.push_back(L + std::size_t(d.src));
+        f.resources.push_back(L + R + std::size_t(d.dst));
+      }
+    }
+  }
 
-  std::vector<double> residual(L + 2 * R, 0.0);
-  std::vector<int> nflows(L + 2 * R, 0);
+  // Dense-index the touched resources in first-touch (flow) order via an
+  // epoch-stamped lookup table: no O(refs log refs) sort, no O(L+2R) clear
+  // per call. `refs` flattens each flow's resources as dense ids.
+  if (res_stamp_.size() != L + 2 * R) {
+    res_stamp_.assign(L + 2 * R, 0);
+    res_dense_.assign(L + 2 * R, 0);
+    res_epoch_ = 0;
+  }
+  if (++res_epoch_ == 0) {  // epoch wrapped: invalidate all stamps
+    std::fill(res_stamp_.begin(), res_stamp_.end(), 0u);
+    res_epoch_ = 1;
+  }
+  std::vector<std::size_t> used;  // dense id -> raw resource id
+  std::vector<std::uint32_t> refs;
+  std::vector<std::uint32_t> flow_off(flows.size() + 1, 0);
+  refs.reserve(flows.size() * 8);
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    flow_off[fi] = std::uint32_t(refs.size());
+    for (std::size_t r : flows[fi].resources) {
+      if (res_stamp_[r] != res_epoch_) {
+        res_stamp_[r] = res_epoch_;
+        res_dense_[r] = std::uint32_t(used.size());
+        used.push_back(r);
+      }
+      refs.push_back(res_dense_[r]);
+    }
+  }
+  flow_off[flows.size()] = std::uint32_t(refs.size());
+  const std::size_t U = used.size();
+
+  // Residual capacities after background traffic, floored so saturated
+  // resources drain slowly instead of deadlocking the solve.
+  std::vector<double> residual(U, 0.0);
+  std::vector<int> nflows(U, 0);
   const double ep_bw = topo_->config().endpoint_bw;
-  for (const Flow& f : flows)
-    for (std::size_t r : f.resources) ++nflows[r];
-  for (std::size_t e : used) {
+  for (std::uint32_t id : refs) ++nflows[id];
+  for (std::size_t u = 0; u < U; ++u) {
+    const std::size_t e = used[u];
     double cap, bg_rate;
     if (e < L) {
       cap = topo_->link(LinkId(e)).capacity;
@@ -142,57 +229,67 @@ TransferResult FlowModel::transfer(std::span<const Demand> messages, RoutingPoli
       cap = ep_bw;
       bg_rate = bg.eject_rate[e - L - R];
     }
-    residual[e] = std::max(cap * params_.capacity_headroom - bg_rate,
+    residual[u] = std::max(cap * params_.capacity_headroom - bg_rate,
                            cap * params_.min_residual_frac);
   }
 
-  // Progressive-filling max-min fairness. Rounds are capped: in practice a
-  // phase has a handful of distinct bottlenecks; pathological inputs fall
-  // back to a per-flow bottleneck approximation for the stragglers.
+  // Inverted adjacency (resource -> flows crossing it) by counting sort;
+  // per-resource flow lists come out in ascending flow order.
+  std::vector<std::uint32_t> radj_off(U + 1, 0);
+  for (std::uint32_t id : refs) ++radj_off[id + 1];
+  for (std::size_t u = 0; u < U; ++u) radj_off[u + 1] += radj_off[u];
+  std::vector<std::uint32_t> radj_items(refs.size());
+  {
+    std::vector<std::uint32_t> cursor(radj_off.begin(), radj_off.end() - 1);
+    for (std::size_t fi = 0; fi < flows.size(); ++fi)
+      for (std::uint32_t k = flow_off[fi]; k < flow_off[fi + 1]; ++k)
+        radj_items[cursor[refs[k]]++] = std::uint32_t(fi);
+  }
+
+  // Progressive-filling max-min fairness with a lazy min-heap over
+  // (residual/nflows, resource). Water-filling shares are non-decreasing,
+  // so a popped entry is either current (freeze its flows) or stale
+  // (re-push the recomputed share). The pop cap guards pathological
+  // inputs; stragglers fall back to a per-flow bottleneck approximation.
   std::vector<char> done(flows.size(), 0);
   std::size_t remaining = flows.size();
-  constexpr int kMaxRounds = 256;
-  for (int round = 0; round < kMaxRounds && remaining > 0; ++round) {
-    // Find the bottleneck resource: min residual / flow-count.
-    double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_e = 0;
-    for (std::size_t e : used) {
-      if (nflows[e] <= 0) continue;
-      const double share = residual[e] / double(nflows[e]);
-      if (share < best_share) {
-        best_share = share;
-        best_e = e;
-      }
+  using HeapEntry = std::pair<double, std::uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  for (std::size_t u = 0; u < U; ++u)
+    if (nflows[u] > 0) heap.push({residual[u] / double(nflows[u]), std::uint32_t(u)});
+  std::size_t pops = 0;
+  const std::size_t pop_cap = 64 * U + refs.size() + 1024;
+  while (remaining > 0 && !heap.empty() && pops++ < pop_cap) {
+    const auto [share, u] = heap.top();
+    heap.pop();
+    if (nflows[u] <= 0) continue;
+    const double cur = residual[u] / double(nflows[u]);
+    if (cur != share) {
+      heap.push({cur, u});
+      continue;
     }
-    DFV_CHECK(std::isfinite(best_share));
-    // Freeze every active flow crossing the bottleneck at the fair share.
-    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    DFV_CHECK(std::isfinite(share));
+    for (std::uint32_t k = radj_off[u]; k < radj_off[u + 1]; ++k) {
+      const std::uint32_t fi = radj_items[k];
       if (done[fi]) continue;
-      Flow& f = flows[fi];
-      bool crosses = false;
-      for (std::size_t r : f.resources)
-        if (r == best_e) {
-          crosses = true;
-          break;
-        }
-      if (!crosses) continue;
-      f.rate = best_share;
+      flows[fi].rate = share;
       done[fi] = 1;
       --remaining;
-      for (std::size_t r : f.resources) {
-        residual[r] -= best_share;
-        --nflows[r];
+      for (std::uint32_t kk = flow_off[fi]; kk < flow_off[fi + 1]; ++kk) {
+        residual[refs[kk]] -= share;
+        --nflows[refs[kk]];
       }
     }
   }
   if (remaining > 0) {
     for (std::size_t fi = 0; fi < flows.size(); ++fi) {
       if (done[fi]) continue;
-      Flow& f = flows[fi];
       double share = std::numeric_limits<double>::infinity();
-      for (std::size_t r : f.resources)
-        if (nflows[r] > 0) share = std::min(share, residual[r] / double(nflows[r]));
-      f.rate = std::isfinite(share) ? std::max(share, 1.0) : 1.0;
+      for (std::uint32_t k = flow_off[fi]; k < flow_off[fi + 1]; ++k) {
+        const std::uint32_t u = refs[k];
+        if (nflows[u] > 0) share = std::min(share, residual[u] / double(nflows[u]));
+      }
+      flows[fi].rate = std::isfinite(share) ? std::max(share, 1.0) : 1.0;
     }
   }
 

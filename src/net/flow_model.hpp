@@ -9,6 +9,7 @@
 // DES in packet_sim.hpp validates its qualitative behavior.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -79,9 +80,14 @@ class FlowModel {
   const Topology* topo_;
   FlowModelParams params_;
   PathChooser chooser_;
-  /// Scratch link-rate buffer reused across transfer() calls. FlowModel is
-  /// therefore not safe for concurrent transfer() calls on one instance.
+  /// Scratch buffers reused across transfer() calls (link rates plus the
+  /// epoch-stamped resource->dense-index table of the max-min solve).
+  /// FlowModel is therefore not safe for concurrent transfer() calls on
+  /// one instance; transfer() itself parallelizes internally via dfv::exec.
   mutable std::vector<double> scratch_rate_;
+  mutable std::vector<std::uint32_t> res_stamp_;
+  mutable std::vector<std::uint32_t> res_dense_;
+  mutable std::uint32_t res_epoch_ = 0;
 };
 
 }  // namespace dfv::net

@@ -1,6 +1,7 @@
 #include "sim/campaign.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::sim {
 
@@ -28,6 +30,52 @@ CampaignConfig CampaignConfig::small(std::uint64_t seed) {
   c.cluster.max_bg_utilization = 0.55;
   c.datasets = {{"AMG", 128}, {"MILC", 128}, {"miniVite", 128}, {"UMT", 128}};
   return c;
+}
+
+CampaignBuilder CampaignConfig::cori() { return CampaignBuilder(CampaignConfig{}); }
+
+CampaignBuilder CampaignConfig::small_machine(std::uint64_t seed) {
+  return CampaignBuilder(CampaignConfig::small(seed));
+}
+
+void CampaignConfig::validate() const {
+  DFV_CHECK_MSG(days >= 1, "campaign days must be >= 1 (got " << days << ")");
+  DFV_CHECK_MSG(jobs_per_day >= 0.0,
+                "jobs_per_day must be >= 0 (got " << jobs_per_day << ")");
+  DFV_CHECK_MSG(warmup_days >= 0.0, "warmup_days must be >= 0 (got " << warmup_days << ")");
+  DFV_CHECK_MSG(quiet_users >= 0, "quiet_users must be >= 0 (got " << quiet_users << ")");
+  DFV_CHECK_MSG(neighborhood_min_nodes >= 0, "neighborhood_min_nodes must be >= 0");
+  DFV_CHECK_MSG(max_bg_job_nodes >= 1, "max_bg_job_nodes must be >= 1");
+  DFV_CHECK_MSG(threads >= 0, "threads must be >= 0 (0 = global default)");
+  DFV_CHECK_MSG(machine.groups >= 2 && machine.row_size >= 1 && machine.col_size >= 1 &&
+                    machine.nodes_per_router >= 1,
+                "machine shape is degenerate (groups " << machine.groups << ", row "
+                                                       << machine.row_size << ", col "
+                                                       << machine.col_size << ")");
+  DFV_CHECK_MSG(!datasets.empty(), "campaign needs at least one dataset");
+  for (const auto& d : datasets) {
+    DFV_CHECK_MSG(!d.app.empty(), "dataset with empty app name");
+    DFV_CHECK_MSG(d.nodes >= 1, "dataset " << d.app << " has nodes " << d.nodes);
+  }
+  DFV_CHECK_MSG(cluster.bg_refresh_interval_s > 0.0, "bg_refresh_interval_s must be > 0");
+  DFV_CHECK_MSG(cluster.max_bg_utilization > 0.0 && cluster.max_bg_utilization <= 1.0,
+                "max_bg_utilization must be in (0, 1]");
+  DFV_CHECK_MSG(cluster.mpi_noise_sigma >= 0.0, "mpi_noise_sigma must be >= 0");
+  DFV_CHECK_MSG(cluster.io_routers_per_group >= 1, "io_routers_per_group must be >= 1");
+}
+
+CampaignBuilder& CampaignBuilder::dataset(std::string app, int nodes) {
+  if (!datasets_replaced_) {
+    cfg_.datasets.clear();
+    datasets_replaced_ = true;
+  }
+  cfg_.datasets.push_back({std::move(app), nodes});
+  return *this;
+}
+
+CampaignConfig CampaignBuilder::build() const {
+  cfg_.validate();
+  return cfg_;
 }
 
 namespace {
@@ -72,6 +120,8 @@ const Dataset& CampaignResult::dataset(const std::string& app, int nodes) const 
 }
 
 CampaignResult run_campaign(const CampaignConfig& cfg) {
+  cfg.validate();
+  if (cfg.threads > 0) exec::ThreadPool::instance().resize(cfg.threads);
   CampaignResult result;
   Cluster cluster(cfg.machine, cfg.cluster, build_population(cfg), cfg.seed);
   Rng rng(hash_combine(cfg.seed, 0xca3b));
@@ -124,9 +174,15 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
 
   // Fill each run's neighborhood from the accounting log: users with at
   // least one qualified job overlapping the run, excluding the run itself.
+  // Runs are independent (each writes only its own record), so the scan is
+  // parallel over the flattened run list.
   result.sacct = cluster.slurm().sacct();
+  std::vector<RunRecord*> all_runs;
   for (auto& ds : result.datasets)
-    for (auto& run : ds.runs) {
+    for (auto& run : ds.runs) all_runs.push_back(&run);
+  exec::parallel_for(0, all_runs.size(), 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      RunRecord& run = *all_runs[i];
       std::vector<int> users;
       for (const auto& rec : result.sacct) {
         if (rec.job_id == run.job_id || rec.num_nodes < cfg.neighborhood_min_nodes)
@@ -140,33 +196,69 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       users.erase(std::unique(users.begin(), users.end()), users.end());
       run.neighborhood_users = std::move(users);
     }
+  });
   return result;
 }
 
 std::uint64_t config_fingerprint(const CampaignConfig& cfg) {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   auto mix = [&h](std::uint64_t v) { h = hash_combine(h, v); };
+  // Doubles are mixed by bit pattern: any change to any numeric knob must
+  // produce a different cache entry, without quantization collisions.
+  auto mix_d = [&mix](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
   mix(cfg.seed);
-  mix(std::uint64_t(cfg.machine.groups));
-  mix(std::uint64_t(cfg.machine.row_size));
-  mix(std::uint64_t(cfg.machine.col_size));
-  mix(std::uint64_t(cfg.machine.nodes_per_router));
+  // -- machine: every field, including bandwidths/latencies/clocks -------
+  const net::DragonflyConfig& m = cfg.machine;
+  mix(std::uint64_t(m.groups));
+  mix(std::uint64_t(m.row_size));
+  mix(std::uint64_t(m.col_size));
+  mix(std::uint64_t(m.nodes_per_router));
+  mix(std::uint64_t(m.global_ports_per_router));
+  mix_d(m.green_bw);
+  mix_d(m.black_bw);
+  mix_d(m.blue_bw);
+  mix_d(m.endpoint_bw);
+  mix_d(m.hop_latency);
+  mix_d(m.global_latency);
+  mix_d(m.flit_bytes);
+  mix_d(m.flits_per_packet);
+  mix_d(m.clock_hz);
+  // -- campaign protocol -------------------------------------------------
   mix(std::uint64_t(cfg.days));
-  mix(std::uint64_t(cfg.jobs_per_day * 1000));
-  mix(std::uint64_t(cfg.warmup_days * 1000));
+  mix_d(cfg.jobs_per_day);
+  mix_d(cfg.warmup_days);
   mix(std::uint64_t(cfg.quiet_users));
   mix(std::uint64_t(cfg.neighborhood_min_nodes));
   mix(std::uint64_t(cfg.max_bg_job_nodes));
-  mix(std::uint64_t(cfg.cluster.bg_refresh_interval_s * 1000));
-  mix(std::uint64_t(cfg.cluster.mpi_noise_sigma * 1.0e6));
-  mix(std::uint64_t(int(cfg.cluster.policy)));
+  // NOTE: cfg.threads is deliberately excluded — output is bit-identical
+  // for any thread count, so caches are shared across thread settings.
+  // -- cluster: flow model, routing, counters, scheduler knobs -----------
+  const ClusterParams& cl = cfg.cluster;
+  mix_d(cl.flow.capacity_headroom);
+  mix_d(cl.flow.min_residual_frac);
+  mix_d(cl.flow.chunk_bytes);
+  mix(std::uint64_t(cl.flow.max_chunks));
+  mix(std::uint64_t(cl.flow.routing.minimal_candidates));
+  mix(std::uint64_t(cl.flow.routing.valiant_candidates));
+  mix_d(cl.flow.routing.congestion_weight);
+  mix_d(cl.flow.routing.valiant_hop_penalty);
+  mix_d(cl.counters.response_fraction);
+  mix_d(cl.counters.in_stall_weight);
+  mix_d(cl.counters.out_stall_weight);
+  mix_d(cl.counters.cb_endpoint_weight);
+  mix_d(cl.counters.cb_transit_weight);
+  mix(std::uint64_t(int(cl.policy)));
+  mix_d(cl.bg_refresh_interval_s);
+  mix(std::uint64_t(cl.io_routers_per_group));
+  mix_d(cl.max_bg_utilization);
+  mix_d(cl.mpi_noise_sigma);
   for (const auto& d : cfg.datasets) {
     for (char c : d.app) mix(std::uint64_t(c));
     mix(std::uint64_t(d.nodes));
   }
   // Version tag: bump when the generator's behavior changes so stale
   // caches are not reused.
-  mix(0xDFC0DE06);
+  mix(0xDFC0DE07);
   return h;
 }
 
@@ -196,6 +288,7 @@ CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string&
       ok = ok && save_dataset(ds, (dir / (ds.spec.label() + ".csv")).string());
     if (ok) {
       std::ofstream m(meta);
+      m << "format=dfc0de07\n";
       m << "datasets=" << result.datasets.size() << "\n";
     }
   }

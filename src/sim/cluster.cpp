@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::sim {
 
@@ -65,21 +66,47 @@ void Cluster::refresh_background_if_needed() {
   }
 
   // Combine: weighted sparse sum with each job's current OU intensity.
-  bg_loads_.clear();
+  // Parallelized by partitioning the resource-id space: each chunk owns a
+  // disjoint dense range and scans every job's sorted sparse list (binary
+  // search to its start), so per-element accumulation order equals the
+  // serial job order and the result is thread-count independent.
+  std::vector<std::pair<const SparseLoads*, double>> active;
+  active.reserve(running.size());
   for (const auto& job : running) {
     const double mult = job.intensity();
     if (mult <= 0.0) continue;
     for (const auto& entry : bg_cache_) {
       if (entry.first != job.job_id) continue;
-      for (const auto& [e, v] : entry.second.links)
-        bg_loads_.link_rate[std::size_t(e)] += v * mult;
-      for (const auto& [r, v] : entry.second.inject)
-        bg_loads_.inject_rate[std::size_t(r)] += v * mult;
-      for (const auto& [r, v] : entry.second.eject)
-        bg_loads_.eject_rate[std::size_t(r)] += v * mult;
+      active.emplace_back(&entry.second, mult);
       break;
     }
   }
+  bg_loads_.clear();
+  exec::parallel_for(0, bg_loads_.link_rate.size(), 16384,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (const auto& [sp, mult] : active) {
+                         auto it = std::lower_bound(
+                             sp->links.begin(), sp->links.end(), lo,
+                             [](const auto& a, std::size_t v) { return std::size_t(a.first) < v; });
+                         for (; it != sp->links.end() && std::size_t(it->first) < hi; ++it)
+                           bg_loads_.link_rate[std::size_t(it->first)] += it->second * mult;
+                       }
+                     });
+  exec::parallel_for(0, bg_loads_.inject_rate.size(), 512,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (const auto& [sp, mult] : active) {
+                         auto it = std::lower_bound(
+                             sp->inject.begin(), sp->inject.end(), lo,
+                             [](const auto& a, std::size_t v) { return std::size_t(a.first) < v; });
+                         for (; it != sp->inject.end() && std::size_t(it->first) < hi; ++it)
+                           bg_loads_.inject_rate[std::size_t(it->first)] += it->second * mult;
+                         auto jt = std::lower_bound(
+                             sp->eject.begin(), sp->eject.end(), lo,
+                             [](const auto& a, std::size_t v) { return std::size_t(a.first) < v; });
+                         for (; jt != sp->eject.end() && std::size_t(jt->first) < hi; ++jt)
+                           bg_loads_.eject_rate[std::size_t(jt->first)] += jt->second * mult;
+                       }
+                     });
   bg_valid_ = true;
   bg_refresh_time_ = now;
   bg_epoch_seen_ = epoch;

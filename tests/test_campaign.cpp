@@ -6,8 +6,12 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 
 #include "common/log.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::sim {
 namespace {
@@ -122,6 +126,119 @@ TEST_F(CampaignTest, CacheRoundTrip) {
                   fresh.datasets[d].runs[r].total_time_s(), 1e-6);
   }
   fs::remove_all(cache);
+}
+
+void expect_bit_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.datasets.size(), b.datasets.size());
+  for (std::size_t d = 0; d < a.datasets.size(); ++d) {
+    const Dataset& x = a.datasets[d];
+    const Dataset& y = b.datasets[d];
+    ASSERT_EQ(x.num_runs(), y.num_runs()) << x.spec.label();
+    for (std::size_t r = 0; r < x.runs.size(); ++r) {
+      const RunRecord& p = x.runs[r];
+      const RunRecord& q = y.runs[r];
+      EXPECT_EQ(p.job_id, q.job_id);
+      // EXPECT_EQ on doubles is exact ==: the claim is bit-identical,
+      // not approximately equal.
+      EXPECT_EQ(p.submit_time_s, q.submit_time_s);
+      EXPECT_EQ(p.start_time_s, q.start_time_s);
+      EXPECT_EQ(p.end_time_s, q.end_time_s);
+      EXPECT_EQ(p.num_routers, q.num_routers);
+      EXPECT_EQ(p.num_groups, q.num_groups);
+      EXPECT_EQ(p.step_times, q.step_times);
+      EXPECT_EQ(p.step_counters, q.step_counters);
+      ASSERT_EQ(p.step_ldms.size(), q.step_ldms.size());
+      for (std::size_t s = 0; s < p.step_ldms.size(); ++s) {
+        EXPECT_EQ(p.step_ldms[s].io, q.step_ldms[s].io);
+        EXPECT_EQ(p.step_ldms[s].sys, q.step_ldms[s].sys);
+      }
+      EXPECT_EQ(p.profile.compute_s, q.profile.compute_s);
+      EXPECT_EQ(p.profile.routine_s, q.profile.routine_s);
+      EXPECT_EQ(p.neighborhood_users, q.neighborhood_users);
+    }
+  }
+}
+
+TEST_F(CampaignTest, BitIdenticalAcrossThreadCounts) {
+  CampaignConfig serial = tiny_config(13);
+  serial.threads = 1;
+  const CampaignResult a = run_campaign(serial);
+
+  CampaignConfig eight = tiny_config(13);
+  eight.threads = 8;
+  const CampaignResult b = run_campaign(eight);
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+
+  expect_bit_identical(a, b);
+}
+
+TEST_F(CampaignTest, ThreadCountInvariantCacheEntries) {
+  namespace fs = std::filesystem;
+  CampaignConfig c1 = tiny_config(17);
+  c1.threads = 1;
+  CampaignConfig c8 = tiny_config(17);
+  c8.threads = 8;
+  // The thread count is deliberately not fingerprinted: output is
+  // thread-invariant, so caches are shared across --threads settings.
+  ASSERT_EQ(config_fingerprint(c1), config_fingerprint(c8));
+
+  const std::string dir1 = testing::TempDir() + "/dfv_det_t1";
+  const std::string dir8 = testing::TempDir() + "/dfv_det_t8";
+  fs::remove_all(dir1);
+  fs::remove_all(dir8);
+  (void)run_campaign_cached(c1, dir1);
+  (void)run_campaign_cached(c8, dir8);
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+
+  // Same fingerprint-keyed entry name, byte-identical file contents.
+  const auto slurp_tree = [](const std::string& root) {
+    std::map<std::string, std::string> files;
+    for (const auto& e : fs::recursive_directory_iterator(root)) {
+      if (!e.is_regular_file()) continue;
+      std::ifstream in(e.path(), std::ios::binary);
+      std::ostringstream body;
+      body << in.rdbuf();
+      files[fs::relative(e.path(), root).string()] = body.str();
+    }
+    return files;
+  };
+  const auto t1 = slurp_tree(dir1);
+  const auto t8 = slurp_tree(dir8);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t8);
+  fs::remove_all(dir1);
+  fs::remove_all(dir8);
+}
+
+TEST_F(CampaignTest, ValidateRejectsNonsense) {
+  CampaignConfig cfg = tiny_config();
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.days = 0;
+  EXPECT_THROW(cfg.validate(), ContractError);
+  cfg = tiny_config();
+  cfg.datasets.clear();
+  EXPECT_THROW(cfg.validate(), ContractError);
+  cfg = tiny_config();
+  cfg.datasets[0].nodes = -1;
+  EXPECT_THROW(cfg.validate(), ContractError);
+  cfg = tiny_config();
+  cfg.threads = -2;
+  EXPECT_THROW(cfg.validate(), ContractError);
+}
+
+TEST_F(CampaignTest, BuilderFluentConstruction) {
+  const CampaignConfig cfg = CampaignConfig::small_machine(7)
+                                 .days(3)
+                                 .threads(2)
+                                 .dataset("MILC", 128)
+                                 .dataset("UMT", 128)
+                                 .build();
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_EQ(cfg.days, 3);
+  EXPECT_EQ(cfg.threads, 2);
+  ASSERT_EQ(cfg.datasets.size(), 2u);  // dataset() replaced the defaults
+  EXPECT_EQ(cfg.datasets[0].label(), "MILC-128");
+  EXPECT_THROW((void)CampaignConfig::cori().days(-1).build(), ContractError);
 }
 
 TEST_F(CampaignTest, DatasetLookup) {

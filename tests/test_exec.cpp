@@ -1,0 +1,142 @@
+#include "exec/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dfv::exec {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ThreadPool::instance().resize(4); }
+  void TearDown() override { ThreadPool::instance().resize(4); }
+};
+
+TEST_F(ExecTest, ResolveThreadsPrecedence) {
+  EXPECT_EQ(resolve_threads(3), 3);  // flag wins over everything
+  EXPECT_GE(resolve_threads(0), 1);  // env/hardware fallback is sane
+}
+
+TEST_F(ExecTest, PoolLifecycleResize) {
+  auto& pool = ThreadPool::instance();
+  for (int n : {1, 2, 8, 1, 4}) {
+    pool.resize(n);
+    EXPECT_EQ(pool.size(), n);
+    std::atomic<int> count{0};
+    parallel_for(0, 1000, 16, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(int(hi - lo), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 1000);
+  }
+}
+
+TEST_F(ExecTest, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1237);
+  parallel_for(0, hits.size(), 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ExecTest, ExceptionPropagatesOutOfParallelFor) {
+  EXPECT_THROW(
+      parallel_for(0, 256, 1,
+                   [&](std::size_t lo, std::size_t) {
+                     if (lo == 100) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+  // The pool must remain usable after a failed region.
+  std::atomic<int> count{0};
+  parallel_for(0, 64, 4, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(int(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST_F(ExecTest, NestedCallsRunInline) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // Nested region: must execute inline without deadlocking.
+    parallel_for(0, 10, 2, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(int(hi - lo), std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 80);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST_F(ExecTest, GrainOneVsGrainNEquivalence) {
+  // A chunked reduction must give bit-identical results for any thread
+  // count at fixed grain; and the grain=1 decomposition equals a serial
+  // left fold.
+  std::vector<double> vals(5000);
+  Rng rng(42);
+  for (double& v : vals) v = rng.uniform(-1.0, 1.0);
+
+  auto sum_with = [&](std::size_t grain) {
+    return parallel_reduce(
+        0, vals.size(), grain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += vals[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+
+  double serial = 0.0;
+  for (double v : vals) serial += v;
+  EXPECT_DOUBLE_EQ(sum_with(1), serial);  // grain=1: identical fold order
+
+  const double g64 = sum_with(64);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::instance().resize(threads);
+    EXPECT_DOUBLE_EQ(sum_with(64), g64) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(sum_with(1), serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(ExecTest, ParallelMapFillsEverySlot) {
+  const auto out = parallel_map<std::uint64_t>(
+      777, 5, [](std::size_t i) { return substream_seed(1, i); });
+  ASSERT_EQ(out.size(), 777u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], substream_seed(1, i)) << i;
+}
+
+TEST_F(ExecTest, SubstreamSeedsDecorrelated) {
+  // Substream seeds must differ from each other and from the parent.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) seeds.push_back(substream_seed(7, i));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST_F(ExecTest, ManySmallRegionsStress) {
+  // Back-to-back small regions exercise the spin/wake path and stale
+  // worker claims across generations.
+  std::uint64_t acc = 0;
+  for (int rep = 0; rep < 2000; ++rep) {
+    acc += parallel_reduce(
+        0, 64, 8, std::uint64_t{0},
+        [&](std::size_t lo, std::size_t hi) { return std::uint64_t(hi - lo); },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
+  EXPECT_EQ(acc, 2000u * 64u);
+}
+
+TEST_F(ExecTest, ResizeInsideRegionRejected) {
+  parallel_for(0, 4, 1, [&](std::size_t, std::size_t) {
+    EXPECT_THROW(ThreadPool::instance().resize(2), ContractError);
+  });
+}
+
+}  // namespace
+}  // namespace dfv::exec

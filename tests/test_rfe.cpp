@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "exec/exec.hpp"
 
 namespace dfv::ml {
 namespace {
@@ -90,6 +91,28 @@ TEST(Rfe, RequiresAtLeastTwoFeatures) {
   Matrix x(10, 1);
   const std::vector<double> y(10, 1.0);
   EXPECT_THROW((void)rfe_cv(x, y, fast_params()), ContractError);
+}
+
+TEST(Rfe, BitIdenticalAcrossThreadCounts) {
+  // Fold-parallel CV must reproduce the single-thread result exactly:
+  // per-fold substream seeds plus fold-ordered combining make every score
+  // a pure function of the inputs.
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y, offset;
+  make_data(600, x, y, offset, rng);
+
+  exec::ThreadPool::instance().resize(1);
+  const RfeResult serial = rfe_cv(x, y, fast_params(), offset);
+  for (int threads : {2, 8}) {
+    exec::ThreadPool::instance().resize(threads);
+    const RfeResult res = rfe_cv(x, y, fast_params(), offset);
+    EXPECT_EQ(res.cv_mape_full, serial.cv_mape_full) << threads;
+    EXPECT_EQ(res.cv_mape_linear, serial.cv_mape_linear) << threads;
+    EXPECT_EQ(res.relevance, serial.relevance) << threads;
+    EXPECT_EQ(res.survival, serial.survival) << threads;
+  }
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
 }
 
 }  // namespace

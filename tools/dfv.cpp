@@ -1,27 +1,25 @@
 // dfv — command-line driver for the dragonfly-variability library.
 //
-//   dfv topology  [--groups N]
-//   dfv campaign  [--days N] [--cache DIR] [--out DIR]
-//   dfv blame     --app APP --nodes N [--tau X] [--cache DIR]
-//   dfv deviation --app APP --nodes N [--cache DIR]
-//   dfv forecast  --app APP --nodes N --m M --k K [--features FS] [--cache DIR]
-//   dfv simulate  [--pattern P] [--policy P] [--load X] [--groups N] [--vc]
-//
-// Every analysis subcommand generates (or loads) the canonical campaign
-// into the cache directory, so the first invocation takes a few minutes
-// and subsequent ones are instant.
-#include <cstring>
+// Subcommands, arguments, defaults, and help text are declared once in
+// the cli::App table in main(); run `dfv --help` or `dfv help <command>`
+// for the authoritative usage. Every command accepts `--key value` and
+// `--key=value`, rejects unknown flags with a non-zero exit, and takes
+// `--threads N` to size the deterministic parallel execution pool
+// (0 = DFV_THREADS env or hardware concurrency). Results are
+// bit-identical for any thread count.
+#include <chrono>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "analysis/forecast.hpp"
 #include "analysis/neighborhood.hpp"
 #include "apps/registry.hpp"
 #include "common/ascii_plot.hpp"
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/study.hpp"
+#include "exec/exec.hpp"
 #include "net/packet_sim.hpp"
 #include "net/vc_sim.hpp"
 
@@ -29,48 +27,28 @@ namespace {
 
 using namespace dfv;
 
-struct Args {
-  std::map<std::string, std::string> kv;
-
-  [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
-    const auto it = kv.find(key);
-    return it == kv.end() ? dflt : it->second;
-  }
-  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
-    const auto it = kv.find(key);
-    return it == kv.end() ? dflt : std::stoi(it->second);
-  }
-  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
-    const auto it = kv.find(key);
-    return it == kv.end() ? dflt : std::stod(it->second);
-  }
-};
-
-Args parse(int argc, char** argv, int from) {
-  Args a;
-  for (int i = from; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    a.kv[key] = argv[i + 1];
-  }
-  return a;
+core::VariabilityStudy make_study(const cli::ParsedArgs& a) {
+  return core::VariabilityStudy(
+      sim::CampaignConfig::cori().seed(20181203).days(a.get_int("days")),
+      a.get("cache"));
 }
 
-core::VariabilityStudy make_study(const Args& a) {
-  sim::CampaignConfig cfg;
-  cfg.seed = 20181203;
-  cfg.days = a.get_int("days", cfg.days);
-  return core::VariabilityStudy(cfg, a.get("cache", "dfv_cache"));
+analysis::FeatureSet parse_feature_set(const std::string& name) {
+  for (auto cand : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacement,
+                    analysis::FeatureSet::AppPlacementIo,
+                    analysis::FeatureSet::AppPlacementIoSys})
+    if (name == analysis::to_string(cand)) return cand;
+  return analysis::FeatureSet::App;
 }
 
-int cmd_topology(const Args& a) {
+int cmd_topology(const cli::ParsedArgs& a) {
   net::DragonflyConfig cfg = net::DragonflyConfig::cori();
-  if (a.kv.count("groups")) cfg = net::DragonflyConfig::small(a.get_int("groups", 4));
+  if (a.given("groups")) cfg = net::DragonflyConfig::small(a.get_int("groups"));
   std::cout << net::Topology(cfg).describe();
   return 0;
 }
 
-int cmd_campaign(const Args& a) {
+int cmd_campaign(const cli::ParsedArgs& a) {
   set_log_level(LogLevel::Info);
   auto study = make_study(a);
   const auto& result = study.campaign();
@@ -79,9 +57,9 @@ int cmd_campaign(const Args& a) {
     t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
                std::to_string(ds.steps_per_run())});
   std::cout << t.str();
-  if (a.kv.count("out")) {
+  if (!a.get("out").empty()) {
     for (const auto& ds : result.datasets) {
-      const std::string path = a.get("out", ".") + "/" + ds.spec.label() + ".csv";
+      const std::string path = a.get("out") + "/" + ds.spec.label() + ".csv";
       std::cout << (sim::save_dataset(ds, path) ? "wrote " : "FAILED to write ") << path
                 << "\n";
     }
@@ -89,10 +67,10 @@ int cmd_campaign(const Args& a) {
   return 0;
 }
 
-int cmd_blame(const Args& a) {
+int cmd_blame(const cli::ParsedArgs& a) {
   auto study = make_study(a);
-  const auto res = study.neighborhood(a.get("app", "MILC"), a.get_int("nodes", 128),
-                                      a.get_double("tau", 1.0));
+  const auto res =
+      study.neighborhood(a.get("app"), a.get_int("nodes"), a.get_double("tau"));
   Table t({"user", "MI (nats)", "present in runs", "P(optimal|present)", "P(optimal)"});
   for (const auto& s : res.ranked) {
     if (s.mi < 1e-4) break;
@@ -105,9 +83,9 @@ int cmd_blame(const Args& a) {
   return 0;
 }
 
-int cmd_deviation(const Args& a) {
+int cmd_deviation(const cli::ParsedArgs& a) {
   auto study = make_study(a);
-  const auto res = study.deviation(a.get("app", "MILC"), a.get_int("nodes", 128));
+  const auto res = study.deviation(a.get("app"), a.get_int("nodes"));
   std::vector<std::string> labels;
   for (int c = 0; c < mon::kNumCounters; ++c)
     labels.emplace_back(mon::counter_name(mon::counter_from_index(c)));
@@ -117,17 +95,29 @@ int cmd_deviation(const Args& a) {
   return 0;
 }
 
-int cmd_forecast(const Args& a) {
+int cmd_forecast(const cli::ParsedArgs& a) {
   auto study = make_study(a);
-  const std::string fs_name = a.get("features", "app");
-  analysis::FeatureSet fs = analysis::FeatureSet::App;
-  for (auto cand : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacement,
-                    analysis::FeatureSet::AppPlacementIo,
-                    analysis::FeatureSet::AppPlacementIoSys})
-    if (fs_name == analysis::to_string(cand)) fs = cand;
-  const analysis::WindowConfig wcfg{a.get_int("m", 10), a.get_int("k", 20), fs};
-  const auto eval =
-      study.forecast(a.get("app", "MILC"), a.get_int("nodes", 128), wcfg);
+  const analysis::FeatureSet fs = parse_feature_set(a.get("features"));
+  if (a.flag("grid")) {
+    // Fig. 8/10 ablation: sweep (m, k) x feature sets, cell-parallel.
+    std::vector<analysis::WindowConfig> cells;
+    for (int m : {3, 10, 30})
+      for (int k : {5, 20, 40})
+        for (auto f : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacementIoSys})
+          cells.push_back({m, k, f});
+    const auto grid = study.forecast_grid(a.get("app"), a.get_int("nodes"), cells);
+    Table t({"m", "k", "features", "attention", "persistence", "mean"});
+    for (const auto& cell : grid)
+      t.add_row({std::to_string(cell.window.m), std::to_string(cell.window.k),
+                 analysis::to_string(cell.window.features),
+                 format_double(cell.eval.mape_attention, 2),
+                 format_double(cell.eval.mape_persistence, 2),
+                 format_double(cell.eval.mape_mean, 2)});
+    std::cout << t.str();
+    return 0;
+  }
+  const analysis::WindowConfig wcfg{a.get_int("m"), a.get_int("k"), fs};
+  const auto eval = study.forecast(a.get("app"), a.get_int("nodes"), wcfg);
   Table t({"model", "MAPE (%)"});
   t.add_row({"attention", format_double(eval.mape_attention, 2)});
   t.add_row({"persistence", format_double(eval.mape_persistence, 2)});
@@ -136,19 +126,17 @@ int cmd_forecast(const Args& a) {
   return 0;
 }
 
-int cmd_simulate(const Args& a) {
-  net::DragonflyConfig cfg = net::DragonflyConfig::small(a.get_int("groups", 6));
+int cmd_simulate(const cli::ParsedArgs& a) {
+  net::DragonflyConfig cfg = net::DragonflyConfig::small(a.get_int("groups"));
   const net::Topology topo(cfg);
   net::TrafficPattern pattern = net::TrafficPattern::Uniform;
-  if (a.get("pattern", "uniform") == "adversarial")
-    pattern = net::TrafficPattern::AdversarialShift;
-  else if (a.get("pattern", "uniform") == "hotspot")
-    pattern = net::TrafficPattern::Hotspot;
+  if (a.get("pattern") == "adversarial") pattern = net::TrafficPattern::AdversarialShift;
+  else if (a.get("pattern") == "hotspot") pattern = net::TrafficPattern::Hotspot;
   net::RoutingPolicy policy = net::RoutingPolicy::Ugal;
-  if (a.get("policy", "ugal") == "minimal") policy = net::RoutingPolicy::Minimal;
-  else if (a.get("policy", "ugal") == "valiant") policy = net::RoutingPolicy::Valiant;
-  const double load = a.get_double("load", 0.3);
-  const int packets = a.get_int("packets", 300);
+  if (a.get("policy") == "minimal") policy = net::RoutingPolicy::Minimal;
+  else if (a.get("policy") == "valiant") policy = net::RoutingPolicy::Valiant;
+  const double load = a.get_double("load");
+  const int packets = a.get_int("packets");
 
   Table t({"engine", "mean latency (us)", "p99 (us)", "mean hops", "throughput (GB/s)"});
   {
@@ -176,40 +164,71 @@ int cmd_simulate(const Args& a) {
   return 0;
 }
 
-void usage() {
-  std::cout <<
-      "dfv — dragonfly performance-variability toolkit\n"
-      "\n"
-      "  dfv topology  [--groups N]\n"
-      "  dfv campaign  [--days N] [--cache DIR] [--out DIR]\n"
-      "  dfv blame     --app APP --nodes N [--tau X] [--cache DIR]\n"
-      "  dfv deviation --app APP --nodes N [--cache DIR]\n"
-      "  dfv forecast  --app APP --nodes N --m M --k K [--features FS] [--cache DIR]\n"
-      "  dfv simulate  [--pattern uniform|adversarial|hotspot]\n"
-      "                [--policy minimal|valiant|ugal] [--load X] [--groups N]\n";
+/// Wrap a handler: size the pool from --threads first, and print one
+/// wall-clock line per phase (command) afterwards so speedups are visible
+/// without a profiler.
+template <typename Fn>
+std::function<int(const cli::ParsedArgs&)> timed_phase(const char* phase, Fn fn) {
+  return [phase, fn](const cli::ParsedArgs& a) {
+    const int threads = exec::configure_threads(a.get_int("threads"));
+    const auto t0 = std::chrono::steady_clock::now();
+    const int rc = fn(a);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::cerr << "[" << phase << "] wall-clock " << format_double(secs, 2) << " s on "
+              << threads << " thread" << (threads == 1 ? "" : "s") << "\n";
+    return rc;
+  };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
-  if (argc < 2) {
-    usage();
-    return 1;
-  }
-  const std::string cmd = argv[1];
-  const Args args = parse(argc, argv, 2);
+
+  using cli::ArgSpec;
+  using cli::ArgType;
+  const ArgSpec app_arg{"app", ArgType::String, "MILC", "application dataset"};
+  const ArgSpec nodes_arg{"nodes", ArgType::Int, "128", "job node count"};
+  const ArgSpec days_arg{"days", ArgType::Int, "120", "campaign length in days"};
+
+  cli::App app("dfv", "dragonfly performance-variability toolkit");
+  app.common_arg({"threads", ArgType::Int, "0",
+                  "worker threads (0 = DFV_THREADS env or hardware)"});
+  app.common_arg({"cache", ArgType::String, "dfv_cache", "campaign cache directory"});
+
+  app.command("topology", "describe the dragonfly topology",
+              {{"groups", ArgType::Int, "0", "use a small machine with N groups"}},
+              timed_phase("topology", cmd_topology));
+  app.command("campaign", "generate (or load) the run campaign",
+              {days_arg, {"out", ArgType::String, "", "also export dataset CSVs here"}},
+              timed_phase("campaign", cmd_campaign));
+  app.command("blame", "Table III: rank neighbor users by blame for slow runs",
+              {app_arg, nodes_arg, days_arg,
+               {"tau", ArgType::Double, "1.0", "slowdown threshold"}},
+              timed_phase("blame", cmd_blame));
+  app.command("deviation", "Fig. 9: per-counter relevance for deviation prediction",
+              {app_arg, nodes_arg, days_arg}, timed_phase("deviation", cmd_deviation));
+  app.command(
+      "forecast", "Figs. 8/10: forecasting MAPE for one cell or the whole grid",
+      {app_arg, nodes_arg, days_arg, {"m", ArgType::Int, "10", "history length (steps)"},
+       {"k", ArgType::Int, "20", "horizon (steps)"},
+       {"features", ArgType::String, "app",
+        "feature set: app | app+placement | app+placement+io | app+placement+io+sys"},
+       {"grid", ArgType::Flag, "", "sweep the (m, k, feature-set) ablation grid"}},
+      timed_phase("forecast", cmd_forecast));
+  app.command("simulate", "packet-level engines on synthetic traffic",
+              {{"groups", ArgType::Int, "6", "small machine group count"},
+               {"pattern", ArgType::String, "uniform", "uniform | adversarial | hotspot"},
+               {"policy", ArgType::String, "ugal", "minimal | valiant | ugal"},
+               {"load", ArgType::Double, "0.3", "offered load fraction"},
+               {"packets", ArgType::Int, "300", "packets per node"}},
+              timed_phase("simulate", cmd_simulate));
+
   try {
-    if (cmd == "topology") return cmd_topology(args);
-    if (cmd == "campaign") return cmd_campaign(args);
-    if (cmd == "blame") return cmd_blame(args);
-    if (cmd == "deviation") return cmd_deviation(args);
-    if (cmd == "forecast") return cmd_forecast(args);
-    if (cmd == "simulate") return cmd_simulate(args);
+    return app.run(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
-  usage();
-  return 1;
 }
