@@ -13,13 +13,17 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer pass (test_exec + test_campaign) ==="
+  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache) ==="
   cmake --preset tsan
-  cmake --build build-tsan -j --target test_exec test_campaign
+  cmake --build build-tsan -j --target test_exec test_campaign test_faults test_cache_integrity
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_campaign
+  # Faulted-campaign determinism (parallel injection + repair) and the
+  # corrupt-cache detect/evict/regenerate path, also race-checked.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_cache_integrity
 fi
 
 echo "tier-1: OK"

@@ -1,8 +1,24 @@
 #include "analysis/deviation.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace dfv::analysis {
+
+namespace {
+
+/// A run-step contributes a sample only when its quality mask allows it
+/// and every cell the sample touches is finite (degraded-data contract).
+bool sample_usable(const sim::RunRecord& run, int t) {
+  if (!run.step_usable(t)) return false;
+  if (!std::isfinite(run.step_times[std::size_t(t)])) return false;
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    if (!std::isfinite(run.step_counters[std::size_t(t)][std::size_t(c)])) return false;
+  return true;
+}
+
+}  // namespace
 
 CenteredSamples build_centered_samples(const sim::Dataset& ds) {
   DFV_CHECK_MSG(!ds.runs.empty(), "dataset has no runs");
@@ -11,35 +27,54 @@ CenteredSamples build_centered_samples(const sim::Dataset& ds) {
 
   // Per-step mean trends over runs, for the target and for each counter
   // (the paper removes these because mean counter values track the mean
-  // step-time curve — Fig. 7).
-  const std::vector<double> mean_time = ds.mean_step_curve();
+  // step-time curve — Fig. 7). Each step averages over the runs that
+  // actually observed it usably, so dropped/corrupt steps cannot poison
+  // the trend.
+  std::vector<double> mean_time(std::size_t(T), 0.0);
+  std::vector<int> obs(std::size_t(T), 0);
   std::vector<std::vector<double>> mean_counter(mon::kNumCounters,
                                                 std::vector<double>(std::size_t(T), 0.0));
-  for (const auto& run : ds.runs)
-    for (int t = 0; t < T; ++t)
+  for (const auto& run : ds.runs) {
+    const int steps = std::min(T, run.steps());
+    for (int t = 0; t < steps; ++t) {
+      if (!sample_usable(run, t)) continue;
+      mean_time[std::size_t(t)] += run.step_times[std::size_t(t)];
       for (int c = 0; c < mon::kNumCounters; ++c)
         mean_counter[std::size_t(c)][std::size_t(t)] +=
-            run.step_counters[std::size_t(t)][std::size_t(c)] / double(N);
+            run.step_counters[std::size_t(t)][std::size_t(c)];
+      obs[std::size_t(t)] += 1;
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    if (obs[std::size_t(t)] == 0) continue;  // no usable sample will reference it
+    mean_time[std::size_t(t)] /= double(obs[std::size_t(t)]);
+    for (int c = 0; c < mon::kNumCounters; ++c)
+      mean_counter[std::size_t(c)][std::size_t(t)] /= double(obs[std::size_t(t)]);
+  }
 
   CenteredSamples out;
-  out.x = ml::Matrix(N * std::size_t(T), mon::kNumCounters);
+  out.x = ml::Matrix(0, mon::kNumCounters);
   out.y.reserve(N * std::size_t(T));
   out.mean_offset.reserve(N * std::size_t(T));
   out.run_of.reserve(N * std::size_t(T));
 
-  std::size_t row = 0;
+  double row_buf[mon::kNumCounters];
   for (std::size_t r = 0; r < N; ++r) {
     const auto& run = ds.runs[r];
-    for (int t = 0; t < T; ++t, ++row) {
-      auto dst = out.x.row(row);
+    const int steps = std::min(T, run.steps());
+    for (int t = 0; t < steps; ++t) {
+      if (!sample_usable(run, t)) continue;
       for (int c = 0; c < mon::kNumCounters; ++c)
-        dst[std::size_t(c)] = run.step_counters[std::size_t(t)][std::size_t(c)] -
-                              mean_counter[std::size_t(c)][std::size_t(t)];
+        row_buf[c] = run.step_counters[std::size_t(t)][std::size_t(c)] -
+                     mean_counter[std::size_t(c)][std::size_t(t)];
+      out.x.append_row(std::span<const double>(row_buf, mon::kNumCounters));
       out.y.push_back(run.step_times[std::size_t(t)] - mean_time[std::size_t(t)]);
       out.mean_offset.push_back(mean_time[std::size_t(t)]);
       out.run_of.push_back(r);
     }
   }
+  DFV_CHECK_MSG(!out.y.empty(),
+                "dataset '" << ds.spec.app << "' has no usable run-steps left");
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "analysis/forecast.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -69,6 +70,37 @@ void step_features(const sim::RunRecord& run, int t, FeatureSet fs, std::span<do
     for (double v : run.step_ldms[std::size_t(t)].sys) out[i++] = v;
 }
 
+namespace {
+
+/// A step may enter a forecasting window only when its quality mask
+/// allows it and every telemetry cell a window reads is finite.
+bool step_clean(const sim::RunRecord& run, int t) {
+  if (!run.step_usable(t)) return false;
+  if (!std::isfinite(run.step_times[std::size_t(t)])) return false;
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    if (!std::isfinite(run.step_counters[std::size_t(t)][std::size_t(c)])) return false;
+  for (double v : run.step_ldms[std::size_t(t)].io)
+    if (!std::isfinite(v)) return false;
+  for (double v : run.step_ldms[std::size_t(t)].sys)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+/// bad_before[t] = number of unclean steps in [0, t): windows test any
+/// span for cleanliness in O(1).
+std::vector<int> bad_prefix(const sim::RunRecord& run) {
+  std::vector<int> out(std::size_t(run.steps()) + 1, 0);
+  for (int t = 0; t < run.steps(); ++t)
+    out[std::size_t(t) + 1] = out[std::size_t(t)] + (step_clean(run, t) ? 0 : 1);
+  return out;
+}
+
+bool span_clean(const std::vector<int>& bad_before, int lo, int hi) {
+  return bad_before[std::size_t(hi)] == bad_before[std::size_t(lo)];
+}
+
+}  // namespace
+
 WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
   DFV_CHECK(cfg.m >= 1 && cfg.k >= 1);
   const int T = ds.steps_per_run();
@@ -82,8 +114,15 @@ WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
 
   for (std::size_t r = 0; r < ds.runs.size(); ++r) {
     const auto& run = ds.runs[r];
+    // Truncated runs (shorter than the dataset's nominal length) still
+    // contribute the windows that fit; windows touching any degraded step
+    // are skipped rather than imputed-by-accident.
+    const int Tr = std::min(T, run.steps());
+    if (Tr < cfg.m + cfg.k) continue;
+    const std::vector<int> bad_before = bad_prefix(run);
     // Slide t_c from m to T-k: history [t_c-m, t_c), target (t_c, t_c+k].
-    for (int tc = cfg.m; tc + cfg.k <= T; ++tc) {
+    for (int tc = cfg.m; tc + cfg.k <= Tr; ++tc) {
+      if (!span_clean(bad_before, tc - cfg.m, tc + cfg.k)) continue;
       for (int j = 0; j < cfg.m; ++j)
         step_features(run, tc - cfg.m + j, cfg.features,
                       {row.data() + std::size_t(j) * std::size_t(F), std::size_t(F)});
@@ -98,6 +137,8 @@ WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
       out.run_of.push_back(r);
     }
   }
+  DFV_CHECK_MSG(!out.y.empty(), "dataset '" << ds.spec.app
+                                            << "' yields no clean forecasting windows");
   return out;
 }
 
@@ -108,8 +149,18 @@ ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
   eval.windows = wd.y.size();
   DFV_CHECK(wd.y.size() >= std::size_t(2 * fcfg.folds));
 
-  const double mean_step =
-      stats::mean(ds.mean_step_curve());  // dataset-level mean baseline
+  // Dataset-level mean baseline over observed steps (the tolerant curve
+  // reports NaN for steps no run observed usably).
+  double mean_step = 0.0;
+  {
+    int n = 0;
+    for (double v : ds.mean_step_curve())
+      if (std::isfinite(v)) {
+        mean_step += v;
+        ++n;
+      }
+    if (n > 0) mean_step /= double(n);
+  }
 
   Rng rng(fcfg.seed);
   const auto folds = ml::group_kfold(wd.run_of, std::size_t(fcfg.folds), rng);
@@ -187,7 +238,9 @@ LongRunForecast forecast_long_run(const sim::Dataset& train,
   LongRunForecast out;
   std::vector<double> window(std::size_t(wcfg.m) * std::size_t(F));
 
+  const std::vector<int> bad_before = bad_prefix(long_run);
   for (int seg = wcfg.m; seg + wcfg.k <= T; seg += wcfg.k) {
+    if (!span_clean(bad_before, seg - wcfg.m, seg + wcfg.k)) continue;
     for (int j = 0; j < wcfg.m; ++j)
       step_features(long_run, seg - wcfg.m + j, wcfg.features,
                     {window.data() + std::size_t(j) * std::size_t(F), std::size_t(F)});
@@ -197,6 +250,7 @@ LongRunForecast forecast_long_run(const sim::Dataset& train,
     out.observed.push_back(observed);
     out.predicted.push_back(model.predict_one(window));
   }
+  DFV_CHECK_MSG(!out.observed.empty(), "long run yields no clean forecast segments");
   out.mape = ml::mape(out.observed, out.predicted);
   return out;
 }

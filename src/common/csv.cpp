@@ -37,10 +37,15 @@ void emit_row(std::ostream& os, const std::vector<std::string>& row) {
 }  // namespace
 
 std::size_t Csv::col(const std::string& name) const {
+  const std::size_t i = col_if(name);
+  DFV_CHECK_MSG(i != npos, "no CSV column named '" << name << "'");
+  return i;
+}
+
+std::size_t Csv::col_if(const std::string& name) const noexcept {
   for (std::size_t i = 0; i < header.size(); ++i)
     if (header[i] == name) return i;
-  DFV_CHECK_MSG(false, "no CSV column named '" << name << "'");
-  return 0;  // unreachable
+  return npos;
 }
 
 std::string Csv::str() const {

@@ -14,6 +14,9 @@ struct Csv {
 
   /// Column index for a header name; throws ContractError if absent.
   [[nodiscard]] std::size_t col(const std::string& name) const;
+  /// Column index for a header name, or npos if absent (optional columns).
+  [[nodiscard]] std::size_t col_if(const std::string& name) const noexcept;
+  static constexpr std::size_t npos = std::size_t(-1);
   [[nodiscard]] std::string str() const;
 };
 

@@ -1,0 +1,37 @@
+// File integrity for the on-disk campaign cache: a FNV-1a 64 checksum
+// footer appended to text artifacts, and atomic publish via
+// write-to-temp + rename so readers never observe a half-written file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dfv {
+
+/// FNV-1a 64-bit hash (dependency-free, stable across platforms).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// Footer line marker; the full footer is "#dfv-crc <16 hex digits>\n".
+inline constexpr std::string_view kChecksumPrefix = "#dfv-crc ";
+
+/// Append a checksum footer covering the current content.
+void append_checksum_footer(std::string& content);
+
+enum class ChecksumStatus {
+  Ok,        ///< footer present and matches the content
+  Missing,   ///< no footer (legacy / external file)
+  Mismatch,  ///< footer present but the content hash differs: corruption
+};
+
+/// Verify the trailing checksum footer and strip it from `content`.
+/// On Missing the content is left untouched; on Mismatch the footer is
+/// stripped so the caller can still inspect the (untrusted) body.
+[[nodiscard]] ChecksumStatus verify_and_strip_checksum(std::string& content);
+
+/// Write `content` to `path` atomically: write to "<path>.tmp", then
+/// rename over the destination. Returns false on any I/O failure (the
+/// temp file is cleaned up; the destination is never left half-written).
+[[nodiscard]] bool atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace dfv

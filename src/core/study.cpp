@@ -5,18 +5,32 @@
 
 namespace dfv::core {
 
-VariabilityStudy::VariabilityStudy(sim::CampaignConfig config, std::string cache_dir)
-    : config_(std::move(config)), cache_dir_(std::move(cache_dir)) {
+VariabilityStudy::VariabilityStudy(sim::CampaignConfig config, std::string cache_dir,
+                                   faults::RepairPolicy repair_policy)
+    : config_(std::move(config)),
+      cache_dir_(std::move(cache_dir)),
+      repair_policy_(repair_policy) {
   config_.validate();
 }
 
-VariabilityStudy::VariabilityStudy(sim::CampaignBuilder builder, std::string cache_dir)
-    : VariabilityStudy(builder.build(), std::move(cache_dir)) {}
+VariabilityStudy::VariabilityStudy(sim::CampaignBuilder builder, std::string cache_dir,
+                                   faults::RepairPolicy repair_policy)
+    : VariabilityStudy(builder.build(), std::move(cache_dir), repair_policy) {}
 
 const sim::CampaignResult& VariabilityStudy::campaign() {
   if (!campaign_) {
     campaign_ = cache_dir_.empty() ? sim::run_campaign(config_)
                                    : sim::run_campaign_cached(config_, cache_dir_);
+    // Apply the degraded-data policy at the study boundary so every
+    // analysis downstream sees repaired (or flagged) telemetry. Clean
+    // campaigns skip the scan entirely.
+    if (config_.faults.enabled()) {
+      for (auto& ds : campaign_->datasets) {
+        repair_reports_.push_back(ds.repair(repair_policy_));
+        DFV_LOG_INFO("repair " << ds.spec.label() << ": "
+                               << repair_reports_.back().summary());
+      }
+    }
   }
   return *campaign_;
 }

@@ -26,18 +26,33 @@ class VariabilityStudy {
   /// `cache_dir`: when non-empty, datasets are cached there on disk and
   /// reused by later studies with an identical configuration. The config
   /// is validated on construction (throws ContractError on nonsense).
-  explicit VariabilityStudy(sim::CampaignConfig config = {}, std::string cache_dir = {});
+  /// `repair_policy` governs what happens to degraded telemetry when the
+  /// config injects faults (it is not consulted for clean campaigns).
+  explicit VariabilityStudy(sim::CampaignConfig config = {}, std::string cache_dir = {},
+                            faults::RepairPolicy repair_policy = faults::RepairPolicy::Repair);
 
   /// Construct straight from a fluent builder:
   ///   VariabilityStudy study(sim::CampaignConfig::cori().days(30).seed(7),
   ///                          "dfv_cache");
-  explicit VariabilityStudy(sim::CampaignBuilder builder, std::string cache_dir = {});
+  explicit VariabilityStudy(sim::CampaignBuilder builder, std::string cache_dir = {},
+                            faults::RepairPolicy repair_policy = faults::RepairPolicy::Repair);
 
   [[nodiscard]] const sim::CampaignConfig& config() const noexcept { return config_; }
+  [[nodiscard]] faults::RepairPolicy repair_policy() const noexcept {
+    return repair_policy_;
+  }
 
-  /// The campaign result (generated or loaded on first access).
+  /// The campaign result (generated or loaded on first access). When the
+  /// config injects faults, every dataset has already been passed through
+  /// Dataset::repair with the study's policy by the time this returns.
   const sim::CampaignResult& campaign();
   [[nodiscard]] const sim::Dataset& dataset(const std::string& app, int nodes);
+
+  /// Per-dataset repair outcomes (parallel to campaign().datasets; empty
+  /// until the campaign has been materialized or when faults are off).
+  [[nodiscard]] const std::vector<sim::RepairReport>& repair_reports() const noexcept {
+    return repair_reports_;
+  }
 
   /// Table III: neighborhood/blame analysis.
   [[nodiscard]] analysis::NeighborhoodResult neighborhood(const std::string& app,
@@ -74,7 +89,9 @@ class VariabilityStudy {
  private:
   sim::CampaignConfig config_;
   std::string cache_dir_;
+  faults::RepairPolicy repair_policy_;
   std::optional<sim::CampaignResult> campaign_;
+  std::vector<sim::RepairReport> repair_reports_;
 };
 
 }  // namespace dfv::core

@@ -1,0 +1,92 @@
+#include "faults/faults.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dfv::faults {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::Dropout: return "dropout";
+    case FaultKind::Wraparound: return "wraparound";
+    case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Truncate: return "truncate";
+    case FaultKind::MissingProfile: return "missing-profile";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr FaultKind kAllKinds[] = {FaultKind::Dropout, FaultKind::Wraparound,
+                                   FaultKind::Corrupt, FaultKind::Truncate,
+                                   FaultKind::MissingProfile};
+
+}  // namespace
+
+std::uint8_t parse_fault_kinds(const std::string& list) {
+  DFV_CHECK_MSG(!list.empty(), "fault kind list is empty (use 'all' or 'none')");
+  if (list == "all") return kAllFaultKinds;
+  if (list == "none") return 0;
+  std::uint8_t mask = 0;
+  std::istringstream is(list);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    bool known = false;
+    for (FaultKind k : kAllKinds)
+      if (tok == to_string(k)) {
+        mask |= std::uint8_t(k);
+        known = true;
+      }
+    DFV_CHECK_MSG(known, "unknown fault kind '"
+                             << tok
+                             << "' (known: dropout, wraparound, corrupt, truncate, "
+                                "missing-profile, all, none)");
+  }
+  return mask;
+}
+
+std::string fault_kinds_to_string(std::uint8_t kinds) {
+  if (kinds == kAllFaultKinds) return "all";
+  if (kinds == 0) return "none";
+  std::string out;
+  for (FaultKind k : kAllKinds)
+    if (kinds & std::uint8_t(k)) {
+      if (!out.empty()) out += ',';
+      out += to_string(k);
+    }
+  return out;
+}
+
+void FaultSpec::validate() const {
+  DFV_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                "fault rate must be in [0, 1] (got " << rate << ")");
+  DFV_CHECK_MSG((kinds & ~kAllFaultKinds) == 0,
+                "fault kinds mask has unknown bits (got " << int(kinds) << ")");
+  DFV_CHECK_MSG(spike_magnitude > 0.0,
+                "spike_magnitude must be > 0 (got " << spike_magnitude << ")");
+  DFV_CHECK_MSG(truncate_min_keep > 0.0 && truncate_min_keep <= 1.0,
+                "truncate_min_keep must be in (0, 1] (got " << truncate_min_keep << ")");
+}
+
+const char* to_string(RepairPolicy p) noexcept {
+  switch (p) {
+    case RepairPolicy::Strict: return "strict";
+    case RepairPolicy::Repair: return "repair";
+    case RepairPolicy::Drop: return "drop";
+    case RepairPolicy::Keep: return "keep";
+  }
+  return "?";
+}
+
+RepairPolicy parse_repair_policy(const std::string& name) {
+  for (RepairPolicy p : {RepairPolicy::Strict, RepairPolicy::Repair, RepairPolicy::Drop,
+                         RepairPolicy::Keep})
+    if (name == to_string(p)) return p;
+  DFV_CHECK_MSG(false, "unknown repair policy '" << name
+                                                 << "' (strict | repair | drop | keep)");
+  return RepairPolicy::Strict;  // unreachable
+}
+
+}  // namespace dfv::faults

@@ -1,0 +1,117 @@
+#include "faults/inject.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dfv::faults {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void blank_step_telemetry(RunTelemetry& run, std::size_t t) {
+  run.step_counters[t].fill(kNaN);
+  run.step_ldms[t].io.fill(kNaN);
+  run.step_ldms[t].sys.fill(kNaN);
+}
+
+/// Corrupt one uniformly chosen cell of step `t` with one of three garbage
+/// classes. Victim index: [0, 13) counter, [13, 21) LDMS feature, 21 the
+/// step time itself.
+void corrupt_cell(RunTelemetry& run, std::size_t t, Rng& rng, const FaultSpec& spec) {
+  const std::uint64_t victim =
+      rng.uniform_index(std::uint64_t(mon::kNumCounters + mon::kNumIoFeatures +
+                                      mon::kNumSysFeatures + 1));
+  const double u = rng.uniform();
+  double garbage;
+  if (u < 1.0 / 3.0)
+    garbage = kNaN;
+  else if (u < 2.0 / 3.0)
+    garbage = std::numeric_limits<double>::infinity();
+  else
+    garbage = spec.spike_magnitude * (1.0 + rng.uniform());
+
+  if (victim < std::uint64_t(mon::kNumCounters)) {
+    run.step_counters[t][std::size_t(victim)] = garbage;
+  } else if (victim < std::uint64_t(mon::kNumCounters + mon::kNumIoFeatures)) {
+    run.step_ldms[t].io[std::size_t(victim - mon::kNumCounters)] = garbage;
+  } else if (victim <
+             std::uint64_t(mon::kNumCounters + mon::kNumIoFeatures + mon::kNumSysFeatures)) {
+    run.step_ldms[t].sys[std::size_t(victim - mon::kNumCounters - mon::kNumIoFeatures)] =
+        garbage;
+  } else {
+    run.step_times[t] = garbage;
+  }
+}
+
+/// Wrap one eligible counter (non-negative, below 2^32 so the unwind is
+/// unambiguous) of step `t`; skip silently when none qualifies.
+bool wrap_cell(RunTelemetry& run, std::size_t t, Rng& rng) {
+  int eligible[mon::kNumCounters];
+  int n = 0;
+  for (int c = 0; c < mon::kNumCounters; ++c) {
+    const double v = run.step_counters[t][std::size_t(c)];
+    if (std::isfinite(v) && v >= 0.0 && v < kCounterWrap) eligible[n++] = c;
+  }
+  if (n == 0) return false;
+  const int c = eligible[rng.uniform_index(std::uint64_t(n))];
+  run.step_counters[t][std::size_t(c)] -= kCounterWrap;
+  return true;
+}
+
+}  // namespace
+
+InjectStats inject_run(RunTelemetry run, const FaultSpec& spec, std::uint64_t run_seed) {
+  InjectStats stats;
+  if (!spec.enabled()) return stats;
+  spec.validate();
+  const std::size_t steps = run.step_times.size();
+  DFV_CHECK_MSG(run.step_counters.size() == steps && run.step_ldms.size() == steps,
+                "telemetry streams disagree on step count");
+  Rng rng(run_seed);
+
+  // Truncation first: the surviving prefix then takes per-step faults, so
+  // the per-step RNG draws line up with the steps that actually exist.
+  if (spec.has(FaultKind::Truncate) && rng.bernoulli(spec.rate) && steps > 1) {
+    const double keep_frac = rng.uniform(spec.truncate_min_keep, 0.95);
+    const std::size_t keep =
+        std::clamp<std::size_t>(std::size_t(std::ceil(double(steps) * keep_frac)), 1,
+                                steps - 1);
+    stats.truncated_steps = int(steps - keep);
+    run.step_times.resize(keep);
+    run.step_counters.resize(keep);
+    run.step_ldms.resize(keep);
+  }
+  const std::size_t kept = run.step_times.size();
+  run.step_quality.assign(kept, kQualityOk);
+
+  for (std::size_t t = 0; t < kept; ++t) {
+    if (spec.has(FaultKind::Dropout) && rng.bernoulli(spec.rate)) {
+      // A missed LDMS interval is an observable gap: flag it at injection.
+      blank_step_telemetry(run, t);
+      run.step_quality[t] |= kQualityDropped;
+      stats.dropped_steps += 1;
+      continue;  // nothing left in this step worth corrupting
+    }
+    if (spec.has(FaultKind::Corrupt) && rng.bernoulli(spec.rate)) {
+      corrupt_cell(run, t, rng, spec);
+      stats.corrupt_cells += 1;  // silent: repair must detect it
+    }
+    if (spec.has(FaultKind::Wraparound) && rng.bernoulli(spec.rate)) {
+      if (wrap_cell(run, t, rng)) stats.wrapped_cells += 1;  // silent
+    }
+  }
+
+  if (spec.has(FaultKind::MissingProfile) && rng.bernoulli(spec.rate)) {
+    run.profile = mon::MpiProfile{};
+    run.profile_missing = true;
+    stats.profile_lost = true;
+  }
+  return stats;
+}
+
+}  // namespace dfv::faults

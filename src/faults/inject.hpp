@@ -1,0 +1,49 @@
+// Fault injection over one run's telemetry streams.
+//
+// Operates on a non-owning view of the monitoring data (all mon-layer
+// types), so the sim layer can wrap its RunRecords without this library
+// depending on dfv_sim. Every decision for a run comes from the single
+// `run_seed` passed in; callers derive it with exec::substream_seed so
+// injection is independent of thread count and iteration order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "mon/counters.hpp"
+#include "mon/ldms.hpp"
+#include "mon/mpip.hpp"
+
+namespace dfv::faults {
+
+/// 32-bit hardware counters wrap at 2^32; a wrapped per-step delta comes
+/// back exactly this much too small.
+inline constexpr double kCounterWrap = 4294967296.0;
+
+/// Non-owning view of one run's telemetry (the fault surface).
+struct RunTelemetry {
+  std::vector<double>& step_times;
+  std::vector<mon::CounterVec>& step_counters;
+  std::vector<mon::LdmsFeatures>& step_ldms;
+  std::vector<std::uint8_t>& step_quality;
+  mon::MpiProfile& profile;
+  bool& profile_missing;
+};
+
+/// Per-run injection tally (for logs/tests).
+struct InjectStats {
+  int dropped_steps = 0;
+  int corrupt_cells = 0;
+  int wrapped_cells = 0;
+  int truncated_steps = 0;  ///< steps removed from the tail
+  bool profile_lost = false;
+};
+
+/// Inject faults per `spec` into one run, drawing every decision from a
+/// fresh Rng seeded with `run_seed`. Dropout marks steps kQualityDropped
+/// (a stream gap is observable); wraparound and corruption are silent —
+/// detecting them is the repair layer's job, as in production.
+InjectStats inject_run(RunTelemetry run, const FaultSpec& spec, std::uint64_t run_seed);
+
+}  // namespace dfv::faults

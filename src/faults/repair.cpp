@@ -1,0 +1,164 @@
+#include "faults/repair.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dfv::faults {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool garbage(double v, double spike_threshold) {
+  return !std::isfinite(v) || std::fabs(v) > spike_threshold;
+}
+
+/// Impute one strided series (e.g. counter c across steps) through a
+/// gather/impute/scatter round trip keyed on non-finiteness.
+template <typename Get, typename Set>
+void impute_series(std::size_t n, Get get, Set set) {
+  std::vector<double> tmp(n);
+  std::vector<std::uint8_t> bad(n);
+  bool any_bad = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = get(i);
+    bad[i] = std::isfinite(tmp[i]) ? 0 : 1;
+    any_bad |= bad[i] != 0;
+  }
+  if (!any_bad) return;
+  impute_linear(tmp, bad);
+  for (std::size_t i = 0; i < n; ++i)
+    if (bad[i]) set(i, tmp[i]);
+}
+
+}  // namespace
+
+void impute_linear(std::span<double> values, std::span<const std::uint8_t> bad) {
+  const std::size_t n = values.size();
+  // prev_good[i] / next_good[i]: nearest good index at or before/after i.
+  constexpr std::ptrdiff_t kNone = -1;
+  std::vector<std::ptrdiff_t> prev_good(n, kNone), next_good(n, kNone);
+  std::ptrdiff_t last = kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!bad[i]) last = std::ptrdiff_t(i);
+    prev_good[i] = last;
+  }
+  last = kNone;
+  for (std::size_t i = n; i-- > 0;) {
+    if (!bad[i]) last = std::ptrdiff_t(i);
+    next_good[i] = last;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!bad[i]) continue;
+    const std::ptrdiff_t p = prev_good[i], q = next_good[i];
+    if (p != kNone && q != kNone) {
+      const double f = double(std::ptrdiff_t(i) - p) / double(q - p);
+      values[i] = values[std::size_t(p)] + f * (values[std::size_t(q)] - values[std::size_t(p)]);
+    } else if (p != kNone) {
+      values[i] = values[std::size_t(p)];
+    } else if (q != kNone) {
+      values[i] = values[std::size_t(q)];
+    }
+    // else: no good entry anywhere; leave as-is (caller drops the run).
+  }
+}
+
+RunRepairStats repair_run(RunTelemetry run, RepairPolicy policy, const RepairOptions& opt,
+                          int expected_steps) {
+  RunRepairStats stats;
+  const std::size_t steps = run.step_times.size();
+  stats.steps = int(steps);
+  stats.profile_missing = run.profile_missing;
+  if (policy == RepairPolicy::Keep || steps == 0) return stats;
+
+  const bool quality_was_empty = run.step_quality.empty();
+  if (run.step_quality.size() != steps) run.step_quality.assign(steps, kQualityOk);
+  const bool fix = policy == RepairPolicy::Repair;
+  const bool flag = policy != RepairPolicy::Strict;  // Repair or Drop mark quality
+
+  if (expected_steps > 0 && int(steps) < expected_steps) {
+    stats.truncated = true;
+    // The lost tail cannot be reconstructed from in-run neighbors; both
+    // Repair and Drop remove the run rather than invent data.
+    if (flag) stats.dropped = true;
+  }
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    bool bad = (run.step_quality[t] & kQualityDropped) != 0;
+    bool detected = false;
+
+    if (garbage(run.step_times[t], opt.spike_threshold)) {
+      stats.corrupt_cells += 1;
+      detected = true;
+      if (fix) run.step_times[t] = kNaN;
+    }
+    for (int c = 0; c < mon::kNumCounters; ++c) {
+      double& v = run.step_counters[t][std::size_t(c)];
+      if (std::isfinite(v) && v < 0.0 && v >= -kCounterWrap) {
+        // Negative delta of a non-decreasing 32-bit counter: wraparound.
+        stats.wrapped_cells += 1;
+        if (fix) {
+          // Exact recovery for integer counter readings (what hardware
+          // produces); within 1 ulp of the wrap magnitude otherwise.
+          v += kCounterWrap;
+          run.step_quality[t] |= kQualityWrapped;
+        } else {
+          detected = true;  // Strict tallies; Drop discards the step
+        }
+      } else if (garbage(v, opt.spike_threshold) || v < 0.0) {
+        stats.corrupt_cells += 1;
+        detected = true;
+        if (fix) v = kNaN;
+      }
+    }
+    auto scan_ldms = [&](double& v) {
+      if (garbage(v, opt.spike_threshold) || v < 0.0) {
+        stats.corrupt_cells += 1;
+        detected = true;
+        if (fix) v = kNaN;
+      }
+    };
+    for (double& v : run.step_ldms[t].io) scan_ldms(v);
+    for (double& v : run.step_ldms[t].sys) scan_ldms(v);
+
+    if (detected && flag) run.step_quality[t] |= kQualityCorrupt;
+    if (bad || detected) stats.bad_steps += 1;
+  }
+
+  if (stats.bad_steps > 0 &&
+      double(stats.bad_steps) > opt.max_bad_fraction * double(steps) && flag)
+    stats.dropped = true;
+
+  if (fix && !stats.dropped && stats.bad_steps > 0) {
+    impute_series(
+        steps, [&](std::size_t i) { return run.step_times[i]; },
+        [&](std::size_t i, double v) { run.step_times[i] = v; });
+    for (int c = 0; c < mon::kNumCounters; ++c)
+      impute_series(
+          steps, [&](std::size_t i) { return run.step_counters[i][std::size_t(c)]; },
+          [&](std::size_t i, double v) { run.step_counters[i][std::size_t(c)] = v; });
+    for (int k = 0; k < mon::kNumIoFeatures; ++k)
+      impute_series(
+          steps, [&](std::size_t i) { return run.step_ldms[i].io[std::size_t(k)]; },
+          [&](std::size_t i, double v) { run.step_ldms[i].io[std::size_t(k)] = v; });
+    for (int k = 0; k < mon::kNumSysFeatures; ++k)
+      impute_series(
+          steps, [&](std::size_t i) { return run.step_ldms[i].sys[std::size_t(k)]; },
+          [&](std::size_t i, double v) { run.step_ldms[i].sys[std::size_t(k)] = v; });
+    for (std::size_t t = 0; t < steps; ++t)
+      if ((run.step_quality[t] & (kQualityDropped | kQualityCorrupt)) != 0) {
+        run.step_quality[t] |= kQualityImputed;
+        stats.imputed_steps += 1;
+      }
+  }
+
+  // Pristine run: restore the empty-quality fast path so repair of clean
+  // data is a true no-op.
+  if (quality_was_empty && stats.bad_steps == 0 && stats.wrapped_cells == 0 &&
+      stats.corrupt_cells == 0)
+    run.step_quality.clear();
+  return stats;
+}
+
+}  // namespace dfv::faults

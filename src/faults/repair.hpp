@@ -1,0 +1,59 @@
+// Repair of degraded telemetry: anomaly detection (non-finite cells,
+// spikes, negative wrapped deltas, truncated runs), exact 2^32 wraparound
+// unwinding, and gap imputation by linear interpolation over usable
+// neighbor steps. Pure and deterministic — no RNG — so repair commutes
+// with any parallel schedule.
+#pragma once
+
+#include <span>
+
+#include "faults/inject.hpp"
+
+namespace dfv::faults {
+
+struct RepairOptions {
+  /// |value| above this is garbage: no real per-step counter delta gets
+  /// anywhere near it (Cori-scale deltas top out around 1e10-1e12).
+  double spike_threshold = 1e15;
+  /// A run with more than this fraction of bad steps is beyond repair and
+  /// is dropped instead of imputed.
+  double max_bad_fraction = 0.5;
+};
+
+/// Per-run repair/scan tally.
+struct RunRepairStats {
+  int steps = 0;
+  int bad_steps = 0;      ///< steps flagged Dropped or Corrupt
+  int imputed_steps = 0;  ///< bad steps reconstructed (Repair policy)
+  int wrapped_cells = 0;  ///< negative deltas unwound (or flagged, Drop)
+  int corrupt_cells = 0;  ///< non-finite / spike cells detected
+  bool truncated = false; ///< run shorter than the dataset's step count
+  bool dropped = false;   ///< run must be removed by the caller
+  bool profile_missing = false;
+
+  [[nodiscard]] bool any_anomaly() const noexcept {
+    return bad_steps > 0 || wrapped_cells > 0 || corrupt_cells > 0 || truncated ||
+           profile_missing;
+  }
+};
+
+/// Impute non-usable entries of `values` in place: entries with
+/// `bad[i] != 0` are replaced by linear interpolation between the nearest
+/// good neighbors (nearest-fill at the edges). A series with no good
+/// entry at all is left untouched. Exposed for tests.
+void impute_linear(std::span<double> values, std::span<const std::uint8_t> bad);
+
+/// Detect and (per policy) fix anomalies in one run:
+///  Strict — scan and tally only; the caller throws if any_anomaly().
+///  Repair — unwind wraps exactly, normalize corrupt cells to NaN, impute
+///           every bad step, mark kQualityImputed; sets `dropped` when the
+///           run is truncated or damage exceeds max_bad_fraction.
+///  Drop   — flag anomalous steps kQualityCorrupt (consumers skip them);
+///           sets `dropped` for truncated / mostly-damaged runs.
+///  Keep   — no-op.
+/// `expected_steps` is the dataset's nominal step count; shorter runs are
+/// treated as truncated.
+RunRepairStats repair_run(RunTelemetry run, RepairPolicy policy, const RepairOptions& opt,
+                          int expected_steps);
+
+}  // namespace dfv::faults

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/integrity.hpp"
 #include "common/log.hpp"
 #include "exec/exec.hpp"
 
@@ -62,6 +63,7 @@ void CampaignConfig::validate() const {
                 "max_bg_utilization must be in (0, 1]");
   DFV_CHECK_MSG(cluster.mpi_noise_sigma >= 0.0, "mpi_noise_sigma must be >= 0");
   DFV_CHECK_MSG(cluster.io_routers_per_group >= 1, "io_routers_per_group must be >= 1");
+  faults.validate();
 }
 
 CampaignBuilder& CampaignBuilder::dataset(std::string app, int nodes) {
@@ -197,6 +199,21 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       run.neighborhood_users = std::move(users);
     }
   });
+
+  // Degrade the finished telemetry per the fault spec. Each dataset gets
+  // its own fault stream keyed off (campaign seed, fault seed, dataset
+  // index); each run within it draws from a substream, so the result is
+  // bit-identical for any thread count.
+  if (cfg.faults.enabled()) {
+    const std::uint64_t base = hash_combine(cfg.seed, cfg.faults.seed);
+    for (std::size_t i = 0; i < result.datasets.size(); ++i)
+      inject_faults(result.datasets[i], cfg.faults,
+                    hash_combine(base, 0xfa0175ULL + i));
+    DFV_LOG_INFO("campaign: injected faults (rate " << cfg.faults.rate << ", kinds "
+                                                    << faults::fault_kinds_to_string(
+                                                           cfg.faults.kinds)
+                                                    << ")");
+  }
   return result;
 }
 
@@ -256,9 +273,16 @@ std::uint64_t config_fingerprint(const CampaignConfig& cfg) {
     for (char c : d.app) mix(std::uint64_t(c));
     mix(std::uint64_t(d.nodes));
   }
-  // Version tag: bump when the generator's behavior changes so stale
-  // caches are not reused.
-  mix(0xDFC0DE07);
+  // -- fault injection: faulted and clean campaigns must never collide ---
+  mix_d(cfg.faults.rate);
+  mix(cfg.faults.seed);
+  mix(std::uint64_t(cfg.faults.kinds));
+  mix_d(cfg.faults.spike_magnitude);
+  mix_d(cfg.faults.truncate_min_keep);
+  // Version tag: bump when the generator's behavior or the cache format
+  // changes so stale caches are not reused. 08: quality/profile_missing
+  // CSV columns + integrity footers.
+  mix(0xDFC0DE08);
   return h;
 }
 
@@ -269,28 +293,47 @@ CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string&
   const fs::path meta = dir / "META";
 
   if (fs::exists(meta)) {
-    DFV_LOG_INFO("loading cached campaign from " << dir.string());
-    CampaignResult result;
-    for (const auto& spec : cfg.datasets) {
-      Dataset ds = load_dataset((dir / (spec.label() + ".csv")).string());
-      ds.spec = spec;
-      result.datasets.push_back(std::move(ds));
+    // Trust nothing: every entry must carry a matching integrity footer.
+    // Any corruption (bit flips, partial writes, zero-byte files) evicts
+    // the whole entry and regenerates it from scratch.
+    try {
+      DFV_LOG_INFO("loading cached campaign from " << dir.string());
+      CampaignResult result;
+      for (const auto& spec : cfg.datasets) {
+        // Keep: cached faulted telemetry must round-trip verbatim; repair
+        // policy is applied downstream, not at the cache boundary.
+        Dataset ds = load_dataset((dir / (spec.label() + ".csv")).string(),
+                                  /*require_checksum=*/true, faults::RepairPolicy::Keep);
+        ds.spec = spec;
+        result.datasets.push_back(std::move(ds));
+      }
+      return result;
+    } catch (const ContractError& e) {
+      DFV_LOG_WARN("campaign cache entry " << dir.string() << " is corrupt ("
+                                           << e.what() << "); evicting and regenerating");
+      std::error_code ec;
+      fs::remove_all(dir, ec);
     }
-    return result;
   }
 
   CampaignResult result = run_campaign(cfg);
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (!ec) {
+    // Publish datasets first (each one atomically), then META last: the
+    // META file is the commit point a reader keys on, so a crash mid-
+    // publish leaves no entry rather than a half-written one.
     bool ok = true;
     for (const auto& ds : result.datasets)
       ok = ok && save_dataset(ds, (dir / (ds.spec.label() + ".csv")).string());
     if (ok) {
-      std::ofstream m(meta);
-      m << "format=dfc0de07\n";
+      std::ostringstream m;
+      m << "format=dfc0de08\n";
       m << "datasets=" << result.datasets.size() << "\n";
+      ok = atomic_write_file(meta.string(), m.str());
     }
+    if (!ok)
+      DFV_LOG_WARN("failed to publish campaign cache entry " << dir.string());
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "sim/cluster.hpp"
 
 namespace dfv::sim {
@@ -30,6 +31,11 @@ struct CampaignConfig {
   /// (enforced by test_campaign's determinism test), so the cache entry
   /// must not depend on it.
   int threads = 0;
+  /// Telemetry fault injection applied to the finished datasets (disabled
+  /// by default). Every field participates in config_fingerprint(), so
+  /// clean and faulted campaigns never share a cache entry. Injection is
+  /// seeded per run and bit-identical across thread counts.
+  faults::FaultSpec faults;
   /// Datasets to collect; defaults to the paper's six (app, nodes) pairs.
   std::vector<apps::DatasetSpec> datasets = apps::paper_datasets();
 
@@ -66,6 +72,7 @@ class CampaignBuilder {
   }
   CampaignBuilder& max_bg_job_nodes(int v) { cfg_.max_bg_job_nodes = v; return *this; }
   CampaignBuilder& threads(int v) { cfg_.threads = v; return *this; }
+  CampaignBuilder& faults(faults::FaultSpec v) { cfg_.faults = v; return *this; }
   CampaignBuilder& datasets(std::vector<apps::DatasetSpec> v) {
     cfg_.datasets = std::move(v);
     return *this;

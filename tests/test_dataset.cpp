@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -112,6 +115,83 @@ TEST(Dataset, TotalTimes) {
   const auto totals = ds.total_times();
   ASSERT_EQ(totals.size(), 2u);
   EXPECT_NEAR(totals[0], ds.runs[0].total_time_s(), 1e-12);
+}
+
+// Split CSV text into lines (keeps it easy to mutate one row).
+std::vector<std::string> csv_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Dataset, MalformedCsvRejected) {
+  const std::string good = dataset_to_csv(make_synthetic(2, 3, 9));
+  ASSERT_NO_THROW((void)dataset_from_csv(good));
+  std::vector<std::string> lines = csv_lines(good);
+  ASSERT_GE(lines.size(), 3u);
+
+  // Wrong column count: a data row missing its trailing field.
+  {
+    auto bad = lines;
+    bad[1] = bad[1].substr(0, bad[1].rfind(','));
+    EXPECT_THROW((void)dataset_from_csv(join_lines(bad)), ContractError);
+  }
+  // Non-numeric garbage in a numeric field (job_id).
+  {
+    auto bad = lines;
+    std::size_t f = 0;
+    for (int skip = 0; skip < 3; ++skip) f = bad[1].find(',', f) + 1;
+    bad[1].replace(f, bad[1].find(',', f) - f, "oops");
+    EXPECT_THROW((void)dataset_from_csv(join_lines(bad)), ContractError);
+  }
+  // Truncated final line (partial write / lost tail).
+  {
+    std::string cut = good.substr(0, good.size() - 25);
+    EXPECT_THROW((void)dataset_from_csv(cut), ContractError);
+  }
+}
+
+TEST(Dataset, DegradedTelemetryRoundTripsUnderKeep) {
+  Dataset ds = make_synthetic(2, 4, 13);
+  // Hand-degrade: one dropped step with NaN telemetry, one lost profile.
+  auto& run = ds.runs[0];
+  run.step_quality.assign(4, faults::kQualityOk);
+  run.step_quality[2] = faults::kQualityDropped;
+  run.step_counters[2].fill(std::numeric_limits<double>::quiet_NaN());
+  run.step_ldms[2].io.fill(std::numeric_limits<double>::quiet_NaN());
+  ds.runs[1].profile_missing = true;
+
+  // Strict (the default) refuses degraded text; Keep passes it through.
+  const std::string text = dataset_to_csv(ds);
+  EXPECT_THROW((void)dataset_from_csv(text), ContractError);
+  const Dataset back = dataset_from_csv(text, faults::RepairPolicy::Keep);
+  ASSERT_EQ(back.runs.size(), 2u);
+  EXPECT_EQ(back.runs[0].quality(2), faults::kQualityDropped);
+  EXPECT_FALSE(back.runs[0].step_usable(2));
+  EXPECT_TRUE(std::isnan(back.runs[0].step_counters[2][0]));
+  EXPECT_TRUE(back.runs[1].profile_missing);
+  // Repair on load imputes the gap instead.
+  const Dataset fixed = dataset_from_csv(text, faults::RepairPolicy::Repair);
+  EXPECT_TRUE(fixed.runs[0].step_usable(2));
+  EXPECT_TRUE(std::isfinite(fixed.runs[0].step_counters[2][0]));
 }
 
 TEST(Dataset, EmptyDatasetHandled) {

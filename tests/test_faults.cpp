@@ -1,0 +1,463 @@
+// dfv::faults: spec parsing/validation, deterministic injection across
+// thread counts, wraparound round trips, imputation, policy semantics,
+// and the faulted end-to-end campaign pipeline.
+#include "faults/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/deviation.hpp"
+#include "analysis/forecast.hpp"
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "exec/exec.hpp"
+#include "faults/inject.hpp"
+#include "faults/repair.hpp"
+#include "sim/campaign.hpp"
+#include "sim/dataset.hpp"
+
+namespace dfv {
+namespace {
+
+sim::Dataset make_synthetic(int runs, int steps, std::uint64_t seed,
+                            bool integer_counters = false) {
+  sim::Dataset ds;
+  ds.spec = {"MILC", 128};
+  Rng rng(seed);
+  for (int r = 0; r < runs; ++r) {
+    sim::RunRecord rec;
+    rec.job_id = 100 + r;
+    rec.submit_time_s = r * 1000.0;
+    rec.start_time_s = r * 1000.0 + 60.0;
+    rec.num_routers = 32 + r;
+    rec.num_groups = 3;
+    rec.profile.add_compute(12.5);
+    rec.profile.add(mon::MpiRoutine::Wait, 30.0);
+    for (int t = 0; t < steps; ++t) {
+      rec.step_times.push_back(5.0 + 0.25 * t + rng.uniform());
+      mon::CounterVec cv{};
+      for (int c = 0; c < mon::kNumCounters; ++c) {
+        const double v = rng.uniform(0, 1e9);
+        cv[std::size_t(c)] = integer_counters ? std::floor(v) : v;
+      }
+      rec.step_counters.push_back(cv);
+      mon::LdmsFeatures lf;
+      for (auto& v : lf.io) v = rng.uniform(0, 1e8);
+      for (auto& v : lf.sys) v = rng.uniform(0, 1e8);
+      rec.step_ldms.push_back(lf);
+    }
+    rec.end_time_s = rec.start_time_s + rec.total_time_s();
+    ds.runs.push_back(std::move(rec));
+  }
+  return ds;
+}
+
+/// NaN-safe exact comparison: degraded telemetry contains NaN, so vector
+/// operator== cannot express "bit-identical".
+void expect_bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]), std::bit_cast<std::uint64_t>(b[i]))
+        << "index " << i;
+}
+
+void expect_run_bits_equal(const sim::RunRecord& p, const sim::RunRecord& q) {
+  expect_bits_equal(p.step_times, q.step_times);
+  ASSERT_EQ(p.step_counters.size(), q.step_counters.size());
+  for (std::size_t t = 0; t < p.step_counters.size(); ++t)
+    for (int c = 0; c < mon::kNumCounters; ++c)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(p.step_counters[t][std::size_t(c)]),
+                std::bit_cast<std::uint64_t>(q.step_counters[t][std::size_t(c)]));
+  ASSERT_EQ(p.step_ldms.size(), q.step_ldms.size());
+  for (std::size_t t = 0; t < p.step_ldms.size(); ++t) {
+    for (int i = 0; i < mon::kNumIoFeatures; ++i)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(p.step_ldms[t].io[std::size_t(i)]),
+                std::bit_cast<std::uint64_t>(q.step_ldms[t].io[std::size_t(i)]));
+    for (int i = 0; i < mon::kNumSysFeatures; ++i)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(p.step_ldms[t].sys[std::size_t(i)]),
+                std::bit_cast<std::uint64_t>(q.step_ldms[t].sys[std::size_t(i)]));
+  }
+  EXPECT_EQ(p.step_quality, q.step_quality);
+  EXPECT_EQ(p.profile_missing, q.profile_missing);
+  EXPECT_EQ(p.profile.compute_s, q.profile.compute_s);
+  EXPECT_EQ(p.profile.routine_s, q.profile.routine_s);
+}
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::Warn); }
+};
+
+// ---------------------------------------------------------------------------
+// Spec parsing and validation
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultsTest, SpecValidation) {
+  faults::FaultSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.rate = 0.5;
+  EXPECT_NO_THROW(spec.validate());
+  spec.rate = -0.1;
+  EXPECT_THROW(spec.validate(), ContractError);
+  spec.rate = 1.5;
+  EXPECT_THROW(spec.validate(), ContractError);
+  spec = {};
+  spec.kinds = 0xe0;  // bits outside the known set
+  EXPECT_THROW(spec.validate(), ContractError);
+  spec = {};
+  spec.spike_magnitude = 0.0;
+  EXPECT_THROW(spec.validate(), ContractError);
+  spec = {};
+  spec.truncate_min_keep = 0.0;
+  EXPECT_THROW(spec.validate(), ContractError);
+}
+
+TEST_F(FaultsTest, ParseFaultKinds) {
+  EXPECT_EQ(faults::parse_fault_kinds("all"), faults::kAllFaultKinds);
+  EXPECT_EQ(faults::parse_fault_kinds("none"), 0);
+  EXPECT_EQ(faults::parse_fault_kinds("dropout"),
+            std::uint8_t(faults::FaultKind::Dropout));
+  EXPECT_EQ(faults::parse_fault_kinds("dropout,wraparound"),
+            std::uint8_t(faults::FaultKind::Dropout) |
+                std::uint8_t(faults::FaultKind::Wraparound));
+  EXPECT_THROW((void)faults::parse_fault_kinds("bogus"), ContractError);
+  EXPECT_THROW((void)faults::parse_fault_kinds(""), ContractError);
+  // Round trip through the printer.
+  const std::uint8_t mask = faults::parse_fault_kinds("corrupt,missing-profile");
+  EXPECT_EQ(faults::parse_fault_kinds(faults::fault_kinds_to_string(mask)), mask);
+  EXPECT_EQ(faults::fault_kinds_to_string(faults::kAllFaultKinds), "all");
+}
+
+TEST_F(FaultsTest, ParseRepairPolicy) {
+  EXPECT_EQ(faults::parse_repair_policy("strict"), faults::RepairPolicy::Strict);
+  EXPECT_EQ(faults::parse_repair_policy("repair"), faults::RepairPolicy::Repair);
+  EXPECT_EQ(faults::parse_repair_policy("drop"), faults::RepairPolicy::Drop);
+  EXPECT_EQ(faults::parse_repair_policy("keep"), faults::RepairPolicy::Keep);
+  EXPECT_THROW((void)faults::parse_repair_policy("fix"), ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// Injection determinism
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultsTest, InjectionBitIdenticalAcrossThreadCounts) {
+  faults::FaultSpec spec;
+  spec.rate = 0.15;
+  sim::Dataset a = make_synthetic(24, 30, 99);
+  sim::Dataset b = a;
+
+  exec::ThreadPool::instance().resize(1);
+  sim::inject_faults(a, spec, 0xabcd);
+  exec::ThreadPool::instance().resize(8);
+  sim::inject_faults(b, spec, 0xabcd);
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < a.runs.size(); ++r) expect_run_bits_equal(a.runs[r], b.runs[r]);
+}
+
+TEST_F(FaultsTest, InjectionActuallyDegradesData) {
+  faults::FaultSpec spec;
+  spec.rate = 0.3;
+  sim::Dataset ds = make_synthetic(10, 40, 7);
+  sim::inject_faults(ds, spec, 0x5eed);
+  int flagged = 0, nan_cells = 0;
+  bool any_short = false, any_profile_lost = false;
+  for (const auto& run : ds.runs) {
+    any_short |= run.steps() < 40;
+    any_profile_lost |= run.profile_missing;
+    for (int t = 0; t < run.steps(); ++t) {
+      if (run.quality(t) != faults::kQualityOk) ++flagged;
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        if (!std::isfinite(run.step_counters[std::size_t(t)][std::size_t(c)])) ++nan_cells;
+    }
+  }
+  EXPECT_GT(flagged, 0);
+  EXPECT_GT(nan_cells, 0);
+  EXPECT_TRUE(any_short);
+  EXPECT_TRUE(any_profile_lost);
+}
+
+TEST_F(FaultsTest, ZeroRateIsANoOp) {
+  const sim::Dataset before = make_synthetic(4, 10, 3);
+  sim::Dataset after = before;
+  sim::inject_faults(after, faults::FaultSpec{}, 0x1234);
+  ASSERT_EQ(after.runs.size(), before.runs.size());
+  for (std::size_t r = 0; r < before.runs.size(); ++r) {
+    expect_run_bits_equal(after.runs[r], before.runs[r]);
+    EXPECT_TRUE(after.runs[r].step_quality.empty());  // clean fast path intact
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wraparound
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultsTest, WraparoundRoundTripIsExact) {
+  // Hardware counters are integers; integer readings below 2^32 survive
+  // the wrap + unwind round trip bit-exactly.
+  const sim::Dataset original = make_synthetic(6, 20, 11, /*integer_counters=*/true);
+  sim::Dataset ds = original;
+  faults::FaultSpec spec;
+  spec.rate = 1.0;  // wrap one counter in every step
+  spec.kinds = std::uint8_t(faults::FaultKind::Wraparound);
+  sim::inject_faults(ds, spec, 0xfeed);
+
+  // Injection is silent: negative deltas, no quality flags yet.
+  int negative = 0;
+  for (const auto& run : ds.runs)
+    for (const auto& cv : run.step_counters)
+      for (double v : cv)
+        if (v < 0.0) ++negative;
+  EXPECT_EQ(negative, 6 * 20);
+
+  const sim::RepairReport rep = ds.repair(faults::RepairPolicy::Repair);
+  EXPECT_EQ(rep.wrapped_cells, 6 * 20);
+  EXPECT_EQ(rep.corrupt_cells, 0);
+  EXPECT_EQ(rep.runs_dropped, 0);
+  ASSERT_EQ(ds.runs.size(), original.runs.size());
+  for (std::size_t r = 0; r < ds.runs.size(); ++r) {
+    const auto& got = ds.runs[r];
+    const auto& want = original.runs[r];
+    for (std::size_t t = 0; t < got.step_counters.size(); ++t) {
+      for (int c = 0; c < mon::kNumCounters; ++c)
+        EXPECT_EQ(got.step_counters[t][std::size_t(c)],
+                  want.step_counters[t][std::size_t(c)]);
+      EXPECT_TRUE(got.quality(int(t)) & faults::kQualityWrapped);
+      EXPECT_TRUE(got.step_usable(int(t)));  // unwound exactly, not imputed
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Imputation
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultsTest, ImputeLinearInterpolatesGaps) {
+  std::vector<double> v{0.0, -1.0, -1.0, 3.0};
+  const std::vector<std::uint8_t> bad{0, 1, 1, 0};
+  faults::impute_linear(v, bad);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+
+  std::vector<double> edge{-1.0, 5.0, -1.0};
+  const std::vector<std::uint8_t> edge_bad{1, 0, 1};
+  faults::impute_linear(edge, edge_bad);
+  EXPECT_DOUBLE_EQ(edge[0], 5.0);  // nearest-fill at the edges
+  EXPECT_DOUBLE_EQ(edge[2], 5.0);
+
+  std::vector<double> hopeless{1.0, 2.0};
+  const std::vector<std::uint8_t> all_bad{1, 1};
+  faults::impute_linear(hopeless, all_bad);
+  EXPECT_DOUBLE_EQ(hopeless[0], 1.0);  // no good entry: left untouched
+  EXPECT_DOUBLE_EQ(hopeless[1], 2.0);
+}
+
+TEST_F(FaultsTest, RepairImputesDroppedSteps) {
+  // Linear telemetry with one dropped step: imputation must reconstruct
+  // the missing values exactly.
+  sim::Dataset ds;
+  ds.spec = {"AMG", 128};
+  sim::RunRecord rec;
+  const int T = 9;
+  for (int t = 0; t < T; ++t) {
+    rec.step_times.push_back(10.0 + 2.0 * t);
+    mon::CounterVec cv{};
+    for (int c = 0; c < mon::kNumCounters; ++c) cv[std::size_t(c)] = 100.0 * (t + 1);
+    rec.step_counters.push_back(cv);
+    mon::LdmsFeatures lf;
+    for (auto& v : lf.io) v = 7.0 * t;
+    for (auto& v : lf.sys) v = 3.0 * t;
+    rec.step_ldms.push_back(lf);
+  }
+  rec.step_quality.assign(T, faults::kQualityOk);
+  // Blank step 4 the way the injector does.
+  const int gap = 4;
+  rec.step_quality[gap] = faults::kQualityDropped;
+  rec.step_counters[gap].fill(std::numeric_limits<double>::quiet_NaN());
+  rec.step_ldms[gap].io.fill(std::numeric_limits<double>::quiet_NaN());
+  rec.step_ldms[gap].sys.fill(std::numeric_limits<double>::quiet_NaN());
+  ds.runs.push_back(rec);
+
+  const sim::RepairReport rep = ds.repair(faults::RepairPolicy::Repair);
+  EXPECT_EQ(rep.bad_steps, 1);
+  EXPECT_EQ(rep.imputed_steps, 1);
+  EXPECT_EQ(rep.runs_dropped, 0);
+  const auto& run = ds.runs[0];
+  EXPECT_TRUE(run.quality(gap) & faults::kQualityImputed);
+  EXPECT_TRUE(run.step_usable(gap));
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    EXPECT_DOUBLE_EQ(run.step_counters[gap][std::size_t(c)], 100.0 * (gap + 1));
+  for (double v : run.step_ldms[gap].io) EXPECT_DOUBLE_EQ(v, 7.0 * gap);
+  for (double v : run.step_ldms[gap].sys) EXPECT_DOUBLE_EQ(v, 3.0 * gap);
+}
+
+// ---------------------------------------------------------------------------
+// Policy semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultsTest, CleanDataIsUntouchedByRepair) {
+  const sim::Dataset before = make_synthetic(5, 12, 21);
+  sim::Dataset after = before;
+  const sim::RepairReport rep = after.repair(faults::RepairPolicy::Repair);
+  EXPECT_FALSE(rep.any_anomaly());
+  ASSERT_EQ(after.runs.size(), before.runs.size());
+  for (std::size_t r = 0; r < before.runs.size(); ++r)
+    expect_run_bits_equal(after.runs[r], before.runs[r]);
+  // Strict accepts clean data too.
+  sim::Dataset strict = before;
+  EXPECT_NO_THROW(strict.repair(faults::RepairPolicy::Strict));
+}
+
+TEST_F(FaultsTest, StrictThrowsOnDegradedData) {
+  faults::FaultSpec spec;
+  spec.rate = 0.2;
+  sim::Dataset ds = make_synthetic(8, 20, 31);
+  sim::inject_faults(ds, spec, 0xbad);
+  EXPECT_THROW(ds.repair(faults::RepairPolicy::Strict), ContractError);
+}
+
+TEST_F(FaultsTest, DropPolicyExcludesSamplesFromAnalysis) {
+  faults::FaultSpec spec;
+  spec.rate = 0.2;
+  spec.kinds = std::uint8_t(faults::FaultKind::Dropout);
+  sim::Dataset ds = make_synthetic(10, 25, 41);
+  sim::inject_faults(ds, spec, 0xd70b);
+  const sim::RepairReport rep = ds.repair(faults::RepairPolicy::Drop);
+  EXPECT_GT(rep.bad_steps, 0);
+  EXPECT_EQ(rep.imputed_steps, 0);  // Drop never reconstructs
+
+  std::size_t usable = 0;
+  for (const auto& run : ds.runs)
+    for (int t = 0; t < run.steps(); ++t)
+      if (run.step_usable(t)) ++usable;
+  const auto cs = analysis::build_centered_samples(ds);
+  EXPECT_EQ(cs.y.size(), usable);
+  EXPECT_LT(cs.y.size(), ds.runs.size() * 25);
+  for (double y : cs.y) EXPECT_TRUE(std::isfinite(y));
+}
+
+TEST_F(FaultsTest, TruncatedRunsAreDropped) {
+  sim::Dataset ds = make_synthetic(5, 20, 51);
+  ds.runs[2].step_times.resize(12);
+  ds.runs[2].step_counters.resize(12);
+  ds.runs[2].step_ldms.resize(12);
+  EXPECT_EQ(ds.steps_per_run(), 20);  // modal length, not first-run length
+
+  const sim::RepairReport rep = ds.repair(faults::RepairPolicy::Repair);
+  EXPECT_EQ(rep.truncated_runs, 1);
+  EXPECT_EQ(rep.runs_dropped, 1);
+  EXPECT_EQ(ds.runs.size(), 4u);
+  for (const auto& run : ds.runs) EXPECT_EQ(run.steps(), 20);
+}
+
+TEST_F(FaultsTest, MissingProfileSurvivesCsvRoundTrip) {
+  faults::FaultSpec spec;
+  spec.rate = 1.0;
+  spec.kinds = std::uint8_t(faults::FaultKind::MissingProfile);
+  sim::Dataset ds = make_synthetic(3, 5, 61);
+  sim::inject_faults(ds, spec, 0x9);
+  for (const auto& run : ds.runs) {
+    EXPECT_TRUE(run.profile_missing);
+    EXPECT_EQ(run.profile.compute_s, 0.0);
+  }
+  const sim::Dataset back =
+      sim::dataset_from_csv(sim::dataset_to_csv(ds), faults::RepairPolicy::Keep);
+  ASSERT_EQ(back.runs.size(), 3u);
+  for (std::size_t r = 0; r < back.runs.size(); ++r) {
+    EXPECT_TRUE(back.runs[r].profile_missing);
+    EXPECT_EQ(back.runs[r].step_quality, ds.runs[r].step_quality);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Faulted campaign end to end
+// ---------------------------------------------------------------------------
+
+sim::CampaignConfig faulted_tiny_config(std::uint64_t seed, double rate) {
+  sim::CampaignConfig cfg = sim::CampaignConfig::small(seed);
+  cfg.days = 3;
+  cfg.datasets = {{"MILC", 128}};
+  cfg.faults.rate = rate;
+  return cfg;
+}
+
+TEST_F(FaultsTest, FaultedCampaignBitIdenticalAcrossThreadCounts) {
+  sim::CampaignConfig serial = faulted_tiny_config(13, 0.08);
+  serial.threads = 1;
+  const sim::CampaignResult a = sim::run_campaign(serial);
+
+  sim::CampaignConfig eight = faulted_tiny_config(13, 0.08);
+  eight.threads = 8;
+  const sim::CampaignResult b = sim::run_campaign(eight);
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+
+  ASSERT_EQ(a.datasets.size(), b.datasets.size());
+  for (std::size_t d = 0; d < a.datasets.size(); ++d) {
+    ASSERT_EQ(a.datasets[d].num_runs(), b.datasets[d].num_runs());
+    for (std::size_t r = 0; r < a.datasets[d].runs.size(); ++r)
+      expect_run_bits_equal(a.datasets[d].runs[r], b.datasets[d].runs[r]);
+  }
+}
+
+TEST_F(FaultsTest, FingerprintSeparatesFaultConfigs) {
+  const sim::CampaignConfig clean = faulted_tiny_config(5, 0.0);
+  sim::CampaignConfig faulted = faulted_tiny_config(5, 0.05);
+  EXPECT_NE(sim::config_fingerprint(clean), sim::config_fingerprint(faulted));
+
+  sim::CampaignConfig other_rate = faulted;
+  other_rate.faults.rate = 0.10;
+  EXPECT_NE(sim::config_fingerprint(faulted), sim::config_fingerprint(other_rate));
+
+  sim::CampaignConfig other_seed = faulted;
+  other_seed.faults.seed += 1;
+  EXPECT_NE(sim::config_fingerprint(faulted), sim::config_fingerprint(other_seed));
+
+  sim::CampaignConfig other_kinds = faulted;
+  other_kinds.faults.kinds = std::uint8_t(faults::FaultKind::Dropout);
+  EXPECT_NE(sim::config_fingerprint(faulted), sim::config_fingerprint(other_kinds));
+}
+
+TEST_F(FaultsTest, ConfigValidateRejectsBadFaultSpec) {
+  sim::CampaignConfig cfg = faulted_tiny_config(5, 0.05);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.faults.rate = 2.0;
+  EXPECT_THROW(cfg.validate(), ContractError);
+}
+
+TEST_F(FaultsTest, RepairedFaultedCampaignFeedsAnalysesCleanly) {
+  // The acceptance path: inject at 5%, repair, and the full analysis
+  // chain runs with finite results and no NaN poisoning.
+  sim::CampaignResult res = sim::run_campaign(faulted_tiny_config(23, 0.05));
+  sim::Dataset& ds = res.datasets[0];
+  const sim::RepairReport rep = ds.repair(faults::RepairPolicy::Repair);
+  EXPECT_TRUE(rep.any_anomaly());
+
+  for (const auto& run : ds.runs)
+    for (int t = 0; t < run.steps(); ++t)
+      if (run.step_usable(t)) {
+        EXPECT_TRUE(std::isfinite(run.step_times[std::size_t(t)]));
+        for (int c = 0; c < mon::kNumCounters; ++c)
+          EXPECT_TRUE(std::isfinite(run.step_counters[std::size_t(t)][std::size_t(c)]));
+      }
+
+  analysis::DeviationConfig dcfg;  // tiny dataset: few folds, light GBR
+  dcfg.rfe.folds = 2;
+  dcfg.rfe.gbr.n_trees = 20;
+  const auto dev = analysis::analyze_deviation(ds, dcfg);
+  EXPECT_TRUE(std::isfinite(dev.cv_mape));
+  EXPECT_GT(dev.samples, 0u);
+
+  analysis::ForecastConfig fcfg;
+  fcfg.folds = 2;
+  const auto fc =
+      analysis::evaluate_forecast(ds, {5, 5, analysis::FeatureSet::App}, fcfg);
+  EXPECT_TRUE(std::isfinite(fc.mape_attention));
+  EXPECT_GT(fc.windows, 0u);
+}
+
+}  // namespace
+}  // namespace dfv

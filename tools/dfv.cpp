@@ -8,18 +8,23 @@
 // (0 = DFV_THREADS env or hardware concurrency). Results are
 // bit-identical for any thread count.
 #include <chrono>
+#include <cmath>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include "analysis/forecast.hpp"
 #include "analysis/neighborhood.hpp"
 #include "apps/registry.hpp"
 #include "common/ascii_plot.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/study.hpp"
 #include "exec/exec.hpp"
+#include "faults/faults.hpp"
 #include "net/packet_sim.hpp"
 #include "net/vc_sim.hpp"
 
@@ -27,10 +32,22 @@ namespace {
 
 using namespace dfv;
 
+faults::FaultSpec parse_fault_spec(const cli::ParsedArgs& a) {
+  faults::FaultSpec spec;
+  spec.rate = a.get_double("fault-rate");
+  spec.seed = std::uint64_t(a.get_int("fault-seed"));
+  spec.kinds = faults::parse_fault_kinds(a.get("fault-kinds"));
+  spec.validate();
+  return spec;
+}
+
 core::VariabilityStudy make_study(const cli::ParsedArgs& a) {
-  return core::VariabilityStudy(
-      sim::CampaignConfig::cori().seed(20181203).days(a.get_int("days")),
-      a.get("cache"));
+  return core::VariabilityStudy(sim::CampaignConfig::cori()
+                                    .seed(20181203)
+                                    .days(a.get_int("days"))
+                                    .faults(parse_fault_spec(a)),
+                                a.get("cache"),
+                                faults::parse_repair_policy(a.get("repair-policy")));
 }
 
 analysis::FeatureSet parse_feature_set(const std::string& name) {
@@ -52,11 +69,26 @@ int cmd_campaign(const cli::ParsedArgs& a) {
   set_log_level(LogLevel::Info);
   auto study = make_study(a);
   const auto& result = study.campaign();
-  Table t({"dataset", "runs", "steps/run"});
-  for (const auto& ds : result.datasets)
-    t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
-               std::to_string(ds.steps_per_run())});
-  std::cout << t.str();
+  const auto& reports = study.repair_reports();
+  if (reports.empty()) {
+    Table t({"dataset", "runs", "steps/run"});
+    for (const auto& ds : result.datasets)
+      t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
+                 std::to_string(ds.steps_per_run())});
+    std::cout << t.str();
+  } else {
+    Table t({"dataset", "runs", "steps/run", "dropped runs", "bad steps", "imputed",
+             "wraps", "lost profiles"});
+    for (std::size_t i = 0; i < result.datasets.size(); ++i) {
+      const auto& ds = result.datasets[i];
+      const auto& rep = reports[i];
+      t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
+                 std::to_string(ds.steps_per_run()), std::to_string(rep.runs_dropped),
+                 std::to_string(rep.bad_steps), std::to_string(rep.imputed_steps),
+                 std::to_string(rep.wrapped_cells), std::to_string(rep.profiles_missing)});
+    }
+    std::cout << t.str();
+  }
   if (!a.get("out").empty()) {
     for (const auto& ds : result.datasets) {
       const std::string path = a.get("out") + "/" + ds.spec.label() + ".csv";
@@ -126,6 +158,109 @@ int cmd_forecast(const cli::ParsedArgs& a) {
   return 0;
 }
 
+/// Resilience report: sweep fault rates and compare the analysis-quality
+/// cost of repairing vs dropping degraded telemetry. The underlying
+/// campaign is generated once per rate (policies share the cache entry).
+int cmd_faults(const cli::ParsedArgs& a) {
+  const std::string app_name = a.get("app");
+  const int nodes = a.get_int("nodes");
+
+  std::vector<double> rates;
+  {
+    std::istringstream is(a.get("rates"));
+    std::string tok;
+    while (std::getline(is, tok, ','))
+      if (!tok.empty()) rates.push_back(std::stod(tok));
+  }
+  DFV_CHECK_MSG(!rates.empty(), "--rates needs at least one fault rate");
+
+  faults::FaultSpec base_spec;
+  base_spec.seed = std::uint64_t(a.get_int("fault-seed"));
+  base_spec.kinds = faults::parse_fault_kinds(a.get("fault-kinds"));
+  const analysis::WindowConfig wcfg{a.get_int("m"), a.get_int("k"),
+                                    analysis::FeatureSet::App};
+
+  auto make_config = [&](double rate) {
+    auto builder = a.flag("small") ? sim::CampaignConfig::small_machine(20181203)
+                                   : sim::CampaignConfig::cori().seed(20181203);
+    faults::FaultSpec spec = base_spec;
+    spec.rate = rate;
+    return builder.days(a.get_int("days")).faults(spec).build();
+  };
+
+  struct RowEval {
+    std::string runs = "—", samples = "—";
+    double dev = std::numeric_limits<double>::quiet_NaN();
+    double fc = std::numeric_limits<double>::quiet_NaN();
+  };
+  // Each metric degrades independently: a policy can leave too little
+  // data for forecasting (every window touches a bad step) while the
+  // per-step deviation analysis still has plenty of samples.
+  auto evaluate = [&](double rate, faults::RepairPolicy policy,
+                      const std::string& label) {
+    RowEval r;
+    try {
+      core::VariabilityStudy study(make_config(rate), a.get("cache"), policy);
+      r.runs = std::to_string(study.dataset(app_name, nodes).num_runs());
+      try {
+        const auto dev = study.deviation(app_name, nodes);
+        r.samples = std::to_string(dev.samples);
+        r.dev = dev.cv_mape;
+      } catch (const std::exception& e) {
+        DFV_LOG_WARN("faults: rate " << rate << " policy " << label
+                                     << " deviation failed: " << e.what());
+      }
+      try {
+        r.fc = study.forecast(app_name, nodes, wcfg).mape_attention;
+      } catch (const std::exception& e) {
+        DFV_LOG_WARN("faults: rate " << rate << " policy " << label
+                                     << " forecast failed: " << e.what());
+      }
+    } catch (const std::exception& e) {
+      DFV_LOG_WARN("faults: rate " << rate << " policy " << label
+                                   << " failed: " << e.what());
+    }
+    return r;
+  };
+  const auto fmt_opt = [](double v) {
+    return std::isfinite(v) ? format_double(v, 2) : std::string("—");
+  };
+  // Resilience is fidelity: how far the analysis drifts from what clean
+  // telemetry would have concluded. Raw MAPE alone is misleading — drop
+  // can "score" better simply by discarding the data until the task is
+  // easier, while its conclusions stray further from the truth.
+  const auto fmt_drift = [&](double v, double base) {
+    return std::isfinite(v) && std::isfinite(base)
+               ? format_double(std::fabs(v - base), 2)
+               : std::string("—");
+  };
+
+  Table t({"rate", "policy", "runs", "samples", "deviation MAPE (%)", "dev drift",
+           "forecast MAPE (%)", "fc drift"});
+  const RowEval clean = evaluate(0.0, faults::RepairPolicy::Strict, "clean");
+  t.add_row({"0.0%", "clean", clean.runs, clean.samples, fmt_opt(clean.dev),
+             fmt_drift(clean.dev, clean.dev), fmt_opt(clean.fc),
+             fmt_drift(clean.fc, clean.fc)});
+  for (double rate : rates) {
+    if (rate <= 0.0) continue;  // the clean baseline is always the first row
+    for (faults::RepairPolicy policy :
+         {faults::RepairPolicy::Repair, faults::RepairPolicy::Drop}) {
+      const std::string label = faults::to_string(policy);
+      const RowEval r = evaluate(rate, policy, label);
+      t.add_row({format_double(100.0 * rate, 1) + "%", label, r.runs, r.samples,
+                 fmt_opt(r.dev), fmt_drift(r.dev, clean.dev), fmt_opt(r.fc),
+                 fmt_drift(r.fc, clean.fc)});
+    }
+  }
+  std::cout << t.str();
+  std::cout << "\ndrift = |MAPE - clean MAPE|: how far degraded telemetry pulls the\n"
+               "analysis away from the clean-data result. repair unwinds 2^32\n"
+               "wraparounds exactly and imputes dropped/corrupt steps, keeping the\n"
+               "statistics anchored to the clean baseline; drop discards damaged\n"
+               "steps (and every window they touch), biasing what remains.\n";
+  return 0;
+}
+
 int cmd_simulate(const cli::ParsedArgs& a) {
   net::DragonflyConfig cfg = net::DragonflyConfig::small(a.get_int("groups"));
   const net::Topology topo(cfg);
@@ -191,6 +326,21 @@ int main(int argc, char** argv) {
   const ArgSpec app_arg{"app", ArgType::String, "MILC", "application dataset"};
   const ArgSpec nodes_arg{"nodes", ArgType::Int, "128", "job node count"};
   const ArgSpec days_arg{"days", ArgType::Int, "120", "campaign length in days"};
+  const ArgSpec fault_rate_arg{"fault-rate", ArgType::Double, "0",
+                               "telemetry fault probability (0 disables injection)"};
+  const ArgSpec fault_seed_arg{"fault-seed", ArgType::Int, "64023",
+                               "fault stream seed (mixed with the campaign seed)"};
+  const ArgSpec fault_kinds_arg{
+      "fault-kinds", ArgType::String, "all",
+      "comma list: dropout | wraparound | corrupt | truncate | missing-profile | all"};
+  const ArgSpec repair_arg{"repair-policy", ArgType::String, "repair",
+                           "degraded-data policy: strict | repair | drop"};
+  const std::vector<ArgSpec> fault_args{fault_rate_arg, fault_seed_arg, fault_kinds_arg,
+                                        repair_arg};
+  auto with_faults = [&fault_args](std::vector<ArgSpec> args) {
+    args.insert(args.end(), fault_args.begin(), fault_args.end());
+    return args;
+  };
 
   cli::App app("dfv", "dragonfly performance-variability toolkit");
   app.common_arg({"threads", ArgType::Int, "0",
@@ -201,22 +351,33 @@ int main(int argc, char** argv) {
               {{"groups", ArgType::Int, "0", "use a small machine with N groups"}},
               timed_phase("topology", cmd_topology));
   app.command("campaign", "generate (or load) the run campaign",
-              {days_arg, {"out", ArgType::String, "", "also export dataset CSVs here"}},
+              with_faults({days_arg,
+                           {"out", ArgType::String, "", "also export dataset CSVs here"}}),
               timed_phase("campaign", cmd_campaign));
   app.command("blame", "Table III: rank neighbor users by blame for slow runs",
-              {app_arg, nodes_arg, days_arg,
-               {"tau", ArgType::Double, "1.0", "slowdown threshold"}},
+              with_faults({app_arg, nodes_arg, days_arg,
+                           {"tau", ArgType::Double, "1.0", "slowdown threshold"}}),
               timed_phase("blame", cmd_blame));
   app.command("deviation", "Fig. 9: per-counter relevance for deviation prediction",
-              {app_arg, nodes_arg, days_arg}, timed_phase("deviation", cmd_deviation));
+              with_faults({app_arg, nodes_arg, days_arg}),
+              timed_phase("deviation", cmd_deviation));
   app.command(
       "forecast", "Figs. 8/10: forecasting MAPE for one cell or the whole grid",
-      {app_arg, nodes_arg, days_arg, {"m", ArgType::Int, "10", "history length (steps)"},
-       {"k", ArgType::Int, "20", "horizon (steps)"},
-       {"features", ArgType::String, "app",
-        "feature set: app | app+placement | app+placement+io | app+placement+io+sys"},
-       {"grid", ArgType::Flag, "", "sweep the (m, k, feature-set) ablation grid"}},
+      with_faults(
+          {app_arg, nodes_arg, days_arg, {"m", ArgType::Int, "10", "history length (steps)"},
+           {"k", ArgType::Int, "20", "horizon (steps)"},
+           {"features", ArgType::String, "app",
+            "feature set: app | app+placement | app+placement+io | app+placement+io+sys"},
+           {"grid", ArgType::Flag, "", "sweep the (m, k, feature-set) ablation grid"}}),
       timed_phase("forecast", cmd_forecast));
+  app.command(
+      "faults", "resilience report: analysis error vs fault rate, repair vs drop",
+      {app_arg, nodes_arg, days_arg, fault_seed_arg, fault_kinds_arg,
+       {"rates", ArgType::String, "0,0.02,0.05,0.1", "comma list of fault rates to sweep"},
+       {"m", ArgType::Int, "10", "forecast history length (steps)"},
+       {"k", ArgType::Int, "20", "forecast horizon (steps)"},
+       {"small", ArgType::Flag, "", "use the small test machine (fast smoke run)"}},
+      timed_phase("faults", cmd_faults));
   app.command("simulate", "packet-level engines on synthetic traffic",
               {{"groups", ArgType::Int, "6", "small machine group count"},
                {"pattern", ArgType::String, "uniform", "uniform | adversarial | hotspot"},
