@@ -14,6 +14,7 @@
 #include "exec/exec.hpp"
 #include "ml/attention.hpp"
 #include "ml/gbr.hpp"
+#include "ml/rfe.hpp"
 #include "mon/counter_model.hpp"
 #include "net/flow_model.hpp"
 #include "net/packet_sim.hpp"
@@ -146,6 +147,84 @@ void BM_GbrFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbrFit)->Unit(benchmark::kMillisecond);
+
+void BM_TreeFitNode(benchmark::State& state) {
+  // Cost of growing one boosted-depth tree; items = nodes built, so the
+  // per-node rate isolates the histogram build + split scan from the
+  // fixed binning cost.
+  Rng rng(12);
+  ml::Matrix x(4000, 13);
+  std::vector<double> y(4000);
+  std::vector<std::size_t> idx(4000);
+  for (std::size_t i = 0; i < 4000; ++i) {
+    idx[i] = i;
+    for (std::size_t c = 0; c < 13; ++c) x(i, c) = rng.normal();
+    y[i] = x(i, 3) * 2.0 + std::sin(x(i, 7)) + 0.1 * rng.normal();
+  }
+  ml::TreeParams params;
+  params.max_depth = 6;
+  params.min_samples_leaf = 15;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    ml::RegressionTree tree;
+    tree.fit(x, y, idx, params);
+    nodes += tree.node_count();
+    benchmark::DoNotOptimize(tree.predict_one(x.row(0)));
+  }
+  state.SetItemsProcessed(std::int64_t(nodes));
+}
+BENCHMARK(BM_TreeFitNode)->Unit(benchmark::kMillisecond);
+
+void BM_GbrFitBinned(benchmark::State& state) {
+  // The boosting loop alone on a prebuilt BinnedDataset (the shared
+  // bin-once path every RFE stage/fold takes); contrast with BM_GbrFit,
+  // which pays the one-time binning inside the loop as well.
+  Rng rng(8);
+  ml::Matrix x(4000, 13);
+  std::vector<double> y(4000);
+  std::vector<std::size_t> rows(4000);
+  for (std::size_t i = 0; i < 4000; ++i) {
+    rows[i] = i;
+    for (std::size_t c = 0; c < 13; ++c) x(i, c) = rng.normal();
+    y[i] = x(i, 3) * 2.0 + std::sin(x(i, 7));
+  }
+  const ml::GbrParams params;
+  const ml::BinnedDataset binned(x, params.tree.histogram_bins);
+  const ml::FeatureMask mask = ml::FeatureMask::all(13);
+  for (auto _ : state) {
+    ml::GradientBoostedRegressor gbr(params);
+    gbr.fit(binned, y, rows, mask);
+    benchmark::DoNotOptimize(gbr.predict_binned(binned, 0));
+  }
+}
+BENCHMARK(BM_GbrFitBinned)->Unit(benchmark::kMillisecond);
+
+void BM_RfeCv(benchmark::State& state) {
+  // The full deviation-prediction inner loop (RFE + 10-fold CV) at the
+  // default `dfv deviation` parameters on a 13-counter design matrix —
+  // the dominant compute of fig09/fig11.
+  Rng rng(11);
+  ml::Matrix x(1200, 13);
+  std::vector<double> y(1200), offset(1200, 40.0);
+  std::vector<std::size_t> groups(1200);
+  for (std::size_t i = 0; i < 1200; ++i) {
+    groups[i] = i / 30;  // 40 "runs" of 30 steps
+    for (std::size_t c = 0; c < 13; ++c) x(i, c) = rng.normal();
+    y[i] = 3.0 * x(i, 2) + std::sin(2.0 * x(i, 5)) + 0.2 * rng.normal();
+  }
+  ml::RfeParams params;  // defaults below match analysis::DeviationConfig
+  params.folds = 10;
+  params.gbr.n_trees = 60;
+  params.gbr.learning_rate = 0.10;
+  params.gbr.subsample = 0.40;
+  params.gbr.tree.max_depth = 4;
+  params.gbr.tree.min_samples_leaf = 15;
+  for (auto _ : state) {
+    const auto res = ml::rfe_cv(x, y, params, offset, groups);
+    benchmark::DoNotOptimize(res.relevance.data());
+  }
+}
+BENCHMARK(BM_RfeCv)->Unit(benchmark::kMillisecond);
 
 void BM_AttentionEpoch(benchmark::State& state) {
   Rng rng(9);

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# ML perf trajectory: run the model-training microbenchmarks and refresh
+# BENCH_ml.json at the repo root.
+#
+#   scripts/bench.sh                     # build + run, update "current"
+#   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh   # longer per-bench min time
+#
+# BENCH_ml.json keeps two snapshots: "baseline" (frozen numbers from
+# before the bin-once fast path landed; initialized to the first run on
+# a machine that has no baseline yet) and "current" (refreshed every
+# run), so speedups are always readable from the committed file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode'
+BUILD="${BUILD:-build}"
+
+cmake -B "$BUILD" -S . -G Ninja >/dev/null
+cmake --build "$BUILD" -j --target micro_benchmarks >/dev/null
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"./$BUILD/bench/micro_benchmarks" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="${DFV_BENCH_MIN_TIME:-0.3}" \
+  --benchmark_format=json >"$raw" 2>/dev/null
+
+python3 - "$raw" BENCH_ml.json <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+current = {
+    b["name"]: {"real_time_ms": round(b["real_time"], 3)}
+    for b in raw["benchmarks"]
+    if b["time_unit"] == "ms"
+}
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {}
+
+doc.setdefault("schema", "dfv-bench-ml-v1")
+doc.setdefault(
+    "note",
+    "baseline = pre-BinnedDataset fast path; current = last scripts/bench.sh run",
+)
+doc.setdefault("baseline", current)
+doc["current"] = current
+doc["context"] = {
+    "host_cpus": raw["context"]["num_cpus"],
+    "build_type": raw["context"].get("library_build_type", "unknown"),
+}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+for name, v in sorted(current.items()):
+    base = doc["baseline"].get(name, {}).get("real_time_ms")
+    speedup = f"  ({base / v['real_time_ms']:.2f}x vs baseline)" if base else ""
+    print(f"{name}: {v['real_time_ms']} ms{speedup}")
+PY
+echo "wrote BENCH_ml.json"

@@ -12,10 +12,20 @@ cmake -B build -S . -G Ninja
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# Benchmark smoke run: the perf binaries must build and execute (one
+# iteration each), so perf-path regressions that only compile under the
+# bench target cannot slip through tier-1. Numbers from this run are
+# meaningless; scripts/bench.sh produces the real trajectory.
+./build/bench/micro_benchmarks \
+  --benchmark_filter='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode' \
+  --benchmark_min_time=0.01 >/dev/null
+echo "bench smoke: OK"
+
 if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache) ==="
+  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe) ==="
   cmake --preset tsan
-  cmake --build build-tsan -j --target test_exec test_campaign test_faults test_cache_integrity
+  cmake --build build-tsan -j --target test_exec test_campaign test_faults \
+    test_cache_integrity test_gbr test_rfe
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
@@ -24,6 +34,10 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   # corrupt-cache detect/evict/regenerate path, also race-checked.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_cache_integrity
+  # Tree node scans, binning, and the boosting update are parallel; the
+  # GBR/RFE suites race-check them end to end.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_gbr
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_rfe
 fi
 
 echo "tier-1: OK"

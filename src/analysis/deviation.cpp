@@ -54,6 +54,7 @@ CenteredSamples build_centered_samples(const sim::Dataset& ds) {
 
   CenteredSamples out;
   out.x = ml::Matrix(0, mon::kNumCounters);
+  out.x.reserve_rows(N * std::size_t(T));
   out.y.reserve(N * std::size_t(T));
   out.mean_offset.reserve(N * std::size_t(T));
   out.run_of.reserve(N * std::size_t(T));
@@ -80,7 +81,11 @@ CenteredSamples build_centered_samples(const sim::Dataset& ds) {
 
 DeviationResult analyze_deviation(const sim::Dataset& ds, const DeviationConfig& config) {
   const CenteredSamples samples = build_centered_samples(ds);
-  const ml::RfeResult rfe = ml::rfe_cv(samples.x, samples.y, config.rfe,
+  // Bin the sample matrix once; every fold, RFE stage, and tree of the
+  // CV pipeline shares this view through row-index views and feature
+  // masks (no per-stage submatrix copies).
+  const ml::BinnedDataset binned(samples.x, config.rfe.gbr.tree.histogram_bins);
+  const ml::RfeResult rfe = ml::rfe_cv(binned, samples.y, config.rfe,
                                        samples.mean_offset, samples.run_of);
   DeviationResult result;
   result.relevance = rfe.relevance;

@@ -110,6 +110,9 @@ WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
 
   WindowData out;
   out.x = ml::Matrix(0, std::size_t(cfg.m) * std::size_t(F));
+  // Upper bound on window count (every run full-length and clean), so
+  // the per-window append never reallocates the design matrix.
+  out.x.reserve_rows(ds.runs.size() * std::size_t(std::max(0, T - cfg.m - cfg.k + 1)));
   std::vector<double> row(std::size_t(cfg.m) * std::size_t(F));
 
   for (std::size_t r = 0; r < ds.runs.size(); ++r) {

@@ -13,39 +13,78 @@ void GradientBoostedRegressor::fit(const Matrix& x, std::span<const double> y) {
   DFV_CHECK(x.rows() > 0);
   DFV_CHECK(params_.n_trees >= 1);
   DFV_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
+  const BinnedDataset data(x, params_.tree.histogram_bins);
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const FeatureMask mask = FeatureMask::all(x.cols());
+  fit(data, y, rows, mask);
+}
+
+void GradientBoostedRegressor::fit(const BinnedDataset& data, std::span<const double> y,
+                                   std::span<const std::size_t> rows,
+                                   const FeatureMask& mask) {
+  DFV_CHECK(data.rows() == y.size());
+  DFV_CHECK(!rows.empty());
+  DFV_CHECK(params_.n_trees >= 1);
+  DFV_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
 
   trees_.clear();
-  gain_acc_.assign(x.cols(), 0.0);
-  f0_ = stats::mean(y);
+  gain_acc_.assign(data.features(), 0.0);
 
-  const std::size_t n = x.rows();
-  std::vector<double> residual(n);
-  std::vector<double> f(n, f0_);
+  const std::size_t n = rows.size();
+  double y_sum = 0.0;
+  for (std::size_t r : rows) y_sum += y[r];
+  f0_ = y_sum / double(n);
+
+  // Residuals and the boosted prediction are keyed by absolute matrix
+  // row; only entries named in `rows` are ever touched.
+  std::vector<double> residual(data.rows(), 0.0);
+  std::vector<double> f(data.rows(), 0.0);
+  for (std::size_t r : rows) f[r] = f0_;
+  // Per-tree in-sample marker (tick = tree index + 1): avoids clearing a
+  // bitmap between trees.
+  std::vector<std::uint32_t> stamp(data.rows(), 0);
   Rng rng(params_.seed);
 
   const auto sub_n =
       std::max<std::size_t>(2, std::size_t(params_.subsample * double(n)));
+  std::vector<std::size_t> sub_rows;  // reused across trees; no subsample
+                                      // means `rows` itself is the view
+                                      // (no per-tree identity rebuild).
 
   for (int t = 0; t < params_.n_trees; ++t) {
     // Negative gradient of squared loss = residual.
-    for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - f[i];
+    for (std::size_t r : rows) residual[r] = y[r] - f[r];
 
-    const std::vector<std::size_t> idx =
-        sub_n >= n ? [&] {
-          std::vector<std::size_t> all(n);
-          for (std::size_t i = 0; i < n; ++i) all[i] = i;
-          return all;
-        }()
-                   : rng.sample_without_replacement(n, sub_n);
+    std::span<const std::size_t> idx = rows;
+    if (sub_n < n) {
+      const std::vector<std::size_t> pick = rng.sample_without_replacement(n, sub_n);
+      sub_rows.resize(sub_n);
+      for (std::size_t k = 0; k < sub_n; ++k) sub_rows[k] = rows[pick[k]];
+      idx = sub_rows;
+    }
 
     RegressionTree tree;
-    tree.fit(x, residual, idx, params_.tree);
-    // Row-disjoint writes; per-row arithmetic is order-independent.
+    tree.fit(data, residual, idx, mask, params_.tree);
+
+    // In-sample rows take their leaf output straight from the partition
+    // the tree just computed — no traversal. Out-of-sample rows walk the
+    // tree on uint8 codes. Row-disjoint writes either way.
+    const auto leaves = tree.fitted_leaves();
+    const std::uint32_t tick = std::uint32_t(t) + 1;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      f[idx[k]] += params_.learning_rate * tree.leaf_value(leaves[k]);
+      stamp[idx[k]] = tick;
+    }
     exec::parallel_for(0, n, 256, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i)
-        f[i] += params_.learning_rate * tree.predict_one(x.row(i));
+      for (std::size_t j = lo; j < hi; ++j) {
+        const std::size_t r = rows[j];
+        if (stamp[r] != tick)
+          f[r] += params_.learning_rate * tree.predict_binned(data, r);
+      }
     });
-    for (std::size_t c = 0; c < x.cols(); ++c) gain_acc_[c] += tree.feature_gains()[c];
+    for (std::size_t c = 0; c < data.features(); ++c)
+      gain_acc_[c] += tree.feature_gains()[c];
     trees_.push_back(std::move(tree));
   }
 }
@@ -60,6 +99,22 @@ std::vector<double> GradientBoostedRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
   exec::parallel_for(0, x.rows(), 128, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
+  });
+  return out;
+}
+
+double GradientBoostedRegressor::predict_binned(const BinnedDataset& data,
+                                                std::size_t r) const {
+  double s = f0_;
+  for (const auto& t : trees_) s += params_.learning_rate * t.predict_binned(data, r);
+  return s;
+}
+
+std::vector<double> GradientBoostedRegressor::predict_rows(
+    const BinnedDataset& data, std::span<const std::size_t> rows) const {
+  std::vector<double> out(rows.size());
+  exec::parallel_for(0, rows.size(), 128, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = predict_binned(data, rows[i]);
   });
   return out;
 }

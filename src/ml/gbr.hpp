@@ -1,11 +1,17 @@
 // Gradient boosted regression (Friedman 2001): squared-error boosting of
 // histogram CART trees with row subsampling — the predictive model used
 // for the paper's deviation analysis (§IV-B).
+//
+// Training runs on a BinnedDataset built once per training matrix: all
+// trees share the same bin edges and uint8 codes through row-index
+// views, and masked fits (RFE stages) share them too — no per-tree
+// rebinning and no column-subset matrix copies anywhere.
 #pragma once
 
 #include <memory>
 
 #include "common/rng.hpp"
+#include "ml/binned.hpp"
 #include "ml/tree.hpp"
 
 namespace dfv::ml {
@@ -22,13 +28,28 @@ class GradientBoostedRegressor {
  public:
   explicit GradientBoostedRegressor(GbrParams params = {}) : params_(params) {}
 
+  /// Convenience path: bins `x` once (all rows, all features) and
+  /// delegates to the shared-view overload.
   void fit(const Matrix& x, std::span<const double> y);
+
+  /// Fast path: boost over rows `rows` of a prebuilt binned view with
+  /// the feature mask `mask`. `y` is indexed by absolute matrix row
+  /// (y.size() == data.rows()). Masked-out features never split; the
+  /// fitted model predicts from full-width rows (or binned codes).
+  void fit(const BinnedDataset& data, std::span<const double> y,
+           std::span<const std::size_t> rows, const FeatureMask& mask);
 
   [[nodiscard]] double predict_one(std::span<const double> x) const;
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+  /// Predict row `r` of the binned view the model was trained on
+  /// (uint8 code traversal; bit-identical to predict_one on the row).
+  [[nodiscard]] double predict_binned(const BinnedDataset& data, std::size_t r) const;
+  [[nodiscard]] std::vector<double> predict_rows(const BinnedDataset& data,
+                                                 std::span<const std::size_t> rows) const;
 
   /// Split-gain importances summed over trees, normalized to sum to 1
-  /// (all-zero if the model never split).
+  /// (all-zero if the model never split). Indexed by *global* feature;
+  /// masked-out features report 0.
   [[nodiscard]] std::vector<double> feature_importances() const;
 
   [[nodiscard]] const GbrParams& params() const noexcept { return params_; }

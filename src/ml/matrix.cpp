@@ -43,13 +43,27 @@ Matrix Matrix::select_cols(std::span<const std::size_t> idx) const {
 }
 
 Matrix Matrix::gram() const {
+  // Tiled upper-triangle accumulation: the (i, j) output tile stays
+  // cache-resident while all rows stream past it, which matters for the
+  // wide matrices the attention/linear solvers produce. Every cell still
+  // sums rows in ascending order into a single accumulator, so the
+  // result is bit-identical to the naive triple loop. (The old
+  // `xi == 0.0` skip was a branch-per-element pessimization on dense
+  // standardized data and is gone.)
+  constexpr std::size_t kTile = 64;
   Matrix g(cols_, cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto x = row(r);
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const double xi = x[i];
-      if (xi == 0.0) continue;
-      for (std::size_t j = i; j < cols_; ++j) g(i, j) += xi * x[j];
+  for (std::size_t ib = 0; ib < cols_; ib += kTile) {
+    const std::size_t i_hi = std::min(cols_, ib + kTile);
+    for (std::size_t jb = ib; jb < cols_; jb += kTile) {
+      const std::size_t j_hi = std::min(cols_, jb + kTile);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double* x = data_.data() + r * cols_;
+        for (std::size_t i = ib; i < i_hi; ++i) {
+          const double xi = x[i];
+          double* gi = g.data().data() + i * cols_;
+          for (std::size_t j = std::max(i, jb); j < j_hi; ++j) gi[j] += xi * x[j];
+        }
+      }
     }
   }
   for (std::size_t i = 0; i < cols_; ++i)
@@ -60,8 +74,27 @@ Matrix Matrix::gram() const {
 std::vector<double> Matrix::tdot(std::span<const double> y) const {
   DFV_CHECK(y.size() == rows_);
   std::vector<double> out(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto x = row(r);
+  // Rows are register-blocked in fours: each out[c] is read and written
+  // once per block instead of once per row, while its additions keep the
+  // exact ascending-row order of the naive loop (bit-identical result).
+  std::size_t r = 0;
+  for (; r + 4 <= rows_; r += 4) {
+    const double* x0 = data_.data() + r * cols_;
+    const double* x1 = x0 + cols_;
+    const double* x2 = x1 + cols_;
+    const double* x3 = x2 + cols_;
+    const double y0 = y[r], y1 = y[r + 1], y2 = y[r + 2], y3 = y[r + 3];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      double acc = out[c];
+      acc += x0[c] * y0;
+      acc += x1[c] * y1;
+      acc += x2[c] * y2;
+      acc += x3[c] * y3;
+      out[c] = acc;
+    }
+  }
+  for (; r < rows_; ++r) {
+    const double* x = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) out[c] += x[c] * y[r];
   }
   return out;
@@ -70,8 +103,29 @@ std::vector<double> Matrix::tdot(std::span<const double> y) const {
 std::vector<double> Matrix::dot(std::span<const double> w) const {
   DFV_CHECK(w.size() == cols_);
   std::vector<double> out(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto x = row(r);
+  // Four rows share each w[c] load; every row keeps its own accumulator
+  // summed in ascending column order (bit-identical to the naive loop).
+  std::size_t r = 0;
+  for (; r + 4 <= rows_; r += 4) {
+    const double* x0 = data_.data() + r * cols_;
+    const double* x1 = x0 + cols_;
+    const double* x2 = x1 + cols_;
+    const double* x3 = x2 + cols_;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double wc = w[c];
+      s0 += x0[c] * wc;
+      s1 += x1[c] * wc;
+      s2 += x2[c] * wc;
+      s3 += x3[c] * wc;
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < rows_; ++r) {
+    const double* x = data_.data() + r * cols_;
     double s = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) s += x[c] * w[c];
     out[r] = s;

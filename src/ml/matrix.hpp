@@ -35,6 +35,9 @@ class Matrix {
   [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
 
   void append_row(std::span<const double> values);
+  /// Pre-size the backing store for `n` total rows (no-op if already that
+  /// large); sample builders call this so append_row never reallocates.
+  void reserve_rows(std::size_t n) { data_.reserve(n * cols_); }
 
   /// Select a subset of rows (copy).
   [[nodiscard]] Matrix select_rows(std::span<const std::size_t> idx) const;

@@ -31,6 +31,15 @@ double offset_mape(std::span<const double> y, std::span<const double> pred,
 
 RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& params,
                  std::span<const double> offset, std::span<const std::size_t> groups) {
+  DFV_CHECK(x.cols() >= 2);
+  const BinnedDataset binned(x, params.gbr.tree.histogram_bins);
+  return rfe_cv(binned, y, params, offset, groups);
+}
+
+RfeResult rfe_cv(const BinnedDataset& binned, std::span<const double> y,
+                 const RfeParams& params, std::span<const double> offset,
+                 std::span<const std::size_t> groups) {
+  const Matrix& x = binned.source();
   DFV_CHECK(x.rows() == y.size());
   DFV_CHECK(offset.empty() || offset.size() == y.size());
   const std::size_t F = x.cols();
@@ -48,7 +57,9 @@ RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& pa
   // Folds are independent given per-fold seeds, so they run as parallel
   // tasks writing fold-private partials; partials combine serially in fold
   // order below. Each stage's model is seeded from (fold, stage) rather
-  // than a shared counter so results do not depend on scheduling.
+  // than a shared counter so results do not depend on scheduling. Every
+  // GBR trains on (binned view, row view, feature mask) — the only matrix
+  // copy per fold is the ridge baseline's train rows.
   struct FoldPartial {
     double mape_full = 0.0;
     double mape_linear = 0.0;
@@ -64,48 +75,55 @@ RfeResult rfe_cv(const Matrix& x, std::span<const double> y, const RfeParams& pa
     part.survival.assign(F, 0.0);
     const std::uint64_t fold_seed = hash_combine(params.gbr.seed, fold_i);
 
-    const Matrix x_train = x.select_rows(fold.train);
-    const Matrix x_test = x.select_rows(fold.test);
-    std::vector<double> y_train(fold.train.size());
-    for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = y[fold.train[i]];
-
     // Full-feature reference models (GBR + linear baseline).
     {
       GbrParams gp = params.gbr;
       gp.seed = exec::substream_seed(fold_seed, 0);
       GradientBoostedRegressor full(gp);
-      full.fit(x_train, y_train);
-      part.mape_full = offset_mape(y, full.predict(x_test), offset, fold.test);
+      full.fit(binned, y, fold.train, FeatureMask::all(F));
+      part.mape_full =
+          offset_mape(y, full.predict_rows(binned, fold.test), offset, fold.test);
 
+      const Matrix x_train = x.select_rows(fold.train);
+      std::vector<double> y_train(fold.train.size());
+      for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = y[fold.train[i]];
       LinearRegression lin;
       lin.fit(x_train, y_train);
-      part.mape_linear = offset_mape(y, lin.predict(x_test), offset, fold.test);
+      std::vector<double> lin_pred(fold.test.size());
+      for (std::size_t i = 0; i < fold.test.size(); ++i)
+        lin_pred[i] = lin.predict_one(x.row(fold.test[i]));
+      part.mape_linear = offset_mape(y, lin_pred, offset, fold.test);
     }
 
-    // Recursive elimination: active set shrinks by the least-important
-    // feature each stage; record every stage's held-out error.
+    // Recursive elimination: the active set shrinks by the least-important
+    // feature each stage. A stage is just a narrower feature mask over the
+    // shared binned view; record every stage's held-out error.
     std::vector<std::size_t> active(F);
     for (std::size_t f = 0; f < F; ++f) active[f] = f;
+    FeatureMask mask = FeatureMask::all(F);
     std::vector<std::size_t> elimination_order;  // first = dropped first
     std::vector<std::pair<double, std::vector<std::size_t>>> stages;  // err, subset
 
     std::uint64_t stage_i = 1;
     while (active.size() >= 2) {
-      const Matrix xs_train = x_train.select_cols(active);
-      const Matrix xs_test = x_test.select_cols(active);
       GbrParams gp = params.gbr;
       gp.seed = exec::substream_seed(fold_seed, stage_i++);
       GradientBoostedRegressor model(gp);
-      model.fit(xs_train, y_train);
+      model.fit(binned, y, fold.train, mask);
 
-      stages.emplace_back(offset_mape(y, model.predict(xs_test), offset, fold.test),
-                          active);
+      stages.emplace_back(
+          offset_mape(y, model.predict_rows(binned, fold.test), offset, fold.test),
+          active);
 
+      // Importances are global-indexed; pick the worst *active* feature
+      // (strict `<`, so the earliest feature wins ties, exactly the old
+      // column-local rule).
       const std::vector<double> imp = model.feature_importances();
       std::size_t worst = 0;
-      for (std::size_t i = 1; i < imp.size(); ++i)
-        if (imp[i] < imp[worst]) worst = i;
+      for (std::size_t i = 1; i < active.size(); ++i)
+        if (imp[active[i]] < imp[active[worst]]) worst = i;
       elimination_order.push_back(active[worst]);
+      mask.active[active[worst]] = 0;
       active.erase(active.begin() + std::ptrdiff_t(worst));
     }
     elimination_order.push_back(active.front());  // the survivor

@@ -38,7 +38,19 @@ struct RfeResult {
 /// times (mean curve + deviation), so callers pass the mean curve here.
 /// `groups` (optional): group ids for group-aware folds (e.g. run index,
 /// so time steps of one run never straddle train/test).
+///
+/// Bins the matrix once and shares the BinnedDataset across every fold,
+/// stage, and tree: folds are row-index views, stages are feature masks,
+/// and no column- or row-subset matrix is ever materialized for the GBR
+/// fits (the ridge baseline keeps one per-fold row copy for its solver).
 [[nodiscard]] RfeResult rfe_cv(const Matrix& x, std::span<const double> y,
+                               const RfeParams& params,
+                               std::span<const double> offset = {},
+                               std::span<const std::size_t> groups = {});
+
+/// Same, over a caller-provided binned view (e.g. the deviation analysis
+/// builds one binner for its sample matrix and hands it in).
+[[nodiscard]] RfeResult rfe_cv(const BinnedDataset& binned, std::span<const double> y,
                                const RfeParams& params,
                                std::span<const double> offset = {},
                                std::span<const std::size_t> groups = {});

@@ -8,160 +8,195 @@
 
 namespace dfv::ml {
 
+namespace {
+
+/// Nodes below this size scan inline; larger ones build their histograms
+/// feature-parallel (each feature writes a disjoint slab in sample
+/// order, so the result never depends on the thread count).
+constexpr std::size_t kParallelNodeSize = 2048;
+
+bool can_split(std::size_t n, int depth, const TreeParams& p) {
+  return depth < p.max_depth && n >= 2 * std::size_t(p.min_samples_leaf);
+}
+
+}  // namespace
+
 void RegressionTree::fit(const Matrix& x, std::span<const double> y,
                          std::span<const std::size_t> idx, const TreeParams& params) {
   DFV_CHECK(x.rows() == y.size());
   DFV_CHECK(!idx.empty());
   DFV_CHECK(params.max_depth >= 1 && params.histogram_bins >= 2 &&
             params.histogram_bins <= 256);
-  x_ = &x;
+  const BinnedDataset data(x, params.histogram_bins);
+  const FeatureMask mask = FeatureMask::all(x.cols());
+  fit(data, y, idx, mask, params);
+}
+
+void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
+                         std::span<const std::size_t> rows, const FeatureMask& mask,
+                         const TreeParams& params) {
+  DFV_CHECK(data.rows() == y.size());
+  DFV_CHECK(!rows.empty());
+  DFV_CHECK(mask.active.size() == data.features());
+  DFV_CHECK(params.max_depth >= 1 && params.histogram_bins >= 2 &&
+            params.histogram_bins <= 256);
+  data_ = &data;
+  mask_ = &mask;
   y_ = y;
   params_ = params;
+  bins_ = std::size_t(params.histogram_bins);
   nodes_.clear();
-  gains_.assign(x.cols(), 0.0);
+  gains_.assign(data.features(), 0.0);
 
-  const std::size_t n = idx.size();
-  const std::size_t F = x.cols();
-  local_rows_.assign(idx.begin(), idx.end());
+  const std::size_t n = rows.size();
+  local_rows_.assign(rows.begin(), rows.end());
+  samples_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) samples_[i] = std::uint32_t(i);
+  fitted_leaf_.assign(n, -1);
 
-  // Quantile bin edges per feature from the fit subset (subsampled for
-  // speed on large subsets).
-  const std::size_t bins = std::size_t(params.histogram_bins);
-  bin_edges_.assign(F, {});
-  std::vector<double> vals;
-  const std::size_t stride = std::max<std::size_t>(1, n / 2048);
-  for (std::size_t f = 0; f < F; ++f) {
-    vals.clear();
-    for (std::size_t i = 0; i < n; i += stride) vals.push_back(x(local_rows_[i], f));
-    std::sort(vals.begin(), vals.end());
-    auto& edges = bin_edges_[f];
-    for (std::size_t b = 1; b < bins; ++b) {
-      const double q = double(b) / double(bins);
-      const double v = vals[std::min(vals.size() - 1, std::size_t(q * double(vals.size())))];
-      if (edges.empty() || v > edges.back()) edges.push_back(v);
-    }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += y_[local_rows_[i]];
+
+  Hist* root_hist = nullptr;
+  if (can_split(n, 0, params_)) {
+    hist_arena_.resize(std::size_t(params_.max_depth) + 1);
+    root_hist = &hist_arena_[0];
+    scan_hist(0, n, *root_hist);
   }
+  build(0, n, 0, sum, root_hist);
 
-  // Bin every sample once. Rows are independent (disjoint writes).
-  binned_.assign(n * F, 0);
-  exec::parallel_for(0, n, 256, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto row = x.row(local_rows_[i]);
-      for (std::size_t f = 0; f < F; ++f) {
-        const auto& edges = bin_edges_[f];
-        const auto it = std::lower_bound(edges.begin(), edges.end(), row[f]);
-        binned_[i * F + f] = std::uint8_t(it - edges.begin());
-      }
-    }
-  });
-
-  std::vector<std::uint32_t> samples(n);
-  for (std::size_t i = 0; i < n; ++i) samples[i] = std::uint32_t(i);
-  build(samples, 0, n, 0);
-
-  // Release fit-time buffers.
-  binned_.clear();
-  binned_.shrink_to_fit();
+  // Release fit-time references; keep nodes/gains/fitted leaves.
+  hist_arena_.clear();
   local_rows_.clear();
-  x_ = nullptr;
+  samples_.clear();
+  data_ = nullptr;
+  mask_ = nullptr;
   y_ = {};
 }
 
-std::int32_t RegressionTree::build(std::vector<std::uint32_t>& samples, std::size_t begin,
-                                   std::size_t end, int depth) {
-  const std::size_t n = end - begin;
-  const std::size_t F = x_->cols();
+void RegressionTree::scan_hist(std::size_t begin, std::size_t end, Hist& h) const {
+  const std::size_t F = data_->features();
+  h.sum.assign(F * bins_, 0.0);
+  h.cnt.assign(F * bins_, 0u);
+  const auto scan_feature_range = [&](std::size_t f_lo, std::size_t f_hi) {
+    for (std::size_t f = f_lo; f < f_hi; ++f) {
+      if (!mask_->test(f)) continue;
+      const std::uint8_t* codes = data_->feature_codes(f).data();
+      double* sum = h.sum.data() + f * bins_;
+      std::uint32_t* cnt = h.cnt.data() + f * bins_;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t row = local_rows_[samples_[i]];
+        const std::uint8_t b = codes[row];
+        sum[b] += y_[row];
+        ++cnt[b];
+      }
+    }
+  };
+  if (end - begin >= kParallelNodeSize && F >= 2)
+    exec::parallel_for(0, F, 1, scan_feature_range);
+  else
+    scan_feature_range(0, F);
+}
 
-  double sum = 0.0;
-  for (std::size_t i = begin; i < end; ++i) sum += y_[local_rows_[samples[i]]];
-  const double mean = sum / double(n);
+std::int32_t RegressionTree::build(std::size_t begin, std::size_t end, int depth,
+                                   double node_sum, Hist* hist) {
+  const std::size_t n = end - begin;
+  const std::size_t F = data_->features();
 
   const auto node_id = std::int32_t(nodes_.size());
   nodes_.push_back(Node{});
-  nodes_[std::size_t(node_id)].value = mean;
+  nodes_[std::size_t(node_id)].value = node_sum / double(n);
 
-  if (depth >= params_.max_depth || n < 2 * std::size_t(params_.min_samples_leaf))
+  const auto make_leaf = [&] {
+    for (std::size_t i = begin; i < end; ++i)
+      fitted_leaf_[samples_[i]] = node_id;
     return node_id;
-
-  // Histogram scan for the best split across all features. The scan is
-  // parallel over features for large nodes: every feature's gain is an
-  // exact function of its own histogram, and the chunk-ordered combine
-  // keeps strict `>` semantics, so the chosen split (earliest feature on
-  // ties) is identical to the serial scan for any thread count. Small
-  // nodes (fixed threshold, never thread-dependent) scan inline to avoid
-  // dispatch overhead near the leaves.
-  const std::size_t bins = std::size_t(params_.histogram_bins);
-  const double parent_score = sum * sum / double(n);
-  struct Best {
-    double gain = 0.0;
-    int feature = -1;
-    std::uint8_t bin = 0;
   };
-  const auto scan_features = [&](std::size_t f_lo, std::size_t f_hi) {
-    Best best;
-    std::vector<double> bin_sum(bins);
-    std::vector<std::uint32_t> bin_cnt(bins);
-    for (std::size_t f = f_lo; f < f_hi; ++f) {
-      const std::size_t nb = bin_edges_[f].size() + 1;
-      if (nb < 2) continue;
-      std::fill(bin_sum.begin(), bin_sum.begin() + nb, 0.0);
-      std::fill(bin_cnt.begin(), bin_cnt.begin() + nb, 0u);
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::uint32_t s = samples[i];
-        const std::uint8_t b = binned_[std::size_t(s) * F + f];
-        bin_sum[b] += y_[local_rows_[s]];
-        ++bin_cnt[b];
-      }
-      double left_sum = 0.0;
-      std::size_t left_cnt = 0;
-      for (std::size_t b = 0; b + 1 < nb; ++b) {
-        left_sum += bin_sum[b];
-        left_cnt += bin_cnt[b];
-        const std::size_t right_cnt = n - left_cnt;
-        if (left_cnt < std::size_t(params_.min_samples_leaf) ||
-            right_cnt < std::size_t(params_.min_samples_leaf))
-          continue;
-        const double right_sum = sum - left_sum;
-        const double gain = left_sum * left_sum / double(left_cnt) +
-                            right_sum * right_sum / double(right_cnt) - parent_score;
-        if (gain > best.gain) {
-          best.gain = gain;
-          best.feature = int(f);
-          best.bin = std::uint8_t(b);
-        }
+  if (hist == nullptr) return make_leaf();
+
+  // Best split over the node's histograms: strict `>` and ascending
+  // feature order give the earliest feature on ties, independent of how
+  // the histograms were built.
+  const double parent_score = node_sum * node_sum / double(n);
+  double best_gain = 0.0, best_left_sum = 0.0;
+  int best_feature = -1;
+  std::uint8_t best_bin = 0;
+  std::size_t best_left_cnt = 0;
+  for (std::size_t f = 0; f < F; ++f) {
+    if (!mask_->test(f)) continue;
+    const std::size_t nb = data_->edges(f).size() + 1;
+    if (nb < 2) continue;
+    const double* sum = hist->sum.data() + f * bins_;
+    const std::uint32_t* cnt = hist->cnt.data() + f * bins_;
+    double left_sum = 0.0;
+    std::size_t left_cnt = 0;
+    for (std::size_t b = 0; b + 1 < nb; ++b) {
+      left_sum += sum[b];
+      left_cnt += cnt[b];
+      const std::size_t right_cnt = n - left_cnt;
+      if (left_cnt < std::size_t(params_.min_samples_leaf) ||
+          right_cnt < std::size_t(params_.min_samples_leaf))
+        continue;
+      const double right_sum = node_sum - left_sum;
+      const double gain = left_sum * left_sum / double(left_cnt) +
+                          right_sum * right_sum / double(right_cnt) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = int(f);
+        best_bin = std::uint8_t(b);
+        best_left_sum = left_sum;
+        best_left_cnt = left_cnt;
       }
     }
-    return best;
-  };
-  constexpr std::size_t kParallelNodeSize = 2048;
-  const Best found =
-      n >= kParallelNodeSize && F >= 2
-          ? exec::parallel_reduce(0, F, 1, Best{}, scan_features,
-                                  [](Best a, const Best& b) { return b.gain > a.gain ? b : a; })
-          : scan_features(0, F);
-  const double best_gain = found.gain;
-  const int best_feature = found.feature;
-  const std::uint8_t best_bin = found.bin;
-
-  if (best_feature < 0 || best_gain <= 1e-12) return node_id;
+  }
+  if (best_feature < 0 || best_gain <= 1e-12) return make_leaf();
 
   gains_[std::size_t(best_feature)] += best_gain;
 
-  // Partition samples in place: bin <= best_bin goes left.
+  // Partition samples in place: code <= best_bin goes left.
+  const std::uint8_t* codes = data_->feature_codes(std::size_t(best_feature)).data();
   std::size_t mid = begin;
   for (std::size_t i = begin; i < end; ++i) {
-    const std::uint32_t s = samples[i];
-    if (binned_[std::size_t(s) * F + std::size_t(best_feature)] <= best_bin)
-      std::swap(samples[i], samples[mid++]);
+    if (codes[local_rows_[samples_[i]]] <= best_bin)
+      std::swap(samples_[i], samples_[mid++]);
   }
-  DFV_CHECK(mid > begin && mid < end);
+  DFV_CHECK(mid - begin == best_left_cnt);
 
-  const auto& edges = bin_edges_[std::size_t(best_feature)];
   nodes_[std::size_t(node_id)].feature = best_feature;
-  nodes_[std::size_t(node_id)].threshold = edges[best_bin];
+  nodes_[std::size_t(node_id)].bin = best_bin;
+  nodes_[std::size_t(node_id)].threshold =
+      data_->edges(std::size_t(best_feature))[best_bin];
 
-  const std::int32_t left = build(samples, begin, mid, depth + 1);
-  const std::int32_t right = build(samples, mid, end, depth + 1);
+  // Child histograms by subtraction: scan only the smaller child, derive
+  // the sibling as parent − child (in place, so the parent's buffer is
+  // reused down the recursion and the arena stays one slab per level).
+  // Which child is scanned depends only on the split, never on threads.
+  const std::size_t left_n = mid - begin, right_n = end - mid;
+  const double left_sum = best_left_sum, right_sum = node_sum - best_left_sum;
+  const bool need_left = can_split(left_n, depth + 1, params_);
+  const bool need_right = can_split(right_n, depth + 1, params_);
+  Hist* left_hist = nullptr;
+  Hist* right_hist = nullptr;
+  if (need_left || need_right) {
+    Hist& child = hist_arena_[std::size_t(depth) + 1];
+    const bool scan_is_left = left_n <= right_n;
+    if (scan_is_left)
+      scan_hist(begin, mid, child);
+    else
+      scan_hist(mid, end, child);
+    const bool need_sibling = scan_is_left ? need_right : need_left;
+    if (need_sibling) {
+      for (std::size_t i = 0; i < F * bins_; ++i) {
+        hist->sum[i] -= child.sum[i];
+        hist->cnt[i] -= child.cnt[i];
+      }
+    }
+    if (need_left) left_hist = scan_is_left ? &child : hist;
+    if (need_right) right_hist = scan_is_left ? hist : &child;
+  }
+
+  const std::int32_t left = build(begin, mid, depth + 1, left_sum, left_hist);
+  const std::int32_t right = build(mid, end, depth + 1, right_sum, right_hist);
   nodes_[std::size_t(node_id)].left = left;
   nodes_[std::size_t(node_id)].right = right;
   return node_id;
@@ -172,9 +207,19 @@ double RegressionTree::predict_one(std::span<const double> x) const {
   std::int32_t cur = 0;
   while (nodes_[std::size_t(cur)].feature >= 0) {
     const Node& nd = nodes_[std::size_t(cur)];
-    // Binning used lower_bound (bin = #edges < v), so "bin <= b" is
+    // Binning used lower_bound (code = #edges < v), so "code <= b" is
     // exactly "v <= edges[b]"; predict consistently.
     cur = x[std::size_t(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[std::size_t(cur)].value;
+}
+
+double RegressionTree::predict_binned(const BinnedDataset& data, std::size_t r) const {
+  DFV_CHECK(!nodes_.empty());
+  std::int32_t cur = 0;
+  while (nodes_[std::size_t(cur)].feature >= 0) {
+    const Node& nd = nodes_[std::size_t(cur)];
+    cur = data.code(r, std::size_t(nd.feature)) <= nd.bin ? nd.left : nd.right;
   }
   return nodes_[std::size_t(cur)].value;
 }

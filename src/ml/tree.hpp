@@ -1,9 +1,12 @@
 // Histogram-based CART regression tree: the base learner for gradient
 // boosting (Friedman 2001, the model family the paper uses via GBR).
 //
-// Split finding uses per-feature quantile bins built once per fit, so a
-// node costs O(samples * features + bins * features) instead of the
-// exact-greedy O(samples log samples * features).
+// Split finding works on a shared BinnedDataset (quantile bins computed
+// once per training matrix, not once per tree), restricted to a row
+// view and an active-feature mask. Node histograms use the subtraction
+// trick: only the smaller child of a split is scanned; the sibling's
+// histogram is derived as parent − child, so a full level of the tree
+// costs one pass over the node's samples instead of two.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ml/binned.hpp"
 #include "ml/matrix.hpp"
 
 namespace dfv::ml {
@@ -23,15 +27,42 @@ struct TreeParams {
 
 class RegressionTree {
  public:
-  /// Fit on rows `idx` of `x` against `y`. The tree may be refit; previous
-  /// state is discarded.
+  /// Fit on rows `idx` of `x` against `y` (convenience path: builds a
+  /// private BinnedDataset over `x` and delegates to the shared-view
+  /// overload with every feature active). The tree may be refit;
+  /// previous state is discarded.
   void fit(const Matrix& x, std::span<const double> y, std::span<const std::size_t> idx,
+           const TreeParams& params);
+
+  /// Fast path: fit on rows `rows` of a prebuilt binned view, splitting
+  /// only on features `mask` marks active. `y` is indexed by absolute
+  /// matrix row (y.size() == data.rows()). Splits, gains, and thresholds
+  /// are reported in the *global* feature index space, so the fitted
+  /// tree predicts from full-width rows without any column selection.
+  void fit(const BinnedDataset& data, std::span<const double> y,
+           std::span<const std::size_t> rows, const FeatureMask& mask,
            const TreeParams& params);
 
   [[nodiscard]] double predict_one(std::span<const double> x) const;
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+  /// Predict for a row of the binned view the tree was fitted on:
+  /// traverses uint8 codes instead of doubles. Bit-identical to
+  /// `predict_one(data.source().row(r))` because code(b) <= split_bin
+  /// iff value <= edges[split_bin].
+  [[nodiscard]] double predict_binned(const BinnedDataset& data, std::size_t r) const;
 
-  /// Total squared-error reduction contributed by splits on each feature.
+  /// Leaf node reached by the k-th fitted row (order of `rows`/`idx` as
+  /// passed to fit). Valid until the next fit; pair with `leaf_value`
+  /// so boosting can update in-sample predictions without re-traversal.
+  [[nodiscard]] std::span<const std::int32_t> fitted_leaves() const noexcept {
+    return fitted_leaf_;
+  }
+  [[nodiscard]] double leaf_value(std::int32_t node) const {
+    return nodes_[std::size_t(node)].value;
+  }
+
+  /// Total squared-error reduction contributed by splits on each feature
+  /// (global feature index space).
   [[nodiscard]] const std::vector<double>& feature_gains() const noexcept {
     return gains_;
   }
@@ -41,24 +72,36 @@ class RegressionTree {
   struct Node {
     int feature = -1;          ///< -1 for leaves
     double threshold = 0.0;    ///< go left if x[feature] <= threshold
+    std::uint8_t bin = 0;      ///< go left if code(feature) <= bin
     std::int32_t left = -1;
     std::int32_t right = -1;
     double value = 0.0;        ///< leaf prediction
   };
 
-  std::int32_t build(std::vector<std::uint32_t>& samples, std::size_t begin,
-                     std::size_t end, int depth);
+  /// Per-node histogram over the active features: flat [feature * bins]
+  /// slabs of target sums and sample counts.
+  struct Hist {
+    std::vector<double> sum;
+    std::vector<std::uint32_t> cnt;
+  };
 
-  // Fit-time state (cleared after fit).
-  const Matrix* x_ = nullptr;
+  void scan_hist(std::size_t begin, std::size_t end, Hist& h) const;
+  std::int32_t build(std::size_t begin, std::size_t end, int depth, double node_sum,
+                     Hist* hist);
+
+  // Fit-time state (released after fit).
+  const BinnedDataset* data_ = nullptr;
+  const FeatureMask* mask_ = nullptr;
   std::span<const double> y_;
   TreeParams params_;
-  std::vector<std::uint8_t> binned_;              ///< idx-local sample x feature bins
-  std::vector<std::vector<double>> bin_edges_;    ///< per feature, ascending
-  std::vector<std::uint32_t> local_rows_;         ///< idx-local -> matrix row
+  std::size_t bins_ = 0;
+  std::vector<std::uint32_t> local_rows_;  ///< local sample id -> matrix row
+  std::vector<std::uint32_t> samples_;     ///< partition-ordered local ids
+  std::vector<Hist> hist_arena_;           ///< one buffer per depth level
 
   std::vector<Node> nodes_;
   std::vector<double> gains_;
+  std::vector<std::int32_t> fitted_leaf_;  ///< local sample id -> leaf node
 };
 
 }  // namespace dfv::ml

@@ -1,0 +1,197 @@
+#include "ml/binned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "exec/exec.hpp"
+#include "ml/tree.hpp"
+
+namespace dfv::ml {
+namespace {
+
+Matrix random_matrix(std::size_t n, std::size_t f, Rng& rng) {
+  Matrix x(n, f);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < f; ++c) x(i, c) = rng.normal();
+  return x;
+}
+
+TEST(Binned, CodesMatchEdgeDefinition) {
+  Rng rng(1);
+  const Matrix x = random_matrix(300, 4, rng);
+  const BinnedDataset b(x, 16);
+  ASSERT_EQ(b.rows(), 300u);
+  ASSERT_EQ(b.features(), 4u);
+  for (std::size_t f = 0; f < 4; ++f) {
+    const auto& edges = b.edges(f);
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+    EXPECT_LT(edges.size(), 16u);
+    for (std::size_t r = 0; r < 300; ++r) {
+      // code = number of edges strictly below the value (lower_bound).
+      const auto it = std::lower_bound(edges.begin(), edges.end(), x(r, f));
+      EXPECT_EQ(b.code(r, f), std::uint8_t(it - edges.begin()));
+    }
+  }
+}
+
+TEST(Binned, FeatureCodesSpanIsFeatureMajor) {
+  Rng rng(2);
+  const Matrix x = random_matrix(50, 3, rng);
+  const BinnedDataset b(x, 8);
+  for (std::size_t f = 0; f < 3; ++f) {
+    const auto codes = b.feature_codes(f);
+    ASSERT_EQ(codes.size(), 50u);
+    for (std::size_t r = 0; r < 50; ++r) EXPECT_EQ(codes[r], b.code(r, f));
+  }
+}
+
+TEST(Binned, ConstantFeatureCollapsesToOneBin) {
+  Matrix x(40, 2);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = 7.5;
+    x(i, 1) = rng.uniform();
+  }
+  const BinnedDataset b(x, 8);
+  // A constant feature keeps at most one (degenerate) edge and every row
+  // lands in bin 0, so no split on it can ever separate samples.
+  EXPECT_LE(b.edges(0).size(), 1u);
+  EXPECT_GT(b.edges(1).size(), 1u);
+  for (std::size_t r = 0; r < 40; ++r) EXPECT_EQ(b.code(r, 0), 0);
+}
+
+TEST(Binned, BuildIsThreadCountInvariant) {
+  Rng rng(4);
+  const Matrix x = random_matrix(4000, 6, rng);
+  exec::ThreadPool::instance().resize(1);
+  const BinnedDataset serial(x, 24);
+  exec::ThreadPool::instance().resize(8);
+  const BinnedDataset parallel(x, 24);
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
+  for (std::size_t f = 0; f < 6; ++f) EXPECT_EQ(serial.edges(f), parallel.edges(f));
+  for (std::size_t f = 0; f < 6; ++f)
+    for (std::size_t r = 0; r < 4000; ++r)
+      ASSERT_EQ(serial.code(r, f), parallel.code(r, f));
+}
+
+TEST(FeatureMask, Helpers) {
+  const FeatureMask all = FeatureMask::all(4);
+  EXPECT_EQ(all.count(), 4u);
+  const std::vector<std::size_t> keep = {0, 3};
+  const FeatureMask some = FeatureMask::of(4, keep);
+  EXPECT_EQ(some.count(), 2u);
+  EXPECT_TRUE(some.test(0));
+  EXPECT_FALSE(some.test(1));
+  EXPECT_FALSE(some.test(2));
+  EXPECT_TRUE(some.test(3));
+}
+
+TEST(Binned, MaskedTreeFitMatchesMaterializedSubmatrix) {
+  // A tree fitted on (full binned view, feature mask) must produce
+  // exactly the fit on the materialized column-subset matrix: the
+  // surviving features' edges are identical (same rows bin them), so
+  // splits, gains, and predictions agree bit-for-bit.
+  Rng rng(5);
+  const std::size_t n = 600;
+  Matrix x = random_matrix(n, 5, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = 2.0 * x(i, 1) + std::sin(3.0 * x(i, 4)) + 0.1 * rng.normal();
+
+  const std::vector<std::size_t> active = {1, 2, 4};
+  const Matrix x_sub = x.select_cols(active);
+  TreeParams params;
+  params.max_depth = 4;
+  params.min_samples_leaf = 10;
+
+  const BinnedDataset binned(x, params.histogram_bins);
+  const BinnedDataset binned_sub(x_sub, params.histogram_bins);
+  for (std::size_t k = 0; k < active.size(); ++k)
+    ASSERT_EQ(binned.edges(active[k]), binned_sub.edges(k));
+
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+
+  RegressionTree masked, reference;
+  masked.fit(binned, y, rows, FeatureMask::of(5, active), params);
+  reference.fit(binned_sub, y, rows, FeatureMask::all(3), params);
+
+  ASSERT_EQ(masked.node_count(), reference.node_count());
+  // Gains map through the column selection.
+  const auto& mg = masked.feature_gains();
+  const auto& rg = reference.feature_gains();
+  EXPECT_DOUBLE_EQ(mg[0], 0.0);
+  EXPECT_DOUBLE_EQ(mg[3], 0.0);
+  for (std::size_t k = 0; k < active.size(); ++k)
+    EXPECT_DOUBLE_EQ(mg[active[k]], rg[k]);
+  // Predictions agree exactly on every row, via raw rows and via codes.
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(masked.predict_one(x.row(r)), reference.predict_one(x_sub.row(r)));
+    EXPECT_DOUBLE_EQ(masked.predict_binned(binned, r),
+                     reference.predict_binned(binned_sub, r));
+  }
+}
+
+TEST(Binned, TreePredictBinnedMatchesPredictOne) {
+  Rng rng(6);
+  const std::size_t n = 800;
+  const Matrix x = random_matrix(n, 4, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x(i, 0) * x(i, 0) - x(i, 2);
+  const BinnedDataset binned(x, 24);
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  TreeParams params;
+  params.max_depth = 5;
+  params.min_samples_leaf = 5;
+  RegressionTree tree;
+  tree.fit(binned, y, rows, FeatureMask::all(4), params);
+  for (std::size_t r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(tree.predict_binned(binned, r), tree.predict_one(x.row(r)));
+}
+
+TEST(Binned, FittedLeavesMatchTraversal) {
+  // The leaf recorded for each in-sample row during the partition must
+  // be the leaf a fresh traversal reaches — this is what lets boosting
+  // skip predict for in-sample rows.
+  Rng rng(7);
+  const std::size_t n = 500;
+  const Matrix x = random_matrix(n, 3, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::sin(2.0 * x(i, 1));
+  const BinnedDataset binned(x, 24);
+  // Fit on a strict subset, in shuffled order, to exercise the
+  // local-id -> row mapping.
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < n; i += 3) rows.push_back(n - 1 - i);
+  RegressionTree tree;
+  TreeParams params;
+  params.max_depth = 4;
+  params.min_samples_leaf = 5;
+  tree.fit(binned, y, rows, FeatureMask::all(3), params);
+  const auto leaves = tree.fitted_leaves();
+  ASSERT_EQ(leaves.size(), rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    ASSERT_GE(leaves[k], 0);
+    EXPECT_DOUBLE_EQ(tree.leaf_value(leaves[k]), tree.predict_binned(binned, rows[k]));
+  }
+}
+
+TEST(Binned, ValidatesArguments) {
+  Matrix x(10, 2);
+  EXPECT_THROW((void)BinnedDataset(x, 1), ContractError);
+  EXPECT_THROW((void)BinnedDataset(x, 257), ContractError);
+  const BinnedDataset ok(x, 8);
+  std::vector<double> y(10, 0.0);
+  std::vector<std::size_t> rows = {0, 1, 2, 3};
+  RegressionTree tree;
+  // Mask width must match the dataset.
+  EXPECT_THROW(tree.fit(ok, y, rows, FeatureMask::all(3), TreeParams{}), ContractError);
+}
+
+}  // namespace
+}  // namespace dfv::ml

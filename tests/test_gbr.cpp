@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "exec/exec.hpp"
 #include "ml/linear.hpp"
 #include "ml/metrics.hpp"
 
@@ -108,6 +109,82 @@ TEST(Gbr, DeterministicGivenSeed) {
   b.fit(x, y);
   for (std::size_t i = 0; i < 20; ++i)
     EXPECT_DOUBLE_EQ(a.predict_one(x.row(i)), b.predict_one(x.row(i)));
+}
+
+TEST(Gbr, PredictBinnedMatchesPredictOne) {
+  // The in-sample leaf-update path and the code-traversal predictor must
+  // agree exactly with the raw-row traversal for every row of the
+  // training matrix.
+  Rng rng(7);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(800, x, y, rng, 0.05);
+  const BinnedDataset binned(x, GbrParams{}.tree.histogram_bins);
+  std::vector<std::size_t> rows(800);
+  for (std::size_t i = 0; i < 800; ++i) rows[i] = i;
+  GradientBoostedRegressor model;
+  model.fit(binned, y, rows, FeatureMask::all(4));
+  for (std::size_t r = 0; r < 800; ++r)
+    EXPECT_DOUBLE_EQ(model.predict_binned(binned, r), model.predict_one(x.row(r)));
+}
+
+TEST(Gbr, MaskedFitMatchesMaterializedSubmatrix) {
+  // Boosting under a feature mask must reproduce, bit for bit, the fit
+  // on the materialized column subset: the same rows produce the same
+  // edges, the subsample RNG consumes identically, and split/leaf
+  // arithmetic sees the same numbers in the same order.
+  Rng rng(8);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(900, x, y, rng, 0.05);
+  const std::vector<std::size_t> active = {0, 2, 3};
+  const Matrix x_sub = x.select_cols(active);
+
+  GbrParams params;
+  params.n_trees = 25;
+  const BinnedDataset binned(x, params.tree.histogram_bins);
+  const BinnedDataset binned_sub(x_sub, params.tree.histogram_bins);
+  std::vector<std::size_t> rows(900);
+  for (std::size_t i = 0; i < 900; ++i) rows[i] = i;
+
+  GradientBoostedRegressor masked(params), reference(params);
+  masked.fit(binned, y, rows, FeatureMask::of(4, active));
+  reference.fit(binned_sub, y, rows, FeatureMask::all(3));
+
+  for (std::size_t r = 0; r < 900; ++r)
+    EXPECT_DOUBLE_EQ(masked.predict_one(x.row(r)), reference.predict_one(x_sub.row(r)));
+  const auto mi = masked.feature_importances();
+  const auto ri = reference.feature_importances();
+  EXPECT_DOUBLE_EQ(mi[1], 0.0);  // masked-out feature never splits
+  for (std::size_t k = 0; k < active.size(); ++k)
+    EXPECT_DOUBLE_EQ(mi[active[k]], ri[k]);
+}
+
+TEST(Gbr, BitIdenticalAcrossThreadCounts) {
+  // Binned fits parallelize node histogram scans, binning, and the
+  // out-of-sample update; all of it must be bit-identical at any pool
+  // width (disjoint writes + chunk-ordered combines).
+  Rng rng(9);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(3000, x, y, rng, 0.05);
+  GbrParams params;
+  params.tree.max_depth = 5;
+  params.tree.min_samples_leaf = 5;
+
+  exec::ThreadPool::instance().resize(1);
+  GradientBoostedRegressor serial(params);
+  serial.fit(x, y);
+  const auto serial_pred = serial.predict(x);
+  const auto serial_imp = serial.feature_importances();
+  for (int threads : {2, 8}) {
+    exec::ThreadPool::instance().resize(threads);
+    GradientBoostedRegressor par(params);
+    par.fit(x, y);
+    EXPECT_EQ(par.predict(x), serial_pred) << threads;
+    EXPECT_EQ(par.feature_importances(), serial_imp) << threads;
+  }
+  exec::ThreadPool::instance().resize(exec::resolve_threads());
 }
 
 TEST(Gbr, InputValidation) {

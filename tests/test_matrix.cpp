@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace dfv::ml {
 namespace {
@@ -76,6 +77,45 @@ TEST(Matrix, GramIsSymmetricPsd) {
   EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
   EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
   EXPECT_DOUBLE_EQ(g(1, 1), 4.0);
+}
+
+TEST(Matrix, BlockedOpsMatchNaiveLoops) {
+  // gram/dot/tdot are cache-blocked but keep each output cell's
+  // accumulation order identical to the naive loops, so the results are
+  // bit-equal — including on data with exact zeros (the old gram had a
+  // zero-skip branch this test pins the removal of).
+  Rng rng(42);
+  const std::size_t n = 137, f = 71;  // odd sizes exercise tile remainders
+  Matrix m(n, f);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < f; ++c)
+      m(r, c) = (r + c) % 5 == 0 ? 0.0 : rng.normal();
+
+  // Naive references.
+  Matrix g_ref(f, f);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t i = 0; i < f; ++i)
+      for (std::size_t j = i; j < f; ++j) g_ref(i, j) += m(r, i) * m(r, j);
+  for (std::size_t i = 0; i < f; ++i)
+    for (std::size_t j = 0; j < i; ++j) g_ref(i, j) = g_ref(j, i);
+
+  std::vector<double> y(n), w(f);
+  for (std::size_t r = 0; r < n; ++r) y[r] = rng.normal();
+  for (std::size_t c = 0; c < f; ++c) w[c] = rng.normal();
+  std::vector<double> tdot_ref(f, 0.0), dot_ref(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < f; ++c) tdot_ref[c] += m(r, c) * y[r];
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < f; ++c) s += m(r, c) * w[c];
+    dot_ref[r] = s;
+  }
+
+  const Matrix g = m.gram();
+  for (std::size_t i = 0; i < f; ++i)
+    for (std::size_t j = 0; j < f; ++j) ASSERT_DOUBLE_EQ(g(i, j), g_ref(i, j));
+  EXPECT_EQ(m.tdot(y), tdot_ref);
+  EXPECT_EQ(m.dot(w), dot_ref);
 }
 
 TEST(Cholesky, SolvesKnownSystem) {

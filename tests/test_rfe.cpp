@@ -93,6 +93,23 @@ TEST(Rfe, RequiresAtLeastTwoFeatures) {
   EXPECT_THROW((void)rfe_cv(x, y, fast_params()), ContractError);
 }
 
+TEST(Rfe, PrebuiltBinnedViewMatchesMatrixOverload) {
+  // Callers that bin the sample matrix themselves (the deviation
+  // analysis) must get exactly what the convenience overload computes.
+  Rng rng(5);
+  Matrix x;
+  std::vector<double> y, offset;
+  make_data(600, x, y, offset, rng);
+  const RfeParams p = fast_params();
+  const BinnedDataset binned(x, p.gbr.tree.histogram_bins);
+  const RfeResult via_matrix = rfe_cv(x, y, p, offset);
+  const RfeResult via_binned = rfe_cv(binned, y, p, offset);
+  EXPECT_EQ(via_matrix.relevance, via_binned.relevance);
+  EXPECT_EQ(via_matrix.survival, via_binned.survival);
+  EXPECT_EQ(via_matrix.cv_mape_full, via_binned.cv_mape_full);
+  EXPECT_EQ(via_matrix.cv_mape_linear, via_binned.cv_mape_linear);
+}
+
 TEST(Rfe, BitIdenticalAcrossThreadCounts) {
   // Fold-parallel CV must reproduce the single-thread result exactly:
   // per-fold substream seeds plus fold-ordered combining make every score
