@@ -8,6 +8,7 @@
 #include <cmath>
 #include <thread>
 
+#include "analysis/forecast.hpp"
 #include "apps/registry.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -21,6 +22,7 @@
 #include "sched/allocator.hpp"
 #include "sim/campaign.hpp"
 #include "sim/cluster.hpp"
+#include "synthetic.hpp"
 
 namespace {
 
@@ -244,6 +246,86 @@ void BM_AttentionEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AttentionEpoch)->Unit(benchmark::kMillisecond);
+
+// The forecasting-pipeline trio below uses the grid's default training
+// configuration (ForecastConfig: d_model=12, d_hidden=16, 30 epochs,
+// batch 32) so the recorded numbers track the real fig08/fig10 cost.
+
+const sim::Dataset& forecast_bench_dataset() {
+  static const sim::Dataset ds = [] {
+    testutil::SyntheticSpec spec;
+    spec.runs = 40;
+    spec.steps = 30;
+    spec.seed = 77;
+    return testutil::make_planted_dataset(spec);
+  }();
+  return ds;
+}
+
+void BM_AttentionFit(benchmark::State& state) {
+  // One grid cell's worth of training on a realistic window design
+  // matrix (m=8, all 23 features) — the dominant kernel of the grid.
+  const auto& ds = forecast_bench_dataset();
+  analysis::WindowConfig wcfg;
+  wcfg.m = 8;
+  wcfg.k = 5;
+  wcfg.features = analysis::FeatureSet::AppPlacementIoSys;
+  const auto wd = analysis::build_windows(ds, wcfg);
+  const analysis::ForecastConfig fcfg;
+  for (auto _ : state) {
+    ml::AttentionForecaster model(wcfg.m, analysis::feature_count(wcfg.features),
+                                  fcfg.attention);
+    model.fit(wd.x, wd.y);
+    benchmark::DoNotOptimize(model.predict_one(wd.x.row(0)));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(wd.y.size()) * fcfg.attention.epochs);
+}
+BENCHMARK(BM_AttentionFit)->Unit(benchmark::kMillisecond);
+
+void BM_BuildWindows(benchmark::State& state) {
+  // Window-matrix construction across an ablation slice: every feature
+  // set at several context lengths, as evaluate_forecast_grid does it.
+  const auto& ds = forecast_bench_dataset();
+  using analysis::FeatureSet;
+  for (auto _ : state) {
+    std::size_t windows = 0;
+    for (const int m : {2, 4, 8}) {
+      for (const FeatureSet fs :
+           {FeatureSet::App, FeatureSet::AppPlacement, FeatureSet::AppPlacementIo,
+            FeatureSet::AppPlacementIoSys}) {
+        analysis::WindowConfig wcfg;
+        wcfg.m = m;
+        wcfg.k = 5;
+        wcfg.features = fs;
+        const auto wd = analysis::build_windows(ds, wcfg);
+        windows += wd.y.size();
+        benchmark::DoNotOptimize(wd.x.data());
+      }
+    }
+    benchmark::DoNotOptimize(windows);
+  }
+}
+BENCHMARK(BM_BuildWindows)->Unit(benchmark::kMillisecond);
+
+void BM_ForecastGrid(benchmark::State& state) {
+  // A small fig-8-shaped ablation grid end to end (CV folds included):
+  // the unit of work this PR's fast path is judged on.
+  const auto& ds = forecast_bench_dataset();
+  using analysis::FeatureSet;
+  std::vector<analysis::WindowConfig> cells;
+  for (const int m : {2, 8})
+    for (const int k : {1, 5})
+      for (const FeatureSet fs : {FeatureSet::App, FeatureSet::AppPlacementIoSys})
+        cells.push_back({m, k, fs});
+  analysis::ForecastConfig fcfg;
+  fcfg.folds = 3;
+  for (auto _ : state) {
+    const auto grid = analysis::evaluate_forecast_grid(ds, cells, fcfg);
+    benchmark::DoNotOptimize(grid.data());
+  }
+}
+BENCHMARK(BM_ForecastGrid)->Unit(benchmark::kMillisecond);
 
 void BM_ClusterMilcStep(benchmark::State& state) {
   // One full instrumented MILC-128 run on a loaded Cori: the unit of

@@ -5,18 +5,32 @@
 #   scripts/bench.sh                     # build + run, update "current"
 #   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh   # longer per-bench min time
 #
+# Measurements come from the Release preset (build-release/) so the
+# committed numbers reflect optimized code, and the context block records
+# the git SHA, compiler, and project build type they were taken under.
+#
 # BENCH_ml.json keeps two snapshots: "baseline" (frozen numbers from
-# before the bin-once fast path landed; initialized to the first run on
-# a machine that has no baseline yet) and "current" (refreshed every
-# run), so speedups are always readable from the committed file.
+# before the corresponding fast path landed; a benchmark name with no
+# recorded baseline is initialized from its first run) and "current"
+# (refreshed every run), so speedups are always readable from the
+# committed file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode'
-BUILD="${BUILD:-build}"
+FILTER='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode|BM_AttentionFit|BM_BuildWindows|BM_ForecastGrid'
+BUILD="${BUILD:-build-release}"
 
-cmake -B "$BUILD" -S . -G Ninja >/dev/null
+if [[ "$BUILD" == "build-release" ]]; then
+  cmake --preset release >/dev/null
+else
+  cmake -B "$BUILD" -S . -G Ninja >/dev/null
+fi
 cmake --build "$BUILD" -j --target micro_benchmarks >/dev/null
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+compiler_path=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD/CMakeCache.txt")
+compiler="$("$compiler_path" --version 2>/dev/null | head -n1 || echo unknown)"
+git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -25,10 +39,10 @@ trap 'rm -f "$raw"' EXIT
   --benchmark_min_time="${DFV_BENCH_MIN_TIME:-0.3}" \
   --benchmark_format=json >"$raw" 2>/dev/null
 
-python3 - "$raw" BENCH_ml.json <<'PY'
+python3 - "$raw" BENCH_ml.json "$build_type" "$compiler" "$git_sha" <<'PY'
 import json, sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, build_type, compiler, git_sha = sys.argv[1:6]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -45,15 +59,18 @@ except (FileNotFoundError, json.JSONDecodeError):
     doc = {}
 
 doc.setdefault("schema", "dfv-bench-ml-v1")
-doc.setdefault(
-    "note",
-    "baseline = pre-BinnedDataset fast path; current = last scripts/bench.sh run",
+doc["note"] = (
+    "baseline = pre-fast-path numbers per benchmark; current = last scripts/bench.sh run"
 )
-doc.setdefault("baseline", current)
+baseline = doc.setdefault("baseline", {})
+for name, v in current.items():
+    baseline.setdefault(name, dict(v))
 doc["current"] = current
 doc["context"] = {
     "host_cpus": raw["context"]["num_cpus"],
-    "build_type": raw["context"].get("library_build_type", "unknown"),
+    "build_type": build_type or "unknown",
+    "compiler": compiler,
+    "git_sha": git_sha,
 }
 
 with open(out_path, "w") as f:
@@ -61,7 +78,7 @@ with open(out_path, "w") as f:
     f.write("\n")
 
 for name, v in sorted(current.items()):
-    base = doc["baseline"].get(name, {}).get("real_time_ms")
+    base = baseline.get(name, {}).get("real_time_ms")
     speedup = f"  ({base / v['real_time_ms']:.2f}x vs baseline)" if base else ""
     print(f"{name}: {v['real_time_ms']} ms{speedup}")
 PY

@@ -17,15 +17,15 @@ cmake --build build -j
 # bench target cannot slip through tier-1. Numbers from this run are
 # meaningless; scripts/bench.sh produces the real trajectory.
 ./build/bench/micro_benchmarks \
-  --benchmark_filter='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode' \
+  --benchmark_filter='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode|BM_AttentionFit|BM_BuildWindows|BM_ForecastGrid' \
   --benchmark_min_time=0.01 >/dev/null
 echo "bench smoke: OK"
 
 if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe) ==="
+  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe, attention, forecast) ==="
   cmake --preset tsan
   cmake --build build-tsan -j --target test_exec test_campaign test_faults \
-    test_cache_integrity test_gbr test_rfe
+    test_cache_integrity test_gbr test_rfe test_attention test_forecast
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
@@ -38,6 +38,11 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   # GBR/RFE suites race-check them end to end.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_gbr
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_rfe
+  # The attention fast path runs slab-parallel minibatches and the
+  # forecast grid nests cell/fold tasks over the shared window cache;
+  # both are race-checked, including the 1/2/8-thread identity sweeps.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_attention
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_forecast
 fi
 
 echo "tier-1: OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/window_cache.hpp"
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "exec/exec.hpp"
@@ -70,103 +71,50 @@ void step_features(const sim::RunRecord& run, int t, FeatureSet fs, std::span<do
     for (double v : run.step_ldms[std::size_t(t)].sys) out[i++] = v;
 }
 
+WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
+  const StepFeatureCache cache(ds);
+  const WindowIndex index = build_window_index(ds, cache, cfg.m, cfg.k);
+  const WindowViews views = make_window_views(cache, index, cfg.features);
+  WindowData out;
+  out.x = materialize(views.all());
+  out.y = index.y;
+  out.persistence = index.persistence;
+  out.run_of = index.run_of;
+  return out;
+}
+
 namespace {
 
-/// A step may enter a forecasting window only when its quality mask
-/// allows it and every telemetry cell a window reads is finite.
-bool step_clean(const sim::RunRecord& run, int t) {
-  if (!run.step_usable(t)) return false;
-  if (!std::isfinite(run.step_times[std::size_t(t)])) return false;
-  for (int c = 0; c < mon::kNumCounters; ++c)
-    if (!std::isfinite(run.step_counters[std::size_t(t)][std::size_t(c)])) return false;
-  for (double v : run.step_ldms[std::size_t(t)].io)
-    if (!std::isfinite(v)) return false;
-  for (double v : run.step_ldms[std::size_t(t)].sys)
-    if (!std::isfinite(v)) return false;
-  return true;
-}
-
-/// bad_before[t] = number of unclean steps in [0, t): windows test any
-/// span for cleanliness in O(1).
-std::vector<int> bad_prefix(const sim::RunRecord& run) {
-  std::vector<int> out(std::size_t(run.steps()) + 1, 0);
-  for (int t = 0; t < run.steps(); ++t)
-    out[std::size_t(t) + 1] = out[std::size_t(t)] + (step_clean(run, t) ? 0 : 1);
-  return out;
-}
-
-bool span_clean(const std::vector<int>& bad_before, int lo, int hi) {
-  return bad_before[std::size_t(hi)] == bad_before[std::size_t(lo)];
-}
-
-}  // namespace
-
-WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
-  DFV_CHECK(cfg.m >= 1 && cfg.k >= 1);
-  const int T = ds.steps_per_run();
-  DFV_CHECK_MSG(cfg.m + cfg.k <= T, "window m+k=" << cfg.m + cfg.k
-                                                  << " exceeds steps per run " << T);
-  const int F = feature_count(cfg.features);
-
-  WindowData out;
-  out.x = ml::Matrix(0, std::size_t(cfg.m) * std::size_t(F));
-  // Upper bound on window count (every run full-length and clean), so
-  // the per-window append never reallocates the design matrix.
-  out.x.reserve_rows(ds.runs.size() * std::size_t(std::max(0, T - cfg.m - cfg.k + 1)));
-  std::vector<double> row(std::size_t(cfg.m) * std::size_t(F));
-
-  for (std::size_t r = 0; r < ds.runs.size(); ++r) {
-    const auto& run = ds.runs[r];
-    // Truncated runs (shorter than the dataset's nominal length) still
-    // contribute the windows that fit; windows touching any degraded step
-    // are skipped rather than imputed-by-accident.
-    const int Tr = std::min(T, run.steps());
-    if (Tr < cfg.m + cfg.k) continue;
-    const std::vector<int> bad_before = bad_prefix(run);
-    // Slide t_c from m to T-k: history [t_c-m, t_c), target (t_c, t_c+k].
-    for (int tc = cfg.m; tc + cfg.k <= Tr; ++tc) {
-      if (!span_clean(bad_before, tc - cfg.m, tc + cfg.k)) continue;
-      for (int j = 0; j < cfg.m; ++j)
-        step_features(run, tc - cfg.m + j, cfg.features,
-                      {row.data() + std::size_t(j) * std::size_t(F), std::size_t(F)});
-      double target = 0.0;
-      for (int j = 0; j < cfg.k; ++j) target += run.step_times[std::size_t(tc + j)];
-      double recent = 0.0;
-      for (int j = 0; j < cfg.m; ++j) recent += run.step_times[std::size_t(tc - 1 - j)];
-
-      out.x.append_row(row);
-      out.y.push_back(target);
-      out.persistence.push_back(recent / double(cfg.m) * double(cfg.k));
-      out.run_of.push_back(r);
-    }
-  }
-  DFV_CHECK_MSG(!out.y.empty(), "dataset '" << ds.spec.app
-                                            << "' yields no clean forecasting windows");
-  return out;
-}
-
-ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
-                               const ForecastConfig& fcfg) {
-  const WindowData wd = build_windows(ds, wcfg);
-  ForecastEval eval;
-  eval.windows = wd.y.size();
-  DFV_CHECK(wd.y.size() >= std::size_t(2 * fcfg.folds));
-
-  // Dataset-level mean baseline over observed steps (the tolerant curve
-  // reports NaN for steps no run observed usably).
+/// Dataset-level mean baseline over observed steps (the tolerant curve
+/// reports NaN for steps no run observed usably).
+double dataset_mean_step(const sim::Dataset& ds) {
   double mean_step = 0.0;
-  {
-    int n = 0;
-    for (double v : ds.mean_step_curve())
-      if (std::isfinite(v)) {
-        mean_step += v;
-        ++n;
-      }
-    if (n > 0) mean_step /= double(n);
-  }
+  int n = 0;
+  for (double v : ds.mean_step_curve())
+    if (std::isfinite(v)) {
+      mean_step += v;
+      ++n;
+    }
+  return n > 0 ? mean_step / double(n) : 0.0;
+}
+
+/// One (m, k, feature-set) cell evaluated against the shared cache: the
+/// fold design matrices are strided views into the cached per-run
+/// feature tables, never materialized copies.
+ForecastEval evaluate_forecast_cached(const StepFeatureCache& cache,
+                                      const WindowIndex& index, double mean_step,
+                                      const WindowConfig& wcfg,
+                                      const ForecastConfig& fcfg) {
+  ForecastEval eval;
+  eval.windows = index.size();
+  DFV_CHECK_MSG(index.size() >= std::size_t(2 * fcfg.folds),
+                "too few forecasting windows for CV: " << index.size() << " windows < 2*"
+                                                       << fcfg.folds << " folds at (m="
+                                                       << wcfg.m << ", k=" << wcfg.k << ")");
+  const WindowViews views = make_window_views(cache, index, wcfg.features);
 
   Rng rng(fcfg.seed);
-  const auto folds = ml::group_kfold(wd.run_of, std::size_t(fcfg.folds), rng);
+  const auto folds = ml::group_kfold(index.run_of, std::size_t(fcfg.folds), rng);
   // Fold-parallel CV: each fold trains from its own substream seed and
   // writes a private partial; partials combine in fold order, so the
   // result is identical for any thread count.
@@ -176,21 +124,22 @@ ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
   std::vector<FoldPartial> parts(folds.size());
   ml::run_folds(folds.size(), [&](std::size_t fold_i) {
     const auto& fold = folds[fold_i];
-    const ml::Matrix x_train = wd.x.select_rows(fold.train);
+    std::vector<const double*> train_ptrs, test_ptrs;
+    const ml::RowBatch x_train = views.select(fold.train, train_ptrs);
     std::vector<double> y_train(fold.train.size());
-    for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = wd.y[fold.train[i]];
+    for (std::size_t i = 0; i < fold.train.size(); ++i) y_train[i] = index.y[fold.train[i]];
 
     ml::AttentionParams ap = fcfg.attention;
     ap.seed = exec::substream_seed(fcfg.attention.seed, fold_i);
     ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), ap);
     model.fit(x_train, y_train);
 
-    std::vector<double> y_test(fold.test.size()), pred(fold.test.size()),
-        persist(fold.test.size()), mean_pred(fold.test.size());
+    const std::vector<double> pred = model.predict(views.select(fold.test, test_ptrs));
+    std::vector<double> y_test(fold.test.size()), persist(fold.test.size()),
+        mean_pred(fold.test.size());
     for (std::size_t i = 0; i < fold.test.size(); ++i) {
-      y_test[i] = wd.y[fold.test[i]];
-      pred[i] = model.predict_one(wd.x.row(fold.test[i]));
-      persist[i] = wd.persistence[fold.test[i]];
+      y_test[i] = index.y[fold.test[i]];
+      persist[i] = index.persistence[fold.test[i]];
       mean_pred[i] = mean_step * double(wcfg.k);
     }
     parts[fold_i] = {ml::mape(y_test, pred), ml::mape(y_test, persist),
@@ -204,9 +153,38 @@ ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
   return eval;
 }
 
+}  // namespace
+
+ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
+                               const ForecastConfig& fcfg) {
+  const StepFeatureCache cache(ds);
+  const WindowIndex index = build_window_index(ds, cache, wcfg.m, wcfg.k);
+  return evaluate_forecast_cached(cache, index, dataset_mean_step(ds), wcfg, fcfg);
+}
+
 std::vector<ForecastGridCell> evaluate_forecast_grid(const sim::Dataset& ds,
                                                      std::span<const WindowConfig> cells,
                                                      const ForecastConfig& fcfg) {
+  // Features and window indices are shared across the whole grid: the
+  // cache is built once, and cells differing only in feature set reuse
+  // the same (m, k) index (window admission never depends on features).
+  const StepFeatureCache cache(ds);
+  const double mean_step = dataset_mean_step(ds);
+  std::vector<std::pair<int, int>> mks;
+  std::vector<std::size_t> index_of(cells.size());
+  std::vector<WindowIndex> indices;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::pair<int, int> mk{cells[i].m, cells[i].k};
+    const auto it = std::find(mks.begin(), mks.end(), mk);
+    if (it == mks.end()) {
+      index_of[i] = mks.size();
+      mks.push_back(mk);
+      indices.push_back(build_window_index(ds, cache, mk.first, mk.second));
+    } else {
+      index_of[i] = std::size_t(it - mks.begin());
+    }
+  }
+
   std::vector<ForecastGridCell> out(cells.size());
   // One task per (m, k, feature-set) cell; cells are fully independent, so
   // each slot holds exactly what a standalone evaluate_forecast would
@@ -214,7 +192,8 @@ std::vector<ForecastGridCell> evaluate_forecast_grid(const sim::Dataset& ds,
   // pool).
   exec::parallel_for(0, cells.size(), 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i)
-      out[i] = {cells[i], evaluate_forecast(ds, cells[i], fcfg)};
+      out[i] = {cells[i],
+                evaluate_forecast_cached(cache, indices[index_of[i]], mean_step, cells[i], fcfg)};
   });
   return out;
 }
@@ -222,38 +201,45 @@ std::vector<ForecastGridCell> evaluate_forecast_grid(const sim::Dataset& ds,
 std::vector<double> forecast_feature_importance(const sim::Dataset& ds,
                                                 const WindowConfig& wcfg,
                                                 const ForecastConfig& fcfg) {
-  const WindowData wd = build_windows(ds, wcfg);
+  const StepFeatureCache cache(ds);
+  const WindowIndex index = build_window_index(ds, cache, wcfg.m, wcfg.k);
+  const WindowViews views = make_window_views(cache, index, wcfg.features);
   ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), fcfg.attention);
-  model.fit(wd.x, wd.y);
+  model.fit(views.all(), index.y);
+  // The permutation scan mutates one feature column at a time, so it
+  // works on the one materialized copy it would build anyway.
+  const ml::Matrix x = materialize(views.all());
   Rng rng(hash_combine(fcfg.seed, 0x1397));
-  return model.permutation_importance(wd.x, wd.y, rng);
+  return model.permutation_importance(x, index.y, rng);
 }
 
 LongRunForecast forecast_long_run(const sim::Dataset& train,
                                   const sim::RunRecord& long_run,
                                   const WindowConfig& wcfg, const ForecastConfig& fcfg) {
-  const WindowData wd = build_windows(train, wcfg);
+  const StepFeatureCache cache(train);
+  const WindowIndex index = build_window_index(train, cache, wcfg.m, wcfg.k);
+  const WindowViews views = make_window_views(cache, index, wcfg.features);
   ml::AttentionForecaster model(wcfg.m, feature_count(wcfg.features), fcfg.attention);
-  model.fit(wd.x, wd.y);
+  model.fit(views.all(), index.y);
 
-  const int F = feature_count(wcfg.features);
   const int T = long_run.steps();
   LongRunForecast out;
-  std::vector<double> window(std::size_t(wcfg.m) * std::size_t(F));
-
-  const std::vector<int> bad_before = bad_prefix(long_run);
+  // The long run gets its own feature table; each clean segment is a
+  // strided window view into it, predicted in one batch.
+  const RunFeatureTable table = build_run_table(long_run);
+  std::vector<const double*> seg_base;
   for (int seg = wcfg.m; seg + wcfg.k <= T; seg += wcfg.k) {
-    if (!span_clean(bad_before, seg - wcfg.m, seg + wcfg.k)) continue;
-    for (int j = 0; j < wcfg.m; ++j)
-      step_features(long_run, seg - wcfg.m + j, wcfg.features,
-                    {window.data() + std::size_t(j) * std::size_t(F), std::size_t(F)});
+    if (!table.span_clean(seg - wcfg.m, seg + wcfg.k)) continue;
     double observed = 0.0;
     for (int j = 0; j < wcfg.k; ++j) observed += long_run.step_times[std::size_t(seg + j)];
     out.segment_start.push_back(seg);
     out.observed.push_back(observed);
-    out.predicted.push_back(model.predict_one(window));
+    seg_base.push_back(table.step_row(seg - wcfg.m));
   }
   DFV_CHECK_MSG(!out.observed.empty(), "long run yields no clean forecast segments");
+  out.predicted = model.predict(ml::RowBatch{seg_base, std::size_t(wcfg.m),
+                                             std::size_t(feature_count(wcfg.features)),
+                                             std::size_t(superset_feature_count())});
   out.mape = ml::mape(out.observed, out.predicted);
   return out;
 }

@@ -1,0 +1,135 @@
+#include "analysis/window_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dfv::analysis {
+
+int superset_feature_count() noexcept {
+  return feature_count(FeatureSet::AppPlacementIoSys);
+}
+
+namespace {
+
+/// A step may enter a forecasting window only when its quality mask
+/// allows it and every telemetry cell a window reads is finite.
+bool step_clean(const sim::RunRecord& run, int t) {
+  if (!run.step_usable(t)) return false;
+  if (!std::isfinite(run.step_times[std::size_t(t)])) return false;
+  for (int c = 0; c < mon::kNumCounters; ++c)
+    if (!std::isfinite(run.step_counters[std::size_t(t)][std::size_t(c)])) return false;
+  for (double v : run.step_ldms[std::size_t(t)].io)
+    if (!std::isfinite(v)) return false;
+  for (double v : run.step_ldms[std::size_t(t)].sys)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace
+
+const double* RunFeatureTable::step_row(int t) const noexcept {
+  return features.data() + std::size_t(t) * std::size_t(superset_feature_count());
+}
+
+RunFeatureTable build_run_table(const sim::RunRecord& run) {
+  const int W = superset_feature_count();
+  const int T = run.steps();
+  RunFeatureTable out;
+  out.steps = T;
+  out.features.resize(std::size_t(T) * std::size_t(W));
+  out.bad_before.assign(std::size_t(T) + 1, 0);
+  for (int t = 0; t < T; ++t) {
+    // Extract the superset row even for degraded steps (cells may be
+    // NaN): cleanliness is tracked separately, and no clean window ever
+    // reads a degraded row.
+    step_features(run, t, FeatureSet::AppPlacementIoSys,
+                  {out.features.data() + std::size_t(t) * std::size_t(W), std::size_t(W)});
+    out.bad_before[std::size_t(t) + 1] =
+        out.bad_before[std::size_t(t)] + (step_clean(run, t) ? 0 : 1);
+  }
+  return out;
+}
+
+StepFeatureCache::StepFeatureCache(const sim::Dataset& ds) {
+  tables_.reserve(ds.runs.size());
+  for (const auto& run : ds.runs) tables_.push_back(build_run_table(run));
+}
+
+WindowIndex build_window_index(const sim::Dataset& ds, const StepFeatureCache& cache,
+                               int m, int k) {
+  DFV_CHECK(m >= 1 && k >= 1);
+  DFV_CHECK(cache.runs() == ds.runs.size());
+  const int T = ds.steps_per_run();
+  DFV_CHECK_MSG(m + k <= T, "window m+k=" << m + k << " exceeds steps per run " << T);
+
+  WindowIndex out;
+  out.m = m;
+  out.k = k;
+  // Upper bound on window count (every run full-length and clean), so
+  // the per-window appends never reallocate.
+  const std::size_t cap = ds.runs.size() * std::size_t(std::max(0, T - m - k + 1));
+  out.run_of.reserve(cap);
+  out.t_c.reserve(cap);
+  out.y.reserve(cap);
+  out.persistence.reserve(cap);
+  for (std::size_t r = 0; r < ds.runs.size(); ++r) {
+    const auto& run = ds.runs[r];
+    const RunFeatureTable& table = cache.run(r);
+    // Truncated runs (shorter than the dataset's nominal length) still
+    // contribute the windows that fit; windows touching any degraded step
+    // are skipped rather than imputed-by-accident.
+    const int Tr = std::min(T, run.steps());
+    if (Tr < m + k) continue;
+    // Slide t_c from m to T-k: history [t_c-m, t_c), target (t_c, t_c+k].
+    for (int tc = m; tc + k <= Tr; ++tc) {
+      if (!table.span_clean(tc - m, tc + k)) continue;
+      double target = 0.0;
+      for (int j = 0; j < k; ++j) target += run.step_times[std::size_t(tc + j)];
+      double recent = 0.0;
+      for (int j = 0; j < m; ++j) recent += run.step_times[std::size_t(tc - 1 - j)];
+      out.run_of.push_back(r);
+      out.t_c.push_back(tc);
+      out.y.push_back(target);
+      out.persistence.push_back(recent / double(m) * double(k));
+    }
+  }
+  DFV_CHECK_MSG(!out.y.empty(), "dataset '" << ds.spec.app
+                                            << "' yields no clean forecasting windows");
+  return out;
+}
+
+ml::RowBatch WindowViews::select(std::span<const std::size_t> idx,
+                                 std::vector<const double*>& scratch) const {
+  scratch.resize(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) scratch[i] = base[idx[i]];
+  return {scratch, m, width, stride};
+}
+
+WindowViews make_window_views(const StepFeatureCache& cache, const WindowIndex& index,
+                              FeatureSet fs) {
+  WindowViews out;
+  out.m = std::size_t(index.m);
+  out.width = std::size_t(feature_count(fs));
+  out.stride = std::size_t(superset_feature_count());
+  out.base.resize(index.size());
+  for (std::size_t w = 0; w < index.size(); ++w)
+    out.base[w] = cache.run(index.run_of[w]).step_row(index.t_c[w] - index.m);
+  return out;
+}
+
+ml::Matrix materialize(const ml::RowBatch& batch) {
+  // Append gathered rows instead of constructing rows x len up front:
+  // the zero-fill of a pre-sized matrix costs a full extra memory pass.
+  ml::Matrix out(0, batch.row_len());
+  out.reserve_rows(batch.size());
+  std::vector<double> row(batch.row_len());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    batch.gather(r, row.data());
+    out.append_row(row);
+  }
+  return out;
+}
+
+}  // namespace dfv::analysis

@@ -1,0 +1,101 @@
+// Shared window-view cache for the forecasting fast path. The ablation
+// grid (Figs. 8/10) evaluates the same dataset at many (m, k, feature
+// set) cells; the naive path re-extracts per-step features and re-copies
+// m x F window rows for every cell, fold, and importance repeat. The
+// cumulative feature sets are exact column prefixes of the superset
+// (AppPlacementIoSys), so one per-run feature table serves all four:
+// a window becomes m strided row views into the table (ml::RowBatch)
+// instead of a materialized copy, and the per-run cleanliness prefix is
+// computed once instead of per cell.
+#pragma once
+
+#include <vector>
+
+#include "analysis/forecast.hpp"
+#include "ml/matrix.hpp"
+#include "sim/dataset.hpp"
+
+namespace dfv::analysis {
+
+/// Width of a superset (AppPlacementIoSys) per-step feature row. Every
+/// narrower FeatureSet is an exact column prefix of it (tests pin this).
+[[nodiscard]] int superset_feature_count() noexcept;
+
+/// One run's step features and cleanliness, extracted once.
+struct RunFeatureTable {
+  /// steps x superset_feature_count(), row-major; rows of degraded steps
+  /// may hold NaN — they are never read because no clean window spans them.
+  std::vector<double> features;
+  /// bad_before[t] = unclean steps in [0, t); span checks are O(1).
+  std::vector<int> bad_before;
+  int steps = 0;
+
+  [[nodiscard]] bool span_clean(int lo, int hi) const noexcept {
+    return bad_before[std::size_t(hi)] == bad_before[std::size_t(lo)];
+  }
+  /// Pointer to the superset feature row of step `t`.
+  [[nodiscard]] const double* step_row(int t) const noexcept;
+};
+
+/// Build the table for a single run (the long-run forecast path).
+[[nodiscard]] RunFeatureTable build_run_table(const sim::RunRecord& run);
+
+/// Per-run feature tables for a whole dataset, built once and shared
+/// across every grid cell, fold, and importance repeat.
+class StepFeatureCache {
+ public:
+  explicit StepFeatureCache(const sim::Dataset& ds);
+
+  [[nodiscard]] const RunFeatureTable& run(std::size_t r) const { return tables_[r]; }
+  [[nodiscard]] std::size_t runs() const noexcept { return tables_.size(); }
+
+ private:
+  std::vector<RunFeatureTable> tables_;
+};
+
+/// The windows of one (m, k): centers, targets, and baselines. Window
+/// admission depends only on (m, k) and step cleanliness — never on the
+/// feature set — so one index is shared by all feature-set cells.
+struct WindowIndex {
+  int m = 0, k = 0;
+  std::vector<std::size_t> run_of;  ///< originating run per window
+  std::vector<int> t_c;             ///< window center: history [t_c-m, t_c)
+  std::vector<double> y;            ///< sum of the next k step times
+  std::vector<double> persistence;  ///< k * mean(last m step times)
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+};
+
+/// Enumerate the clean windows of `ds` for one (m, k); identical window
+/// set, order, targets, and baselines to the legacy build_windows.
+/// Throws ContractError when no clean window exists.
+[[nodiscard]] WindowIndex build_window_index(const sim::Dataset& ds,
+                                             const StepFeatureCache& cache, int m, int k);
+
+/// Strided row views of an index's windows for one feature set: window w
+/// is m chunks of `width` doubles, stride superset_feature_count(),
+/// starting at the cached feature row of its first history step. No
+/// per-window copies are made; narrower feature sets read the same
+/// tables through a narrower chunk width.
+struct WindowViews {
+  std::vector<const double*> base;  ///< per window: row (t_c - m) of its run table
+  std::size_t m = 1;                ///< chunks per window
+  std::size_t width = 0;            ///< feature_count(fs)
+  std::size_t stride = 0;           ///< superset_feature_count()
+
+  /// All windows as one batch.
+  [[nodiscard]] ml::RowBatch all() const noexcept { return {base, m, width, stride}; }
+  /// The windows selected by `idx` (pointers gathered into `scratch`,
+  /// which must outlive the returned batch).
+  [[nodiscard]] ml::RowBatch select(std::span<const std::size_t> idx,
+                                    std::vector<const double*>& scratch) const;
+};
+
+[[nodiscard]] WindowViews make_window_views(const StepFeatureCache& cache,
+                                            const WindowIndex& index, FeatureSet fs);
+
+/// Materialize a batch into a dense design matrix (row r = gathered row
+/// r), bit-identical to the rows the legacy copy path produced.
+[[nodiscard]] ml::Matrix materialize(const ml::RowBatch& batch);
+
+}  // namespace dfv::analysis

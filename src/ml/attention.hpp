@@ -36,10 +36,26 @@ class AttentionForecaster {
 
   /// Train on windows (rows of length m*feat_dim) and targets. Features
   /// and targets are standardized internally.
+  ///
+  /// Training runs the batched fast path: each minibatch is cut into
+  /// fixed kSlabRows-sample slabs whose forward/backward passes run as
+  /// parallel tasks through the blocked matrix kernels, and whose
+  /// partial gradients combine in slab order — bit-identical for any
+  /// thread count and to fit_reference.
   void fit(const Matrix& x, std::span<const double> y);
+  /// Same, over strided window views (no materialized design matrix).
+  void fit(const RowBatch& x, std::span<const double> y);
+
+  /// Per-sample scalar-loop implementation of exactly the same training
+  /// semantics (same slab structure, same activation functions, same
+  /// accumulation orders). Kept as the readability/equality reference:
+  /// tests assert fit and fit_reference produce bit-identical models.
+  void fit_reference(const Matrix& x, std::span<const double> y);
 
   [[nodiscard]] double predict_one(std::span<const double> window) const;
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+  /// Batched prediction over strided window views.
+  [[nodiscard]] std::vector<double> predict(const RowBatch& x) const;
 
   /// Permutation importance per feature dimension (shuffling a feature
   /// across samples at all m time positions simultaneously) measured as
@@ -56,9 +72,16 @@ class AttentionForecaster {
   [[nodiscard]] std::vector<double> attention_weights(std::span<const double> window) const;
 
  private:
-  struct Workspace;  // forward/backward scratch (defined in .cpp)
+  struct Workspace;  // per-slab forward/backward arena (defined in .cpp)
 
-  double forward(std::span<const double> window, Workspace& ws) const;
+  void fit_impl(const RowBatch& x, std::span<const double> y, bool batched);
+  /// Batched forward/backward over one slab of `rows` samples whose
+  /// standardized windows sit in the workspace arena.
+  void forward_slab(Workspace& ws, std::size_t rows) const;
+  void backward_slab(Workspace& ws, std::size_t rows) const;
+  /// Scalar per-sample forward+backward for the same slab (the reference
+  /// path; bit-identical to forward_slab + backward_slab).
+  void slab_reference(Workspace& ws, std::size_t rows) const;
 
   int m_, feat_dim_;
   AttentionParams params_;

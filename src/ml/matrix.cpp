@@ -1,5 +1,6 @@
 #include "ml/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -131,6 +132,394 @@ std::vector<double> Matrix::dot(std::span<const double> w) const {
     out[r] = s;
   }
   return out;
+}
+
+std::vector<const double*> row_pointers(const Matrix& x) {
+  std::vector<const double*> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = x.row(r).data();
+  return out;
+}
+
+// Per-ISA clones of the batched kernels: the container toolchain targets
+// baseline x86-64, but the fleet CPUs have AVX2/AVX-512, so the hot
+// loops dispatch at load time via ifunc. Combined with the ml-target
+// -ffp-contract=off this is numerically safe: every clone executes the
+// same unfused IEEE mul/add sequence, just more lanes per instruction.
+// Clones are disabled under ThreadSanitizer: the ifunc resolvers run
+// during relocation processing, before the TSan runtime has set up its
+// TLS, and the instrumented resolver segfaults at startup. The default
+// clone is bit-identical anyway, so TSan loses nothing but lanes.
+#if defined(__SANITIZE_THREAD__)
+#define DFV_ML_KERNEL
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DFV_ML_KERNEL
+#endif
+#endif
+#if !defined(DFV_ML_KERNEL) && defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define DFV_ML_KERNEL __attribute__((target_clones("avx512f", "avx2", "default")))
+#endif
+#endif
+#ifndef DFV_ML_KERNEL
+#define DFV_ML_KERNEL
+#endif
+
+namespace {
+
+// Fixed-width workers for the two GEMM-shaped kernels. The attention
+// shapes put 12..23 doubles on the vectorized inner loop; with the trip
+// count known at compile time GCC fully unrolls it and keeps the
+// register-blocked accumulators in vector registers, instead of paying
+// a runtime-trip prologue/epilogue on every iteration of the reduction
+// loop. always_inline makes each instantiation compile *inside* the
+// per-ISA clone that calls it, so it inherits that clone's target ISA.
+// Accumulation order per output element is identical to the generic
+// loops (ascending reduction index); only the interleaving across
+// independent output elements changes, which cannot affect any result.
+#define DFV_ML_INLINE inline __attribute__((always_inline))
+
+template <std::size_t D>
+DFV_ML_INLINE void affine_rows_fixed(const double* __restrict x, std::size_t n, std::size_t f,
+                                     const double* __restrict wt, const double* __restrict init,
+                                     std::size_t init_period, double* __restrict out) {
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const double* x0 = x + r * f;
+    const double* x1 = x0 + f;
+    const double* x2 = x1 + f;
+    const double* x3 = x2 + f;
+    const bool p = init_period > 1;
+    const double* i0 = init + (p ? (r % init_period) * D : 0);
+    const double* i1 = init + (p ? ((r + 1) % init_period) * D : 0);
+    const double* i2 = init + (p ? ((r + 2) % init_period) * D : 0);
+    const double* i3 = init + (p ? ((r + 3) % init_period) * D : 0);
+    double a0[D], a1[D], a2[D], a3[D];
+    for (std::size_t j = 0; j < D; ++j) {
+      a0[j] = i0[j];
+      a1[j] = i1[j];
+      a2[j] = i2[j];
+      a3[j] = i3[j];
+    }
+    for (std::size_t c = 0; c < f; ++c) {
+      const double b0 = x0[c], b1 = x1[c], b2 = x2[c], b3 = x3[c];
+      const double* wc = wt + c * D;
+      for (std::size_t j = 0; j < D; ++j) {
+        a0[j] += b0 * wc[j];
+        a1[j] += b1 * wc[j];
+        a2[j] += b2 * wc[j];
+        a3[j] += b3 * wc[j];
+      }
+    }
+    double* o = out + r * D;
+    for (std::size_t j = 0; j < D; ++j) {
+      o[j] = a0[j];
+      o[j + D] = a1[j];
+      o[j + 2 * D] = a2[j];
+      o[j + 3 * D] = a3[j];
+    }
+  }
+  for (; r < n; ++r) {
+    const double* xr = x + r * f;
+    const double* ir = init + (init_period > 1 ? (r % init_period) * D : 0);
+    double a[D];
+    for (std::size_t j = 0; j < D; ++j) a[j] = ir[j];
+    for (std::size_t c = 0; c < f; ++c) {
+      const double xc = xr[c];
+      const double* wc = wt + c * D;
+      for (std::size_t j = 0; j < D; ++j) a[j] += xc * wc[j];
+    }
+    double* o = out + r * D;
+    for (std::size_t j = 0; j < D; ++j) o[j] = a[j];
+  }
+}
+
+template <std::size_t D>
+DFV_ML_INLINE void add_matmul_tn_fixed(const double* __restrict a, std::size_t n, std::size_t k,
+                                       const double* __restrict b, double* __restrict out) {
+  // i-outer / r-inner: each pair of out rows lives in registers across
+  // the whole reduction; every out[i, j] still adds its r terms in
+  // ascending order, exactly like the generic r-outer loop.
+  std::size_t i = 0;
+  for (; i + 2 <= k; i += 2) {
+    double* p0 = out + i * D;
+    double* p1 = p0 + D;
+    double o0[D], o1[D];
+    for (std::size_t j = 0; j < D; ++j) {
+      o0[j] = p0[j];
+      o1[j] = p1[j];
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a0 = a[r * k + i], a1 = a[r * k + i + 1];
+      const double* br = b + r * D;
+      for (std::size_t j = 0; j < D; ++j) {
+        o0[j] += a0 * br[j];
+        o1[j] += a1 * br[j];
+      }
+    }
+    for (std::size_t j = 0; j < D; ++j) {
+      p0[j] = o0[j];
+      p1[j] = o1[j];
+    }
+  }
+  for (; i < k; ++i) {
+    double* p = out + i * D;
+    double o[D];
+    for (std::size_t j = 0; j < D; ++j) o[j] = p[j];
+    for (std::size_t r = 0; r < n; ++r) {
+      const double ar = a[r * k + i];
+      const double* br = b + r * D;
+      for (std::size_t j = 0; j < D; ++j) o[j] += ar * br[j];
+    }
+    for (std::size_t j = 0; j < D; ++j) p[j] = o[j];
+  }
+}
+
+template <std::size_t D>
+DFV_ML_INLINE void matmul_nn_fixed(const double* __restrict a, std::size_t n, std::size_t k,
+                                   const double* __restrict w, double* __restrict out) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* ar = a + r * k;
+    double o[D];
+    for (std::size_t j = 0; j < D; ++j) o[j] = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double ak = ar[kk];
+      const double* wk = w + kk * D;
+      for (std::size_t j = 0; j < D; ++j) o[j] += ak * wk[j];
+    }
+    double* orow = out + r * D;
+    for (std::size_t j = 0; j < D; ++j) orow[j] = o[j];
+  }
+}
+
+}  // namespace
+
+DFV_ML_KERNEL
+void affine_rows(const double* __restrict x, std::size_t n, std::size_t f, const double* __restrict wt,
+                 std::size_t d, const double* __restrict init, std::size_t init_period,
+                 double* __restrict out) {
+  // Fixed-width fast paths for the widths the attention model uses
+  // (d_model, d_hidden defaults and nearby); the generic loop handles
+  // anything else with the same per-element accumulation order.
+  switch (d) {
+    case 8: return affine_rows_fixed<8>(x, n, f, wt, init, init_period, out);
+    case 12: return affine_rows_fixed<12>(x, n, f, wt, init, init_period, out);
+    case 16: return affine_rows_fixed<16>(x, n, f, wt, init, init_period, out);
+    case 24: return affine_rows_fixed<24>(x, n, f, wt, init, init_period, out);
+    case 32: return affine_rows_fixed<32>(x, n, f, wt, init, init_period, out);
+    default: break;
+  }
+  // c-outer / j-inner so the j loop vectorizes over the output row; each
+  // out[r, j] still receives its products in ascending c on top of the
+  // init seed, exactly like the scalar j-outer dot-product loop.
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* xr = x + r * f;
+    const double* ir = init + (init_period > 1 ? (r % init_period) * d : 0);
+    double* o = out + r * d;
+    for (std::size_t j = 0; j < d; ++j) o[j] = ir[j];
+    for (std::size_t c = 0; c < f; ++c) {
+      const double xc = xr[c];
+      const double* wc = wt + c * d;
+      for (std::size_t j = 0; j < d; ++j) o[j] += xc * wc[j];
+    }
+  }
+}
+
+DFV_ML_KERNEL
+void matvec_rows(const double* __restrict x, std::size_t n, std::size_t f, const double* __restrict w,
+                 double init, double* __restrict y) {
+  // Four rows share each w[c] load; per-row accumulators keep ascending
+  // column order (same recipe as Matrix::dot).
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const double* x0 = x + r * f;
+    const double* x1 = x0 + f;
+    const double* x2 = x1 + f;
+    const double* x3 = x2 + f;
+    double s0 = init, s1 = init, s2 = init, s3 = init;
+    for (std::size_t c = 0; c < f; ++c) {
+      const double wc = w[c];
+      s0 += x0[c] * wc;
+      s1 += x1[c] * wc;
+      s2 += x2[c] * wc;
+      s3 += x3[c] * wc;
+    }
+    y[r] = s0;
+    y[r + 1] = s1;
+    y[r + 2] = s2;
+    y[r + 3] = s3;
+  }
+  for (; r < n; ++r) {
+    const double* xr = x + r * f;
+    double s = init;
+    for (std::size_t c = 0; c < f; ++c) s += xr[c] * w[c];
+    y[r] = s;
+  }
+}
+
+DFV_ML_KERNEL
+void matmul_nn(const double* __restrict a, std::size_t n, std::size_t k, const double* __restrict w,
+               std::size_t d, double* __restrict out) {
+  switch (d) {
+    case 8: return matmul_nn_fixed<8>(a, n, k, w, out);
+    case 12: return matmul_nn_fixed<12>(a, n, k, w, out);
+    case 16: return matmul_nn_fixed<16>(a, n, k, w, out);
+    default: break;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* ar = a + r * k;
+    double* o = out + r * d;
+    for (std::size_t j = 0; j < d; ++j) o[j] = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double ak = ar[kk];
+      const double* wk = w + kk * d;
+      for (std::size_t j = 0; j < d; ++j) o[j] += ak * wk[j];
+    }
+  }
+}
+
+DFV_ML_KERNEL
+void add_matmul_tn(const double* __restrict a, std::size_t n, std::size_t k, const double* __restrict b,
+                   std::size_t d, double* __restrict out) {
+  // Fixed-width fast paths for the widths the attention model feeds in
+  // (d_model and the per-feature-set window widths); same per-element
+  // accumulation order as the generic loop below.
+  switch (d) {
+    case 12: return add_matmul_tn_fixed<12>(a, n, k, b, out);
+    case 13: return add_matmul_tn_fixed<13>(a, n, k, b, out);
+    case 15: return add_matmul_tn_fixed<15>(a, n, k, b, out);
+    case 16: return add_matmul_tn_fixed<16>(a, n, k, b, out);
+    case 19: return add_matmul_tn_fixed<19>(a, n, k, b, out);
+    case 23: return add_matmul_tn_fixed<23>(a, n, k, b, out);
+    default: break;
+  }
+  // r-outer keeps every out[i, j] accumulating in ascending r; the j
+  // loop vectorizes and out rows stay cache-resident (k*d is small for
+  // the attention shapes).
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* ar = a + r * k;
+    const double* br = b + r * d;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ai = ar[i];
+      double* o = out + i * d;
+      for (std::size_t j = 0; j < d; ++j) o[j] += ai * br[j];
+    }
+  }
+}
+
+DFV_ML_KERNEL
+void add_tdot(const double* __restrict x, std::size_t n, std::size_t c, const double* __restrict y,
+              double* __restrict out) {
+  // Same 4-row register blocking as Matrix::tdot, accumulating into the
+  // caller's buffer: each out[j] adds rows in ascending order.
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const double* x0 = x + r * c;
+    const double* x1 = x0 + c;
+    const double* x2 = x1 + c;
+    const double* x3 = x2 + c;
+    const double y0 = y[r], y1 = y[r + 1], y2 = y[r + 2], y3 = y[r + 3];
+    for (std::size_t j = 0; j < c; ++j) {
+      double acc = out[j];
+      acc += x0[j] * y0;
+      acc += x1[j] * y1;
+      acc += x2[j] * y2;
+      acc += x3[j] * y3;
+      out[j] = acc;
+    }
+  }
+  for (; r < n; ++r) {
+    const double* xr = x + r * c;
+    for (std::size_t j = 0; j < c; ++j) out[j] += xr[j] * y[r];
+  }
+}
+
+DFV_ML_KERNEL
+void add_colsum_periodic(const double* __restrict x, std::size_t n, std::size_t d,
+                         std::size_t period, double* __restrict out) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* xr = x + r * d;
+    double* o = out + (period > 1 ? (r % period) * d : 0);
+    for (std::size_t j = 0; j < d; ++j) o[j] += xr[j];
+  }
+}
+
+DFV_ML_KERNEL
+void dot_rows_grouped(const double* __restrict x, std::size_t n, std::size_t d,
+                      const double* __restrict y, std::size_t group,
+                      double* __restrict out) {
+  // Rows of one group share the y vector; four independent per-row
+  // accumulator chains keep each dot in ascending j.
+  for (std::size_t base = 0, gi = 0; base < n; base += group, ++gi) {
+    const double* yr = y + gi * d;
+    const std::size_t lim = std::min(group, n - base);
+    std::size_t r = 0;
+    for (; r + 4 <= lim; r += 4) {
+      const double* x0 = x + (base + r) * d;
+      const double* x1 = x0 + d;
+      const double* x2 = x1 + d;
+      const double* x3 = x2 + d;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double yj = yr[j];
+        s0 += x0[j] * yj;
+        s1 += x1[j] * yj;
+        s2 += x2[j] * yj;
+        s3 += x3[j] * yj;
+      }
+      out[base + r] = s0;
+      out[base + r + 1] = s1;
+      out[base + r + 2] = s2;
+      out[base + r + 3] = s3;
+    }
+    for (; r < lim; ++r) {
+      const double* xr = x + (base + r) * d;
+      double s = 0.0;
+      for (std::size_t j = 0; j < d; ++j) s += xr[j] * yr[j];
+      out[base + r] = s;
+    }
+  }
+}
+
+DFV_ML_KERNEL
+void attn_dembed(const double* __restrict a, const double* __restrict b,
+                 const double* __restrict yg, const double* __restrict q, std::size_t n,
+                 std::size_t d, std::size_t group, double* __restrict de) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double ar = a[r], br = b[r];
+    const double* yr = yg + (r / group) * d;
+    double* o = de + r * d;
+    for (std::size_t j = 0; j < d; ++j) o[j] = ar * yr[j] + br * q[j];
+  }
+}
+
+DFV_ML_KERNEL
+void tanh_backward_rows(const double* __restrict e, std::size_t n, double* __restrict de) {
+  for (std::size_t i = 0; i < n; ++i) de[i] = de[i] * (1.0 - e[i] * e[i]);
+}
+
+DFV_ML_KERNEL
+void acc_add(double* __restrict dst, const double* __restrict src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+DFV_ML_KERNEL
+void adam_step(double* __restrict w, const double* __restrict g, double* __restrict m1,
+               double* __restrict m2, std::size_t n, double lr, double wd, double b1,
+               double b2, double bc1, double bc2, double eps) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gi = g[i] + wd * w[i];
+    m1[i] = b1 * m1[i] + (1.0 - b1) * gi;
+    m2[i] = b2 * m2[i] + (1.0 - b2) * gi * gi;
+    w[i] -= lr * (m1[i] / bc1) / (std::sqrt(m2[i] / bc2) + eps);
+  }
+}
+
+DFV_ML_KERNEL
+void tanh_rows(const double* __restrict z, std::size_t n, double* __restrict out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = tanh_poly(z[i]);
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::fabs(z[i]) >= 3.0) out[i] = tanh_tail(z[i]);
 }
 
 std::vector<double> cholesky_solve(Matrix& a, std::vector<double> b) {

@@ -29,6 +29,29 @@ void StandardScaler::fit(const Matrix& x) {
     std_[c] = var[c] > 0.0 ? std::sqrt(var[c] / double(R)) : 1.0;
 }
 
+void StandardScaler::fit(const RowBatch& x) {
+  const std::size_t C = x.row_len(), R = x.size();
+  mean_.assign(C, 0.0);
+  std_.assign(C, 1.0);
+  if (R == 0) return;
+  std::vector<double> row(C);
+  for (std::size_t r = 0; r < R; ++r) {
+    x.gather(r, row.data());
+    for (std::size_t c = 0; c < C; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= double(R);
+  std::vector<double> var(C, 0.0);
+  for (std::size_t r = 0; r < R; ++r) {
+    x.gather(r, row.data());
+    for (std::size_t c = 0; c < C; ++c) {
+      const double d = row[c] - mean_[c];
+      var[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < C; ++c)
+    std_[c] = var[c] > 0.0 ? std::sqrt(var[c] / double(R)) : 1.0;
+}
+
 void StandardScaler::transform(Matrix& x) const {
   DFV_CHECK(x.cols() == mean_.size());
   for (std::size_t r = 0; r < x.rows(); ++r) {

@@ -11,6 +11,9 @@ namespace dfv::ml {
 class StandardScaler {
  public:
   void fit(const Matrix& x);
+  /// Same statistics over a strided-view batch (identical summation
+  /// order, so a RowBatch over a Matrix's rows gives bit-equal results).
+  void fit(const RowBatch& x);
   /// Transform in place; constant columns map to zero.
   void transform(Matrix& x) const;
   [[nodiscard]] Matrix fit_transform(Matrix x);

@@ -117,6 +117,66 @@ TEST(Attention, DeterministicGivenSeed) {
     EXPECT_DOUBLE_EQ(a.predict_one(x.row(i)), b.predict_one(x.row(i)));
 }
 
+TEST(Attention, BatchedFitBitIdenticalToReference) {
+  // The blocked-kernel fast path and the scalar per-sample reference
+  // must produce the exact same model: identical bits, not just close.
+  Rng rng(11);
+  Matrix x;
+  std::vector<double> y;
+  make_temporal(203, 5, x, y, rng);  // odd n exercises the partial slab
+  AttentionForecaster fast(5, 2, fast_params(7)), ref(5, 2, fast_params(7));
+  fast.fit(x, y);
+  ref.fit_reference(x, y);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double pf = fast.predict_one(x.row(i));
+    const double pr = ref.predict_one(x.row(i));
+    EXPECT_EQ(pf, pr) << "prediction bits diverge at row " << i;
+  }
+}
+
+TEST(Attention, BatchedPredictMatchesPredictOne) {
+  Rng rng(12);
+  Matrix x;
+  std::vector<double> y;
+  make_temporal(61, 4, x, y, rng);
+  AttentionForecaster model(4, 2, fast_params());
+  model.fit(x, y);
+  const std::vector<double> batched = model.predict(x);
+  ASSERT_EQ(batched.size(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    EXPECT_EQ(batched[i], model.predict_one(x.row(i))) << "row " << i;
+}
+
+TEST(Attention, StridedViewFitMatchesDenseFit) {
+  // Feeding the same samples through a strided RowBatch view (window
+  // chunks gathered from a wider table) must match the dense fit bit
+  // for bit — this is the contract the forecasting window cache relies
+  // on.
+  Rng rng(13);
+  const std::size_t n = 97, m = 3, width = 2, stride = 5;
+  Matrix table(n * m, stride);  // each sample: m rows of a 5-wide table
+  for (std::size_t r = 0; r < table.rows(); ++r)
+    for (std::size_t c = 0; c < stride; ++c) table(r, c) = rng.uniform(-1, 1);
+  std::vector<const double*> base(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = table.row(i * m).data();
+  const RowBatch views{base, m, width, stride};
+
+  Matrix dense(n, m * width);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    views.gather(i, dense.row(i).data());
+    y[i] = 60.0 + 2.0 * dense(i, (m - 1) * width) + dense(i, (m - 2) * width);
+  }
+
+  AttentionForecaster a(int(m), int(width), fast_params(21));
+  AttentionForecaster b(int(m), int(width), fast_params(21));
+  a.fit(views, y);
+  b.fit(dense, y);
+  const std::vector<double> pa = a.predict(views);
+  const std::vector<double> pb = b.predict(dense);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(pa[i], pb[i]) << "row " << i;
+}
+
 TEST(Attention, InputValidation) {
   AttentionForecaster model(3, 2, fast_params());
   Matrix wrong(4, 5);  // should be 3*2 = 6 columns

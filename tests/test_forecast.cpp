@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "analysis/window_cache.hpp"
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "exec/exec.hpp"
 #include "ml/metrics.hpp"
 #include "synthetic.hpp"
 
@@ -31,6 +36,119 @@ TEST(Forecast, FeatureSetSizesAndNames) {
   EXPECT_EQ(names[15], "IO_RT_FLIT_TOT");
   EXPECT_EQ(names[19], "SYS_RT_FLIT_TOT");
   EXPECT_STREQ(to_string(FeatureSet::AppPlacementIo), "app+placement+io");
+}
+
+TEST(Forecast, FeatureVectorsSyncWithNamesAcrossAllSets) {
+  // The names list, the advertised count, and the values step_features
+  // actually writes must agree for every feature set — and each narrower
+  // set must be an exact column prefix of the superset (the property the
+  // window cache's shared tables rely on).
+  testutil::SyntheticSpec spec;
+  spec.runs = 2;
+  spec.steps = 6;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const auto& run = ds.runs[0];
+
+  std::vector<double> superset(std::size_t(superset_feature_count()),
+                               std::numeric_limits<double>::quiet_NaN());
+  step_features(run, 1, FeatureSet::AppPlacementIoSys, superset);
+
+  for (FeatureSet fs : {FeatureSet::App, FeatureSet::AppPlacement,
+                        FeatureSet::AppPlacementIo, FeatureSet::AppPlacementIoSys}) {
+    const std::size_t F = std::size_t(feature_count(fs));
+    EXPECT_EQ(feature_names(fs).size(), F) << to_string(fs);
+    std::vector<double> out(F, std::numeric_limits<double>::quiet_NaN());
+    step_features(run, 1, fs, out);
+    for (std::size_t i = 0; i < F; ++i) {
+      EXPECT_TRUE(std::isfinite(out[i])) << to_string(fs) << " feature " << i;
+      EXPECT_EQ(out[i], superset[i]) << to_string(fs) << " is not a prefix at " << i;
+    }
+    // A too-small span is rejected rather than silently truncated.
+    std::vector<double> small(F - 1);
+    EXPECT_THROW(step_features(run, 1, fs, small), ContractError);
+  }
+}
+
+TEST(Forecast, WindowCacheMatchesLegacyWindows) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 8;
+  spec.steps = 14;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  const WindowConfig wcfg{3, 4, FeatureSet::AppPlacementIo};
+
+  const WindowData wd = build_windows(ds, wcfg);
+  const StepFeatureCache cache(ds);
+  const WindowIndex index = build_window_index(ds, cache, wcfg.m, wcfg.k);
+  ASSERT_EQ(index.size(), wd.y.size());
+  EXPECT_EQ(index.run_of, wd.run_of);
+  EXPECT_EQ(index.y, wd.y);
+  EXPECT_EQ(index.persistence, wd.persistence);
+
+  // Strided views gather bit-identically to the materialized rows.
+  const WindowViews views = make_window_views(cache, index, wcfg.features);
+  const ml::RowBatch batch = views.all();
+  ASSERT_EQ(batch.size(), wd.x.rows());
+  ASSERT_EQ(batch.row_len(), wd.x.cols());
+  std::vector<double> row(batch.row_len());
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    batch.gather(w, row.data());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      ASSERT_EQ(row[c], wd.x(w, c)) << "window " << w << " col " << c;
+  }
+}
+
+TEST(Forecast, GridAndImportanceBitIdenticalAcrossThreadCounts) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 18;
+  spec.steps = 14;
+  spec.phi = 0.8;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  ForecastConfig fcfg = fast_config();
+  fcfg.attention.epochs = 8;
+  const WindowConfig cells[] = {{2, 3, FeatureSet::App},
+                                {4, 3, FeatureSet::App},
+                                {4, 3, FeatureSet::AppPlacementIoSys}};
+  const WindowConfig icfg{3, 3, FeatureSet::App};
+
+  std::vector<std::vector<ForecastGridCell>> grids;
+  std::vector<std::vector<double>> imps;
+  for (int threads : {1, 2, 8}) {
+    exec::ThreadPool::instance().resize(threads);
+    grids.push_back(evaluate_forecast_grid(ds, cells, fcfg));
+    imps.push_back(forecast_feature_importance(ds, icfg, fcfg));
+  }
+  exec::ThreadPool::instance().resize(4);
+
+  for (std::size_t v = 1; v < grids.size(); ++v) {
+    ASSERT_EQ(grids[v].size(), grids[0].size());
+    for (std::size_t i = 0; i < grids[0].size(); ++i) {
+      EXPECT_EQ(grids[v][i].eval.mape_attention, grids[0][i].eval.mape_attention)
+          << "cell " << i << " variant " << v;
+      EXPECT_EQ(grids[v][i].eval.mape_persistence, grids[0][i].eval.mape_persistence);
+      EXPECT_EQ(grids[v][i].eval.mape_mean, grids[0][i].eval.mape_mean);
+      EXPECT_EQ(grids[v][i].eval.windows, grids[0][i].eval.windows);
+    }
+    ASSERT_EQ(imps[v].size(), imps[0].size());
+    for (std::size_t f = 0; f < imps[0].size(); ++f)
+      EXPECT_EQ(imps[v][f], imps[0][f]) << "importance " << f << " variant " << v;
+  }
+}
+
+TEST(Forecast, TooFewWindowsForFoldsReportsShape) {
+  testutil::SyntheticSpec spec;
+  spec.runs = 1;
+  spec.steps = 9;
+  const sim::Dataset ds = testutil::make_planted_dataset(spec);
+  ForecastConfig fcfg = fast_config();
+  fcfg.folds = 4;  // 1 run x few windows cannot fill 2*4 windows
+  try {
+    (void)evaluate_forecast(ds, WindowConfig{4, 4, FeatureSet::App}, fcfg);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("folds"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(m=4, k=4)"), std::string::npos) << msg;
+  }
 }
 
 TEST(Forecast, WindowConstruction) {
