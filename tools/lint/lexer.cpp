@@ -1,0 +1,183 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace dfv::lint {
+namespace {
+
+bool id_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool id_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-character punctuation, longest-match-first.
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    ".*",
+};
+
+/// Parse a `dfv-lint: allow(rule[,rule...])[: reason]` comment body. The
+/// directive must start the comment (directly after the `//`), so prose that
+/// merely mentions the syntax is not a directive.
+bool parse_allow(const std::string& comment, int line, std::vector<Suppression>& out) {
+  const std::string marker = "dfv-lint:";
+  std::size_t at = 2;  // skip the leading "//"
+  while (at < comment.size() && std::isspace(static_cast<unsigned char>(comment[at]))) ++at;
+  if (comment.compare(at, marker.size(), marker) != 0) return false;
+  std::size_t i = at + marker.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  const std::string verb = "allow";
+  if (comment.compare(i, verb.size(), verb) != 0) return false;
+  i += verb.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  if (i >= comment.size() || comment[i] != '(') return false;
+  ++i;
+  Suppression sup;
+  sup.line = line;
+  std::string rule;
+  for (; i < comment.size() && comment[i] != ')'; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      if (!rule.empty()) sup.rules.push_back(rule);
+      rule.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule.push_back(c);
+    }
+  }
+  if (!rule.empty()) sup.rules.push_back(rule);
+  if (i < comment.size()) ++i;  // ')'
+  // A reason is any non-trivial text after the closing paren (conventionally
+  // introduced with ':').
+  std::size_t reason_chars = 0;
+  for (; i < comment.size(); ++i) {
+    const char c = comment[i];
+    if (!std::isspace(static_cast<unsigned char>(c)) && c != ':' && c != '-') ++reason_chars;
+  }
+  sup.has_reason = reason_chars >= 3;
+  out.push_back(sup);
+  return true;
+}
+
+}  // namespace
+
+FileTokens lex(const std::string& content) {
+  FileTokens ft;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_code = false;  // tracks "only whitespace so far on this line"
+
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the logical line (with \-continuations).
+    if (c == '#' && !line_has_code) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      line_has_code = true;
+      continue;
+    }
+    line_has_code = true;
+    // Line comment — may carry a suppression directive.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && content[i] != '\n') ++i;
+      parse_allow(content.substr(start, i - start), line, ft.sups);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') newline();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim.push_back(content[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = content.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (content[k] == '\n') newline();
+      ft.toks.push_back({TokKind::Str, "R\"...\"", line});
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') newline();
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      ft.toks.push_back({TokKind::Str, quote == '"' ? "\"...\"" : "'...'", start_line});
+      continue;
+    }
+    if (id_start(c)) {
+      std::size_t j = i;
+      while (j < n && id_char(content[j])) ++j;
+      ft.toks.push_back({TokKind::Id, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      std::size_t j = i;
+      // pp-number: digits, letters, dots, quotes-as-separators, exponent signs.
+      while (j < n && (id_char(content[j]) || content[j] == '.' || content[j] == '\'' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                         content[j - 1] == 'p' || content[j - 1] == 'P'))))
+        ++j;
+      ft.toks.push_back({TokKind::Num, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: longest multi-char match first.
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (content.compare(i, len, op) == 0) {
+        ft.toks.push_back({TokKind::Punct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    ft.toks.push_back({TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return ft;
+}
+
+}  // namespace dfv::lint

@@ -1,0 +1,47 @@
+// dfv-lint lexical layer: a lightweight C++ tokenizer sufficient for the
+// project's rule checks — no preprocessing, no semantic analysis.
+//
+// The lexer produces a flat token stream (identifiers, numbers, strings,
+// punctuation) with line numbers, skips comments and preprocessor
+// directives, and extracts `// dfv-lint: allow(<rule>[,<rule>...]): reason`
+// suppression comments so the rule engine can honor them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dfv::lint {
+
+enum class TokKind {
+  Id,     ///< identifier or keyword
+  Num,    ///< numeric literal
+  Str,    ///< string or character literal (text not retained)
+  Punct,  ///< operator / punctuation (multi-char ops are one token)
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// One `// dfv-lint: allow(...)` comment. Applies to diagnostics on its own
+/// line and on the following line (so it can trail the code or precede it).
+struct Suppression {
+  int line = 0;
+  std::vector<std::string> rules;
+  bool has_reason = false;  ///< text after `allow(...)`: explains why
+  bool used = false;        ///< set by the rule engine when it suppresses
+};
+
+struct FileTokens {
+  std::vector<Tok> toks;
+  std::vector<Suppression> sups;
+};
+
+/// Tokenize `content`. Comments, string bodies, and preprocessor lines are
+/// consumed but not emitted; suppression comments are collected.
+[[nodiscard]] FileTokens lex(const std::string& content);
+
+}  // namespace dfv::lint

@@ -1,0 +1,64 @@
+// dfv-lint — project-native static analysis for the dragonfly-variability
+// tree. Enforces the determinism, contract, and API-hygiene invariants that
+// the runtime bit-identity tests can only catch late (or not at all):
+//
+//   no-rand          banned nondeterministic RNG (std::rand, *rand48, ...)
+//   random-device    std::random_device outside src/common/rng.*
+//   wall-clock       wall-clock reads (system_clock, time(), localtime, ...)
+//                    — steady_clock is allowed (duration-only, not a result)
+//   unordered-iter   iterating an unordered container (order is
+//                    implementation-defined; sort before data escapes)
+//   parallel-mutate  mutating captured (shared) state inside an
+//                    exec::parallel_* body outside the arena/slot idioms
+//   contract         public entry points in analysis/ml/sim must validate
+//                    inputs via DFV_CHECK* (or delegate to .validate())
+//   narrow           casts to narrow integral types must go through
+//                    DFV_NARROW / dfv::narrow_cast (or enum_int for enums)
+//   nodiscard        value-returning functions in public src/ headers must
+//                    be [[nodiscard]]
+//
+// Meta rules (not suppressible):
+//   allow-reason     a `dfv-lint: allow(...)` without a justification
+//   unused-allow     a suppression that suppressed nothing
+//   unknown-rule     a suppression naming a rule that does not exist
+//
+// Suppression syntax, on the offending line or the line before it:
+//   // dfv-lint: allow(rule-id): why this is safe
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfv::lint {
+
+struct Diagnostic {
+  std::string file;  ///< path as passed in (repo-relative in normal runs)
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Catalog of every rule (including meta rules), for --list-rules and docs.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Lint one file. `rel_path` is the path relative to the repo root (used for
+/// path-scoped rules) and is the path reported in diagnostics.
+/// `header_content` is the text of the sibling header for .cpp files in
+/// contract-scoped directories (empty if none) — used to decide which
+/// function definitions are public entry points.
+[[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                                const std::string& content,
+                                                const std::string& header_content = {});
+
+/// Walk `root`'s source dirs (src, tools, tests, bench by default; or the
+/// given relative paths), lint every .hpp/.cpp, and return all diagnostics
+/// sorted by (file, line). Directories named lint_fixtures are skipped.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(const std::string& root,
+                                                const std::vector<std::string>& paths);
+
+}  // namespace dfv::lint

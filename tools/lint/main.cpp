@@ -1,0 +1,63 @@
+// dfv-lint command-line driver.
+//
+//   dfv-lint [--root DIR] [--counts] [--list-rules] [paths...]
+//
+// Lints .hpp/.cpp files under the given repo-relative paths (default:
+// src tools tests bench), prints clang-style diagnostics, and exits
+// non-zero if any violation is found. `--counts` appends a per-rule
+// summary (consumed by scripts/lint.sh).
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool counts = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--counts") {
+      counts = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : dfv::lint::rule_catalog())
+        std::cout << r.id << "\t" << r.summary << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dfv-lint [--root DIR] [--counts] [--list-rules] [paths...]\n"
+                << "lints .hpp/.cpp under repo-relative paths (default: src tools "
+                   "tests bench)\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dfv-lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  const std::vector<dfv::lint::Diagnostic> diags = dfv::lint::lint_tree(root, paths);
+  for (const auto& d : diags)
+    std::cout << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message
+              << "\n";
+  if (counts) {
+    std::map<std::string, int> per_rule;
+    for (const auto& d : diags) ++per_rule[d.rule];
+    for (const auto& r : dfv::lint::rule_catalog())
+      std::cout << "count\t" << r.id << "\t"
+                << (per_rule.count(r.id) ? per_rule.at(r.id) : 0) << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "dfv-lint: " << diags.size() << " violation"
+              << (diags.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}

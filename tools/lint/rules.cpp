@@ -1,0 +1,753 @@
+// Rule engine for dfv-lint. Works on the token stream from lexer.cpp plus a
+// lightweight scope model (namespace/class brace tracking) — deliberately no
+// full C++ parse: every rule is a conservative pattern over tokens, with the
+// `// dfv-lint: allow(rule): reason` escape hatch for the genuine idioms.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace dfv::lint {
+namespace {
+
+using Toks = std::vector<Tok>;
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers.
+
+bool is(const Toks& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool is_id(const Toks& t, std::size_t i) { return i < t.size() && t[i].kind == TokKind::Id; }
+
+/// Index of the punct matching `open` at t[i] (e.g. '(' -> ')'), or t.size().
+std::size_t match(const Toks& t, std::size_t i, const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == open) ++depth;
+    else if (t[j].text == close && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Skip an angle-bracket group starting at t[i] == "<". Returns the index
+/// one past the matching ">". `>>` closes two levels. Heuristic (no
+/// disambiguation against less-than), good enough for declaration contexts.
+std::size_t skip_angles(const Toks& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") ++depth;
+    else if (x == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (x == ";" || x == "{") {
+      return j;  // ran off the declaration: not a template group after all
+    }
+  }
+  return t.size();
+}
+
+const std::set<std::string>& specifier_set() {
+  static const std::set<std::string> s = {
+      "virtual", "static",   "inline", "constexpr", "consteval",
+      "explicit", "extern",  "mutable", "constinit",
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration parsing (for nodiscard / contract).
+
+struct FuncDecl {
+  bool is_func = false;
+  bool is_static = false;
+  bool is_deleted = false;
+  bool is_noexcept = false;
+  bool has_nodiscard = false;
+  bool returns_value = false;  ///< non-void, non-reference return
+  bool has_params = false;
+  bool has_ptr_params = false;  ///< any parameter is a raw pointer
+  std::string name;             ///< unqualified
+  int name_line = 0;
+};
+
+/// Parse the statement tokens [begin, end) as a (possible) function
+/// declaration or definition head. Conservative: anything that does not look
+/// like a plain function (operators, destructors, function pointers,
+/// friend/using/typedef statements) comes back with is_func = false.
+FuncDecl parse_func(const Toks& t, std::size_t begin, std::size_t end) {
+  FuncDecl d;
+  std::size_t i = begin;
+  // Strip template<...> prefixes, attributes, alignas, and specifiers.
+  while (i < end) {
+    if (is(t, i, "template") && is(t, i + 1, "<")) {
+      i = skip_angles(t, i + 1);
+    } else if (is(t, i, "[") && is(t, i + 1, "[")) {
+      std::size_t close = i;
+      int depth = 0;
+      for (std::size_t j = i; j < end; ++j) {
+        if (t[j].text == "[") ++depth;
+        else if (t[j].text == "]" && --depth == 0) { close = j; break; }
+      }
+      for (std::size_t j = i; j < close; ++j)
+        if (t[j].text == "nodiscard") d.has_nodiscard = true;
+      i = close + 1;
+      // `]]` is two `]` tokens; swallow the second if present.
+      if (is(t, i, "]")) ++i;
+    } else if (is(t, i, "alignas") && is(t, i + 1, "(")) {
+      i = match(t, i + 1, "(", ")") + 1;
+    } else if (is_id(t, i) && specifier_set().count(t[i].text)) {
+      if (t[i].text == "static") d.is_static = true;
+      ++i;
+    } else {
+      break;
+    }
+  }
+  if (i >= end) return d;
+  const std::string& head = t[i].text;
+  if (head == "using" || head == "typedef" || head == "friend" || head == "namespace" ||
+      head == "enum" || head == "class" || head == "struct" || head == "union" ||
+      head == "static_assert" || head == "public" || head == "private" ||
+      head == "protected" || head == "concept" || head == "requires")
+    return d;
+  // Find the parameter-list '(' at top level (outside any template args).
+  std::size_t lparen = end;
+  int angle = 0;
+  for (std::size_t j = i; j < end; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") ++angle;
+    else if (x == ">") angle = std::max(0, angle - 1);
+    else if (x == ">>") angle = std::max(0, angle - 2);
+    else if (x == "(" && angle == 0) { lparen = j; break; }
+    else if (x == "operator") return d;  // operators are exempt
+    else if (x == "=" && angle == 0) return d;  // variable initializer
+  }
+  if (lparen == end || lparen == i) return d;
+  if (!is_id(t, lparen - 1)) return d;  // function pointer / lambda / macro use
+  std::size_t name_at = lparen - 1;
+  if (name_at > begin && is(t, name_at - 1, "~")) return d;  // destructor
+  d.name = t[name_at].text;
+  d.name_line = t[name_at].line;
+  // Strip `Qualifier::` pairs to find where the return type ends.
+  std::size_t name_start = name_at;
+  while (name_start >= i + 2 && is(t, name_start - 1, "::") && is_id(t, name_start - 2))
+    name_start -= 2;
+  const bool ctor_like = name_start == i;  // no return type: ctor (or macro)
+  // Parameters.
+  const std::size_t rparen = match(t, lparen, "(", ")");
+  d.has_params =
+      rparen > lparen + 1 && !(rparen == lparen + 2 && is(t, lparen + 1, "void"));
+  for (std::size_t j = lparen + 1; j < rparen; ++j)
+    if (t[j].text == "*") d.has_ptr_params = true;
+  // Return type classification.
+  if (!ctor_like) {
+    std::size_t rbegin = i, rend = name_start;
+    // Trailing return type wins if present.
+    for (std::size_t j = rparen; j < end; ++j) {
+      if (t[j].text == "->") { rbegin = j + 1; rend = end; break; }
+    }
+    bool is_void = (rend == rbegin + 1) && is(t, rbegin, "void");
+    bool is_ref = rend > rbegin && (t[rend - 1].text == "&" || t[rend - 1].text == "&&");
+    d.returns_value = rend > rbegin && !is_void && !is_ref;
+  }
+  for (std::size_t j = rparen; j < end; ++j) {
+    if (t[j].text == "delete") d.is_deleted = true;
+    if (t[j].text == "noexcept") d.is_noexcept = true;
+  }
+  d.is_func = !ctor_like || d.has_params;  // param-taking ctors count
+  if (ctor_like) d.returns_value = false;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Scope walker: visits statements whose enclosing braces are all
+// namespace/class scopes (i.e. declarations and definition heads, not
+// statements inside function bodies).
+
+struct ScopeStmt {
+  std::size_t begin, end;  ///< declaration tokens [begin, end)
+  bool has_body = false;
+  std::size_t body_begin = 0, body_end = 0;  ///< indices of '{' and '}' tokens
+  bool in_anon_namespace = false;
+};
+
+enum class BraceKind { Namespace, AnonNamespace, Class };
+
+template <typename Fn>
+void walk_scope_stmts(const Toks& t, Fn&& cb) {
+  std::vector<BraceKind> stack;
+  int anon_depth = 0;
+  int paren_depth = 0;
+  std::size_t stmt = 0;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const std::string& x = t[i].text;
+    if (x == "(") {
+      ++paren_depth;
+      ++i;
+      continue;
+    }
+    if (x == ")") {
+      paren_depth = std::max(0, paren_depth - 1);
+      ++i;
+      continue;
+    }
+    if (x == "{" && paren_depth > 0) {
+      // Brace initializer inside a parameter list (`Params p = {}`): part of
+      // the declaration, not a body.
+      i = match(t, i, "{", "}") + 1;
+      continue;
+    }
+    if (x == ";" && paren_depth > 0) {
+      ++i;  // for(;;) style — not a declaration boundary
+      continue;
+    }
+    if (x == ";") {
+      cb(ScopeStmt{stmt, i, false, 0, 0, anon_depth > 0});
+      stmt = ++i;
+      continue;
+    }
+    if (x == ":" && i > 0 &&
+        (is(t, i - 1, "public") || is(t, i - 1, "private") || is(t, i - 1, "protected"))) {
+      stmt = ++i;
+      continue;
+    }
+    if (x == "}") {
+      if (!stack.empty()) {
+        if (stack.back() == BraceKind::AnonNamespace) --anon_depth;
+        stack.pop_back();
+      }
+      stmt = ++i;
+      continue;
+    }
+    if (x != "{") {
+      ++i;
+      continue;
+    }
+    // Classify the '{' from the statement head.
+    std::size_t h = stmt;
+    bool has_paren = false;
+    {
+      int angle = 0;
+      for (std::size_t j = stmt; j < i; ++j) {
+        if (t[j].text == "<") ++angle;
+        else if (t[j].text == ">") angle = std::max(0, angle - 1);
+        else if (t[j].text == ">>") angle = std::max(0, angle - 2);
+        else if (t[j].text == "(" && angle == 0) {
+          if (j > stmt && is(t, j - 1, "alignas")) { j = match(t, j, "(", ")"); continue; }
+          has_paren = true;
+        }
+      }
+    }
+    // Skip attributes / template prefix for the head keyword.
+    while (h < i) {
+      if (is(t, h, "template") && is(t, h + 1, "<")) h = skip_angles(t, h + 1);
+      else if (is(t, h, "[")) {
+        std::size_t c = match(t, h, "[", "]");
+        h = c + 1;
+        if (is(t, h, "]")) ++h;
+      } else break;
+    }
+    const std::string head = h < i ? t[h].text : "";
+    if (head == "namespace") {
+      const bool anon = h + 1 == i;  // `namespace {`
+      stack.push_back(anon ? BraceKind::AnonNamespace : BraceKind::Namespace);
+      if (anon) ++anon_depth;
+      stmt = ++i;
+      continue;
+    }
+    if ((head == "class" || head == "struct" || head == "union") && !has_paren) {
+      stack.push_back(BraceKind::Class);
+      stmt = ++i;
+      continue;
+    }
+    if (head == "enum") {  // jump the enumerator list
+      i = match(t, i, "{", "}") + 1;
+      stmt = i;
+      continue;
+    }
+    // Function definition or brace initializer: emit with body and jump it.
+    const std::size_t close = match(t, i, "{", "}");
+    cb(ScopeStmt{stmt, i, true, i, close, anon_depth > 0});
+    i = close + 1;
+    stmt = i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping.
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+bool ends_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules: banned identifiers (no-rand, random-device, wall-clock).
+
+/// True when t[i] is written as a member access (x.time, p->rand).
+bool member_access(const Toks& t, std::size_t i) {
+  return i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+/// True when t[i] reads as a declaration of that name (`double time(...)`).
+bool decl_position(const Toks& t, std::size_t i) {
+  if (i == 0) return false;
+  const std::string& p = t[i - 1].text;
+  return t[i - 1].kind == TokKind::Id || p == ">" || p == "*" || p == "&" || p == "&&" ||
+         p == "~";
+}
+
+/// Bare or std::-qualified use (not foo::time, not x.time, not a declaration).
+bool bare_or_std(const Toks& t, std::size_t i) {
+  if (member_access(t, i)) return false;
+  if (i > 0 && t[i - 1].text == "::") return i >= 2 && t[i - 2].text == "std";
+  return !decl_position(t, i);
+}
+
+void rule_banned_ids(const std::string& rel, const Toks& t, std::vector<Diagnostic>& out) {
+  static const std::set<std::string> rand_fns = {
+      "rand",   "srand",   "rand_r",  "drand48", "erand48", "lrand48",
+      "nrand48", "mrand48", "jrand48", "random",  "srandom",
+  };
+  static const std::set<std::string> time_fns = {
+      "time", "clock", "gettimeofday", "localtime", "localtime_r",
+      "gmtime", "gmtime_r", "mktime", "ctime", "asctime",
+  };
+  const bool rng_home = starts_with(rel, "src/common/rng");
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Id) continue;
+    const std::string& x = t[i].text;
+    if (rand_fns.count(x) && is(t, i + 1, "(") && bare_or_std(t, i)) {
+      out.push_back({rel, t[i].line, "no-rand",
+                     "'" + x + "' is nondeterministic; draw from dfv::Rng substreams "
+                     "(common/rng.hpp) instead"});
+    } else if (x == "random_device" && !rng_home) {
+      out.push_back({rel, t[i].line, "random-device",
+                     "std::random_device outside common/rng breaks run-to-run "
+                     "reproducibility; seed through dfv::Rng"});
+    } else if (x == "system_clock") {
+      out.push_back({rel, t[i].line, "wall-clock",
+                     "system_clock is wall-clock time; results must not depend on it "
+                     "(steady_clock is fine for durations)"});
+    } else if (time_fns.count(x) && is(t, i + 1, "(") && bare_or_std(t, i)) {
+      out.push_back({rel, t[i].line, "wall-clock",
+                     "'" + x + "' reads the wall clock; results must not depend on it"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iter.
+
+void rule_unordered_iter(const std::string& rel, const Toks& t,
+                         std::vector<Diagnostic>& out) {
+  static const std::set<std::string> unordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!unordered.count(t[i].text)) continue;
+    std::size_t j = i + 1;
+    if (is(t, j, "<")) j = skip_angles(t, j);
+    while (is(t, j, "&") || is(t, j, "*") || is(t, j, "const")) ++j;
+    if (is_id(t, j) && !is(t, j + 1, "(")) names.insert(t[j].text);
+  }
+  if (names.empty()) return;
+  auto flag = [&](int line, const std::string& name) {
+    out.push_back({rel, line, "unordered-iter",
+                   "iteration order of unordered container '" + name +
+                       "' is implementation-defined; sort before the data escapes "
+                       "into results"});
+  };
+  // Pass 2: range-for over such a name, or explicit .begin()/.cbegin().
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is(t, i, "for") && is(t, i + 1, "(")) {
+      const std::size_t rp = match(t, i + 1, "(", ")");
+      std::size_t colon = rp;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < rp; ++j) {
+        if (t[j].text == "(") ++depth;
+        else if (t[j].text == ")") --depth;
+        else if (t[j].text == ":" && depth == 1) { colon = j; break; }
+      }
+      for (std::size_t j = colon + 1; j < rp; ++j)
+        if (is_id(t, j) && names.count(t[j].text)) { flag(t[i].line, t[j].text); break; }
+    } else if (is_id(t, i) && names.count(t[i].text) && is(t, i + 1, ".") &&
+               (is(t, i + 2, "begin") || is(t, i + 2, "cbegin")) && is(t, i + 3, "(")) {
+      flag(t[i].line, t[i].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parallel-mutate.
+
+/// Collect names declared inside a token range (statement-level heuristic:
+/// `[const] Type[<...>] [&*] name [= ...]`, `auto [a, b] = ...`, for-inits).
+void collect_local_decls(const Toks& t, std::size_t begin, std::size_t end,
+                         std::set<std::string>& locals) {
+  static const std::set<std::string> not_types = {
+      "return", "if", "else", "for", "while", "do", "switch", "case", "break",
+      "continue", "goto", "throw", "new", "delete", "using", "typedef", "sizeof",
+      "co_return", "co_await", "co_yield", "else"};
+  std::size_t s = begin;  // statement start
+  for (std::size_t i = begin; i <= end; ++i) {
+    const bool boundary = i == end || t[i].text == ";" || t[i].text == "{" ||
+                          t[i].text == "}" ||
+                          (t[i].text == "(" && i > begin && is(t, i - 1, "for"));
+    if (!boundary) continue;
+    // Try to parse [s, i) as a declaration.
+    std::size_t j = s;
+    while (is(t, j, "const") || is(t, j, "static") || is(t, j, "constexpr")) ++j;
+    if (j < i && is_id(t, j) && !not_types.count(t[j].text)) {
+      std::size_t k = j + 1;
+      while (is(t, k, "::") && is_id(t, k + 1)) k += 2;
+      if (is(t, k, "<")) k = skip_angles(t, k);
+      while (is(t, k, "&") || is(t, k, "*") || is(t, k, "const") || is(t, k, "&&")) ++k;
+      if (is(t, k, "[")) {  // structured binding: auto [a, b] = ...
+        const std::size_t close = match(t, k, "[", "]");
+        for (std::size_t m = k + 1; m < close && m < i; ++m)
+          if (is_id(t, m)) locals.insert(t[m].text);
+      } else if (is_id(t, k) && k + 1 <= i &&
+                 (k + 1 == i || t[k + 1].text == "=" || t[k + 1].text == ";" ||
+                  t[k + 1].text == "{" || t[k + 1].text == "(" || t[k + 1].text == ",")) {
+        locals.insert(t[k].text);
+        // Extra declarators: `int a = 1, b = 2;`
+        int depth = 0;
+        for (std::size_t m = k + 1; m < i; ++m) {
+          const std::string& x = t[m].text;
+          if (x == "(" || x == "[" || x == "{") ++depth;
+          else if (x == ")" || x == "]" || x == "}") --depth;
+          else if (x == "," && depth == 0 && is_id(t, m + 1)) locals.insert(t[m + 1].text);
+        }
+      }
+    }
+    s = i + 1;
+  }
+}
+
+void rule_parallel_mutate(const std::string& rel, const Toks& t,
+                          std::vector<Diagnostic>& out) {
+  static const std::set<std::string> parallel_fns = {"parallel_for", "parallel_map",
+                                                     "parallel_reduce"};
+  static const std::set<std::string> mutators = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace", "emplace_hint",
+      "erase", "clear", "resize", "assign", "reserve"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_id(t, i) || !parallel_fns.count(t[i].text)) continue;
+    std::size_t call = i + 1;
+    if (is(t, call, "<")) call = skip_angles(t, call);
+    if (!is(t, call, "(")) continue;
+    const std::size_t args_end = match(t, call, "(", ")");
+    // Find lambda bodies inside the argument list.
+    for (std::size_t j = call + 1; j < args_end; ++j) {
+      if (!is(t, j, "[")) continue;
+      if (!(is(t, j - 1, "(") || is(t, j - 1, ","))) continue;  // not a lambda intro
+      const std::size_t cap_end = match(t, j, "[", "]");
+      std::size_t k = cap_end + 1;
+      std::set<std::string> locals;
+      if (is(t, k, "(")) {  // parameter list
+        const std::size_t pe = match(t, k, "(", ")");
+        int depth = 0;
+        std::size_t seg_last_id = 0;
+        bool have_id = false, in_default = false;
+        for (std::size_t m = k + 1; m <= pe; ++m) {
+          const std::string& x = t[m].text;
+          if (x == "(" || x == "[" || x == "{" || x == "<") ++depth;
+          else if (x == "]" || x == "}" || x == ">" || (x == ")" && m != pe)) --depth;
+          else if (depth == 0 && x == "=") in_default = true;
+          else if (depth == 0 && (x == "," || m == pe)) {
+            if (have_id) locals.insert(t[seg_last_id].text);
+            have_id = false;
+            in_default = false;
+          } else if (depth == 0 && !in_default && t[m].kind == TokKind::Id) {
+            seg_last_id = m;
+            have_id = true;
+          }
+        }
+        k = pe + 1;
+      }
+      while (k < args_end && !is(t, k, "{") && !is(t, k, ",") && !is(t, k, ")")) ++k;
+      if (!is(t, k, "{")) continue;
+      const std::size_t body_end = match(t, k, "{", "}");
+      collect_local_decls(t, k + 1, body_end, locals);
+      // Flag mutating member calls whose base is not lambda-local.
+      for (std::size_t m = k + 1; m < body_end; ++m) {
+        if (!is_id(t, m) || !mutators.count(t[m].text)) continue;
+        if (!is(t, m + 1, "(")) continue;
+        if (m == 0 || (t[m - 1].text != "." && t[m - 1].text != "->")) continue;
+        // Walk back over `base(.mid)*` to the chain base.
+        std::size_t b = m - 2;
+        while (b >= 2 && is_id(t, b) && (t[b - 1].text == "." || t[b - 1].text == "->"))
+          b -= 2;
+        if (!is_id(t, b)) continue;  // element access like out[i].push_back: fine
+        // A `)` before the base is a control-flow paren (`for (...) v.push_back`),
+        // never a chain: chains land the walk on punctuation, caught above.
+        if (b > 0 && (t[b - 1].text == "]" || t[b - 1].text == "." ||
+                      t[b - 1].text == "->"))
+          continue;
+        const std::string& base = t[b].text;
+        if (base == "this" || locals.count(base)) continue;
+        out.push_back({rel, t[m].line, "parallel-mutate",
+                       "'" + base + "." + t[m].text +
+                           "' mutates captured state inside an exec::parallel_* body; "
+                           "use per-chunk slots or a documented arena idiom"});
+      }
+      j = body_end;
+    }
+    i = call;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: narrow.
+
+const std::set<std::string>& narrow_targets() {
+  // Integral types narrower than the tree's working widths. Plain char
+  // variants are excluded (the <cctype> `unsigned char` idiom is fine);
+  // data narrowing in this codebase uses the fixed-width names.
+  static const std::set<std::string> s = {
+      "int",      "short",    "unsigned short", "unsigned", "unsigned int",
+      "int8_t",   "int16_t",  "int32_t",        "uint8_t",  "uint16_t",
+      "uint32_t",
+  };
+  return s;
+}
+
+/// Join tokens [b, e) into a canonical type name, dropping std:: and const.
+std::string type_name(const Toks& t, std::size_t b, std::size_t e) {
+  std::string s;
+  for (std::size_t i = b; i < e; ++i) {
+    if (t[i].text == "std" || t[i].text == "::" || t[i].text == "const") continue;
+    if (!s.empty()) s += ' ';
+    s += t[i].text;
+  }
+  return s;
+}
+
+void rule_narrow(const std::string& rel, const Toks& t, std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is(t, i, "static_cast") && is(t, i + 1, "<")) {
+      const std::size_t close = skip_angles(t, i + 1);
+      if (close == t.size() || !is(t, close, "(")) continue;
+      const std::string ty = type_name(t, i + 2, close - 1);
+      if (narrow_targets().count(ty))
+        out.push_back({rel, t[i].line, "narrow",
+                       "static_cast to narrow integral '" + ty +
+                           "': use DFV_NARROW (checked) or dfv::enum_int for enums"});
+      i = close;
+    } else if (i + 2 < t.size() && is(t, i, "(")) {
+      // C-style cast: `(int) expr` — type tokens only inside the parens.
+      std::size_t j = i + 1;
+      while (j < t.size() && (is_id(t, j) || t[j].text == "::")) ++j;
+      if (!is(t, j, ")") || j == i + 1) continue;
+      const Tok& after = t[j + 1 < t.size() ? j + 1 : j];
+      const bool expr_follows = after.kind == TokKind::Id || after.kind == TokKind::Num ||
+                                after.text == "(";
+      const bool call_ctx = i > 0 && (t[i - 1].kind == TokKind::Id ||
+                                      t[i - 1].text == ")" || t[i - 1].text == "]" ||
+                                      t[i - 1].text == ">");
+      const std::string ty = type_name(t, i + 1, j);
+      if (expr_follows && !call_ctx && narrow_targets().count(ty))
+        out.push_back({rel, t[i].line, "narrow",
+                       "C-style cast to narrow integral '" + ty +
+                           "': use DFV_NARROW (checked) or dfv::enum_int for enums"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard (public src/ headers).
+
+void rule_nodiscard(const std::string& rel, const Toks& t, std::vector<Diagnostic>& out) {
+  walk_scope_stmts(t, [&](const ScopeStmt& s) {
+    const FuncDecl d = parse_func(t, s.begin, s.end);
+    if (!d.is_func || !d.returns_value || d.has_nodiscard || d.is_deleted) return;
+    if (d.name == "main") return;
+    out.push_back({rel, d.name_line, "nodiscard",
+                   "value-returning public function '" + d.name +
+                       "' should be [[nodiscard]] (ignoring the result is a bug)"});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rule: contract (public entry points in src/{analysis,ml,sim}/*.cpp).
+
+void rule_contract(const std::string& rel, const Toks& t, const std::string& header,
+                   std::vector<Diagnostic>& out) {
+  if (header.empty()) return;
+  // Names declared in the sibling header (over-approximate: any id before '(').
+  std::set<std::string> public_names;
+  {
+    const FileTokens h = lex(header);
+    for (std::size_t i = 0; i + 1 < h.toks.size(); ++i)
+      if (h.toks[i].kind == TokKind::Id && h.toks[i + 1].text == "(")
+        public_names.insert(h.toks[i].text);
+  }
+  walk_scope_stmts(t, [&](const ScopeStmt& s) {
+    if (!s.has_body || s.in_anon_namespace) return;
+    const FuncDecl d = parse_func(t, s.begin, s.end);
+    if (!d.is_func || d.is_static || !d.has_params) return;
+    if (!public_names.count(d.name)) return;
+    if (starts_with(d.name, "to_string")) return;
+    // noexcept entry points cannot throw ContractError; their inputs must be
+    // validated at the nearest throwing boundary instead.
+    if (d.is_noexcept) return;
+    // Raw-pointer kernels sit below the contract boundary: the value-typed
+    // Matrix/RowBatch/span layer above them owns the shape checks.
+    if (d.has_ptr_params) return;
+    // Trivial forwards (fewer than two statements) are exempt.
+    int stmts = 0;
+    bool checked = false;
+    for (std::size_t j = s.body_begin; j <= s.body_end && j < t.size(); ++j) {
+      if (t[j].text == ";") ++stmts;
+      if (t[j].kind == TokKind::Id &&
+          (t[j].text == "DFV_CHECK" || t[j].text == "DFV_CHECK_MSG" ||
+           t[j].text == "validate"))
+        checked = true;
+    }
+    if (stmts < 2 || checked) return;
+    out.push_back({rel, d.name_line, "contract",
+                   "public entry point '" + d.name +
+                       "' does not validate its inputs; add DFV_CHECK*/validate() "
+                       "or delegate to a checked overload"});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions + meta rules, and the per-file driver.
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : rule_catalog())
+    if (id == r.id) return true;
+  return false;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> rules = {
+      {"no-rand", "banned nondeterministic RNG (std::rand, *rand48, random, ...)"},
+      {"random-device", "std::random_device outside src/common/rng"},
+      {"wall-clock", "wall-clock reads (system_clock, time(), localtime, ...)"},
+      {"unordered-iter", "iteration over unordered containers (nondeterministic order)"},
+      {"parallel-mutate", "mutating captured state inside exec::parallel_* bodies"},
+      {"contract", "public analysis/ml/sim entry points must DFV_CHECK their inputs"},
+      {"narrow", "narrow integral casts must use DFV_NARROW / dfv::enum_int"},
+      {"nodiscard", "value-returning functions in public headers need [[nodiscard]]"},
+      {"allow-reason", "suppression comments must explain why (meta)"},
+      {"unused-allow", "suppression comments must actually suppress something (meta)"},
+      {"unknown-rule", "suppression names a rule that does not exist (meta)"},
+  };
+  return rules;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& rel_path, const std::string& content,
+                                  const std::string& header_content) {
+  FileTokens ft = lex(content);
+  std::vector<Diagnostic> raw;
+
+  rule_banned_ids(rel_path, ft.toks, raw);
+  rule_unordered_iter(rel_path, ft.toks, raw);
+  rule_parallel_mutate(rel_path, ft.toks, raw);
+  if (starts_with(rel_path, "src/") || starts_with(rel_path, "tools/"))
+    rule_narrow(rel_path, ft.toks, raw);
+  if (starts_with(rel_path, "src/") && ends_with(rel_path, ".hpp"))
+    rule_nodiscard(rel_path, ft.toks, raw);
+  if (ends_with(rel_path, ".cpp") &&
+      (starts_with(rel_path, "src/analysis/") || starts_with(rel_path, "src/ml/") ||
+       starts_with(rel_path, "src/sim/")))
+    rule_contract(rel_path, ft.toks, header_content, raw);
+
+  // Apply suppressions: an allow on line L covers lines L and L+1.
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : raw) {
+    bool suppressed = false;
+    for (Suppression& s : ft.sups) {
+      if (s.line != d.line && s.line + 1 != d.line) continue;
+      if (std::find(s.rules.begin(), s.rules.end(), d.rule) == s.rules.end()) continue;
+      s.used = true;
+      suppressed = true;
+      break;
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  // Meta rules (not suppressible by design).
+  for (const Suppression& s : ft.sups) {
+    bool all_known = true;
+    for (const std::string& r : s.rules)
+      if (!known_rule(r)) {
+        all_known = false;
+        kept.push_back({rel_path, s.line, "unknown-rule",
+                        "suppression names unknown rule '" + r + "'"});
+      }
+    if (!s.has_reason)
+      kept.push_back({rel_path, s.line, "allow-reason",
+                      "suppression has no justification; write "
+                      "`dfv-lint: allow(rule): why it is safe`"});
+    if (all_known && !s.used)
+      kept.push_back({rel_path, s.line, "unused-allow",
+                      "suppression did not match any diagnostic; remove it"});
+  }
+  std::sort(kept.begin(), kept.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const std::vector<std::string> defaults = {"src", "tools", "tests", "bench"};
+  for (const std::string& p : paths.empty() ? defaults : paths) {
+    const fs::path base = fs::path(root) / p;
+    if (fs::is_regular_file(base)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(base)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(base)) {
+      if (!e.is_regular_file()) continue;
+      const std::string rel = fs::relative(e.path(), root).generic_string();
+      if (rel.find("lint_fixtures") != std::string::npos) continue;
+      if (ends_with(rel, ".hpp") || ends_with(rel, ".cpp")) files.push_back(rel);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Diagnostic> all;
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string header;
+    if (ends_with(rel, ".cpp")) {
+      const fs::path hp = (fs::path(root) / rel).replace_extension(".hpp");
+      if (fs::exists(hp)) {
+        std::ifstream hin(hp);
+        std::stringstream hs;
+        hs << hin.rdbuf();
+        header = hs.str();
+      }
+    }
+    std::vector<Diagnostic> d = lint_file(rel, ss.str(), header);
+    all.insert(all.end(), d.begin(), d.end());
+  }
+  return all;
+}
+
+}  // namespace dfv::lint
