@@ -28,7 +28,7 @@ std::string cache_dir() {
 
 core::VariabilityStudy make_study() {
   set_log_level(LogLevel::Warn);
-  exec::configure_threads(0);  // size the pool from DFV_THREADS (or hardware)
+  (void)exec::configure_threads(0);  // size the pool from DFV_THREADS (or hardware)
   return core::VariabilityStudy(paper_campaign_config(), cache_dir());
 }
 

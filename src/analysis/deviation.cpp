@@ -80,6 +80,8 @@ CenteredSamples build_centered_samples(const sim::Dataset& ds) {
 }
 
 DeviationResult analyze_deviation(const sim::Dataset& ds, const DeviationConfig& config) {
+  DFV_CHECK_MSG(!ds.runs.empty(), "analyze_deviation: dataset has no runs");
+  DFV_CHECK(config.rfe.folds >= 1);
   const CenteredSamples samples = build_centered_samples(ds);
   // Bin the sample matrix once; every fold, RFE stage, and tree of the
   // CV pipeline shares this view through row-index views and feature

@@ -34,6 +34,7 @@ int feature_count(FeatureSet fs) noexcept {
 }
 
 std::vector<std::string> feature_names(FeatureSet fs) {
+  DFV_CHECK(int(fs) >= int(FeatureSet::App) && int(fs) <= int(FeatureSet::AppPlacementIoSys));
   std::vector<std::string> names;
   for (int c = 0; c < mon::kNumCounters; ++c)
     names.emplace_back(mon::counter_name(mon::counter_from_index(c)));
@@ -72,6 +73,7 @@ void step_features(const sim::RunRecord& run, int t, FeatureSet fs, std::span<do
 }
 
 WindowData build_windows(const sim::Dataset& ds, const WindowConfig& cfg) {
+  DFV_CHECK(cfg.m >= 1 && cfg.k >= 1);
   const StepFeatureCache cache(ds);
   const WindowIndex index = build_window_index(ds, cache, cfg.m, cfg.k);
   const WindowViews views = make_window_views(cache, index, cfg.features);
@@ -157,6 +159,7 @@ ForecastEval evaluate_forecast_cached(const StepFeatureCache& cache,
 
 ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
                                const ForecastConfig& fcfg) {
+  DFV_CHECK(wcfg.m >= 1 && wcfg.k >= 1 && fcfg.folds >= 1);
   const StepFeatureCache cache(ds);
   const WindowIndex index = build_window_index(ds, cache, wcfg.m, wcfg.k);
   return evaluate_forecast_cached(cache, index, dataset_mean_step(ds), wcfg, fcfg);
@@ -165,6 +168,8 @@ ForecastEval evaluate_forecast(const sim::Dataset& ds, const WindowConfig& wcfg,
 std::vector<ForecastGridCell> evaluate_forecast_grid(const sim::Dataset& ds,
                                                      std::span<const WindowConfig> cells,
                                                      const ForecastConfig& fcfg) {
+  DFV_CHECK(fcfg.folds >= 1);
+  for (const WindowConfig& c : cells) DFV_CHECK(c.m >= 1 && c.k >= 1);
   // Features and window indices are shared across the whole grid: the
   // cache is built once, and cells differing only in feature set reuse
   // the same (m, k) index (window admission never depends on features).
@@ -201,6 +206,7 @@ std::vector<ForecastGridCell> evaluate_forecast_grid(const sim::Dataset& ds,
 std::vector<double> forecast_feature_importance(const sim::Dataset& ds,
                                                 const WindowConfig& wcfg,
                                                 const ForecastConfig& fcfg) {
+  DFV_CHECK(wcfg.m >= 1 && wcfg.k >= 1);
   const StepFeatureCache cache(ds);
   const WindowIndex index = build_window_index(ds, cache, wcfg.m, wcfg.k);
   const WindowViews views = make_window_views(cache, index, wcfg.features);

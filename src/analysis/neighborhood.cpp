@@ -54,6 +54,7 @@ NeighborhoodResult analyze_neighborhood(const sim::Dataset& ds, double tau) {
 
 std::vector<int> blamed_users(const NeighborhoodResult& r, std::size_t top_k,
                               double min_mi) {
+  DFV_CHECK_MSG(min_mi >= 0.0, "mutual information is non-negative; min_mi must be too");
   std::vector<int> users;
   for (const UserScore& s : r.ranked) {
     if (users.size() >= top_k) break;

@@ -34,6 +34,8 @@ const double* RunFeatureTable::step_row(int t) const noexcept {
 }
 
 RunFeatureTable build_run_table(const sim::RunRecord& run) {
+  DFV_CHECK(run.step_counters.size() == run.step_times.size());
+  DFV_CHECK(run.step_ldms.size() == run.step_times.size());
   const int W = superset_feature_count();
   const int T = run.steps();
   RunFeatureTable out;
@@ -55,6 +57,7 @@ RunFeatureTable build_run_table(const sim::RunRecord& run) {
 StepFeatureCache::StepFeatureCache(const sim::Dataset& ds) {
   tables_.reserve(ds.runs.size());
   for (const auto& run : ds.runs) tables_.push_back(build_run_table(run));
+  DFV_CHECK(tables_.size() == ds.runs.size());
 }
 
 WindowIndex build_window_index(const sim::Dataset& ds, const StepFeatureCache& cache,
@@ -109,6 +112,8 @@ ml::RowBatch WindowViews::select(std::span<const std::size_t> idx,
 
 WindowViews make_window_views(const StepFeatureCache& cache, const WindowIndex& index,
                               FeatureSet fs) {
+  DFV_CHECK(index.m >= 1);
+  DFV_CHECK(feature_count(fs) <= superset_feature_count());
   WindowViews out;
   out.m = std::size_t(index.m);
   out.width = std::size_t(feature_count(fs));
@@ -120,6 +125,7 @@ WindowViews make_window_views(const StepFeatureCache& cache, const WindowIndex& 
 }
 
 ml::Matrix materialize(const ml::RowBatch& batch) {
+  DFV_CHECK(batch.size() == 0 || batch.row_len() > 0);
   // Append gathered rows instead of constructing rows x len up front:
   // the zero-fill of a pre-sized matrix costs a full extra memory pass.
   ml::Matrix out(0, batch.row_len());

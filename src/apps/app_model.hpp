@@ -87,13 +87,13 @@ class AppModel {
   [[nodiscard]] int num_steps() const { return info().time_steps; }
 };
 
-std::unique_ptr<AppModel> make_amg(int nodes);       ///< 128 or 512
-std::unique_ptr<AppModel> make_milc(int nodes);      ///< 128 or 512
-std::unique_ptr<AppModel> make_minivite(int nodes);  ///< 128
-std::unique_ptr<AppModel> make_umt(int nodes);       ///< 128
+[[nodiscard]] std::unique_ptr<AppModel> make_amg(int nodes);       ///< 128 or 512
+[[nodiscard]] std::unique_ptr<AppModel> make_milc(int nodes);      ///< 128 or 512
+[[nodiscard]] std::unique_ptr<AppModel> make_minivite(int nodes);  ///< 128
+[[nodiscard]] std::unique_ptr<AppModel> make_umt(int nodes);       ///< 128
 
 /// MILC with a custom step count: the paper's Fig. 12 runs a 620-step
 /// MILC production job on 128 nodes (1h45m) and forecasts its segments.
-std::unique_ptr<AppModel> make_milc_long(int nodes, int time_steps);
+[[nodiscard]] std::unique_ptr<AppModel> make_milc_long(int nodes, int time_steps);
 
 }  // namespace dfv::apps

@@ -25,15 +25,15 @@ struct Series {
 };
 
 /// Render one or more series as an ASCII line plot (distinct glyph per series).
-std::string line_plot(std::span<const Series> series, const PlotOptions& opts = {});
-std::string line_plot(const Series& s, const PlotOptions& opts = {});
-inline std::string line_plot(std::initializer_list<Series> series,
+[[nodiscard]] std::string line_plot(std::span<const Series> series, const PlotOptions& opts = {});
+[[nodiscard]] std::string line_plot(const Series& s, const PlotOptions& opts = {});
+[[nodiscard]] inline std::string line_plot(std::initializer_list<Series> series,
                              const PlotOptions& opts = {}) {
   return line_plot(std::span<const Series>(series.begin(), series.size()), opts);
 }
 
 /// Render labeled horizontal bars scaled to the maximum value.
-std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
+[[nodiscard]] std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
                       std::size_t width = 48, const std::string& title = {});
 
 }  // namespace dfv

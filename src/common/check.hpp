@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 namespace dfv {
 
@@ -29,12 +30,38 @@ namespace detail {
 }
 }  // namespace detail
 
+/// Checked integral narrowing: throws ContractError if the value does not
+/// round-trip (magnitude or sign lost). Use through DFV_NARROW so the intent
+/// is greppable and dfv-lint can see the annotation.
+template <typename To, typename From>
+[[nodiscard]] constexpr To narrow_cast(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "narrow_cast is for integral conversions");
+  const To out = static_cast<To>(v);
+  if (static_cast<From>(out) != v || ((out < To{}) != (v < From{})))
+    detail::contract_fail("narrowing lost value", "narrow_cast", 0, {});
+  return out;
+}
+
+/// The canonical enum -> index conversion. Value-preserving by definition
+/// (the enumerators are the type's domain), so exempt from the narrow rule.
+template <typename E>
+[[nodiscard]] constexpr int enum_int(E e) noexcept {
+  static_assert(std::is_enum_v<E>, "enum_int is for enums");
+  // dfv-lint: allow(narrow): enum -> int over the enumerator domain is value-preserving
+  return static_cast<int>(e);
+}
+
 }  // namespace dfv
 
 #define DFV_CHECK(cond)                                                     \
   do {                                                                      \
     if (!(cond)) ::dfv::detail::contract_fail(#cond, __FILE__, __LINE__, {}); \
   } while (0)
+
+/// Annotated narrowing conversion: `DFV_NARROW(int, big)` — checked at
+/// runtime, visible to dfv-lint's narrow rule as the sanctioned spelling.
+#define DFV_NARROW(To, v) (::dfv::narrow_cast<To>(v))
 
 #define DFV_CHECK_MSG(cond, msg)                                             \
   do {                                                                       \

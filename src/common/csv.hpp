@@ -21,12 +21,12 @@ struct Csv {
 };
 
 /// Write to a file (overwrites). Returns false on I/O failure.
-bool write_csv(const Csv& csv, const std::string& path);
+[[nodiscard]] bool write_csv(const Csv& csv, const std::string& path);
 
 /// Parse from a string. Handles quoted fields with embedded commas/quotes.
-Csv parse_csv(const std::string& text);
+[[nodiscard]] Csv parse_csv(const std::string& text);
 
 /// Read and parse a file; throws ContractError if the file cannot be read.
-Csv read_csv(const std::string& path);
+[[nodiscard]] Csv read_csv(const std::string& path);
 
 }  // namespace dfv

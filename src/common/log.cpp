@@ -1,12 +1,14 @@
 #include "common/log.hpp"
 
+#include "common/check.hpp"
+
 #include <atomic>
 #include <iostream>
 
 namespace dfv {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::atomic<int> g_level{enum_int(LogLevel::Info)};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -20,12 +22,12 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) noexcept { g_level.store(enum_int(level)); }
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < g_level.load()) return;
+  if (enum_int(level) < g_level.load()) return;
   std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::clog;
   os << "[dfv " << level_name(level) << "] " << msg << '\n';
 }

@@ -11,7 +11,7 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 /// Global minimum level; messages below it are discarded.
 void set_log_level(LogLevel level) noexcept;
-LogLevel log_level() noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
 
 /// Emit a message (used by the DFV_LOG_* macros; callable directly too).
 void log_message(LogLevel level, const std::string& msg);

@@ -13,7 +13,7 @@
 namespace dfv {
 
 /// SplitMix64: stateless 64-bit mix used for seeding and hashing.
-constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
@@ -21,7 +21,7 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 }
 
 /// Hash-combine two 64-bit values (used to derive substream seeds).
-constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
   std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
   return splitmix64(s);
 }
@@ -48,8 +48,8 @@ class Rng {
     return child;
   }
 
-  static constexpr result_type min() noexcept { return 0; }
-  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
 
   result_type operator()() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
@@ -64,38 +64,38 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double uniform() noexcept { return double((*this)() >> 11) * 0x1.0p-53; }
+  [[nodiscard]] double uniform() noexcept { return double((*this)() >> 11) * 0x1.0p-53; }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+  [[nodiscard]] double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
   /// Uniform integer in [0, n). Requires n > 0.
-  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
 
   /// Uniform integer in [lo, hi] inclusive.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Standard normal via Box–Muller (cached second draw).
-  double normal() noexcept;
-  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
 
   /// Log-normal: exp(N(mu, sigma)).
-  double lognormal(double mu, double sigma) noexcept;
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
 
   /// Exponential with given rate (mean = 1/rate).
-  double exponential(double rate) noexcept;
+  [[nodiscard]] double exponential(double rate) noexcept;
 
   /// Poisson-distributed count with given mean (Knuth for small, normal approx for large).
-  std::uint64_t poisson(double mean) noexcept;
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
 
   /// Bernoulli trial with probability p.
-  bool bernoulli(double p) noexcept { return uniform() < p; }
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
 
   /// Pareto (heavy-tailed) sample with scale xm > 0 and shape alpha > 0.
-  double pareto(double xm, double alpha) noexcept;
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
 
   /// Sample an index according to non-negative weights (linear scan).
-  std::size_t weighted_index(std::span<const double> weights) noexcept;
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) noexcept;
 
   /// Fisher–Yates shuffle.
   template <typename T>
@@ -108,10 +108,10 @@ class Rng {
   }
 
   /// Sample k distinct indices from [0, n) (k <= n), in random order.
-  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k) noexcept;
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k) noexcept;
 
  private:
-  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
 

@@ -4,7 +4,6 @@
 
 #include <cstddef>
 #include <span>
-#include <string>
 #include <vector>
 
 namespace dfv::stats {
@@ -21,30 +20,30 @@ struct Summary {
   double max = 0.0;
 };
 
-double mean(std::span<const double> xs);
-double variance(std::span<const double> xs);  ///< sample variance, 0 if n < 2
-double stddev(std::span<const double> xs);
-double min(std::span<const double> xs);
-double max(std::span<const double> xs);
-double sum(std::span<const double> xs);
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  ///< sample variance, 0 if n < 2
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+[[nodiscard]] double sum(std::span<const double> xs);
 
 /// Linear-interpolated percentile; q in [0, 1]. Sorts a copy.
-double percentile(std::span<const double> xs, double q);
-double median(std::span<const double> xs);
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+[[nodiscard]] double median(std::span<const double> xs);
 
-Summary summarize(std::span<const double> xs);
+[[nodiscard]] Summary summarize(std::span<const double> xs);
 
 /// Pearson correlation coefficient; 0 when either side is constant.
-double pearson(std::span<const double> xs, std::span<const double> ys);
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
 
 /// Spearman rank correlation (average ranks for ties).
-double spearman(std::span<const double> xs, std::span<const double> ys);
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
 
 /// Ranks with ties averaged, 1-based (as used by Spearman).
-std::vector<double> ranks(std::span<const double> xs);
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
 
 /// Coefficient of variation: stddev / mean (0 when mean == 0).
-double coeff_variation(std::span<const double> xs);
+[[nodiscard]] double coeff_variation(std::span<const double> xs);
 
 /// Welford-style streaming moments.
 class Online {
@@ -67,7 +66,7 @@ class Online {
 
 /// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
 /// the range are clamped into the boundary buckets.
-std::vector<std::size_t> histogram(std::span<const double> xs, double lo, double hi,
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs, double lo, double hi,
                                    std::size_t bins);
 
 }  // namespace dfv::stats

@@ -39,12 +39,12 @@ class Table {
 };
 
 /// Format a double with fixed precision, trimming to a compact width.
-std::string format_double(double v, int precision = 3);
+[[nodiscard]] std::string format_double(double v, int precision = 3);
 
 /// Format a double in engineering style (e.g. 1.2e+08) for counters.
-std::string format_sci(double v, int precision = 2);
+[[nodiscard]] std::string format_sci(double v, int precision = 2);
 
 /// Format bytes as a human-readable quantity (KiB/MiB/GiB).
-std::string format_bytes(double bytes);
+[[nodiscard]] std::string format_bytes(double bytes);
 
 }  // namespace dfv

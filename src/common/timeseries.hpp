@@ -22,7 +22,7 @@ class OuProcess {
       : theta_(theta), mu_(mu), sigma_(sigma), x_(x0) {}
 
   /// Advance by dt seconds and return the new value.
-  double step(double dt, Rng& rng) noexcept;
+  [[nodiscard]] double step(double dt, Rng& rng) noexcept;
 
   [[nodiscard]] double value() const noexcept { return x_; }
   void set_value(double x) noexcept { x_ = x; }
@@ -37,7 +37,7 @@ class Ar1 {
   Ar1(double phi, double noise_stddev, double x0 = 0.0) noexcept
       : phi_(phi), sigma_(noise_stddev), x_(x0) {}
 
-  double step(Rng& rng) noexcept;
+  [[nodiscard]] double step(Rng& rng) noexcept;
   [[nodiscard]] double value() const noexcept { return x_; }
 
  private:
@@ -45,16 +45,16 @@ class Ar1 {
 };
 
 /// Centered moving average with window 2*half+1 (shrinks at boundaries).
-std::vector<double> moving_average(std::span<const double> xs, std::size_t half);
+[[nodiscard]] std::vector<double> moving_average(std::span<const double> xs, std::size_t half);
 
 /// Subtract `mean_curve[i]` from `xs[i]` elementwise (sizes must match).
-std::vector<double> remove_mean_curve(std::span<const double> xs,
+[[nodiscard]] std::vector<double> remove_mean_curve(std::span<const double> xs,
                                       std::span<const double> mean_curve);
 
 /// Column means over a set of equal-length series: result[t] = mean_i series[i][t].
-std::vector<double> mean_curve(const std::vector<std::vector<double>>& series);
+[[nodiscard]] std::vector<double> mean_curve(const std::vector<std::vector<double>>& series);
 
 /// Lag-1 autocorrelation of a series (0 if too short or constant).
-double autocorrelation_lag1(std::span<const double> xs);
+[[nodiscard]] double autocorrelation_lag1(std::span<const double> xs);
 
 }  // namespace dfv

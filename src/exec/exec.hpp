@@ -118,7 +118,7 @@ class ThreadPool {
 
 /// Resize the global pool according to `resolve_threads(flag)` and return
 /// the resulting lane count (CLI plumbing for `--threads`).
-int configure_threads(int flag = 0);
+[[nodiscard]] int configure_threads(int flag = 0);
 
 /// Number of grain-sized chunks covering [0, n).
 [[nodiscard]] constexpr std::size_t num_chunks(std::size_t n, std::size_t grain) noexcept {

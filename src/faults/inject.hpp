@@ -44,6 +44,6 @@ struct InjectStats {
 /// fresh Rng seeded with `run_seed`. Dropout marks steps kQualityDropped
 /// (a stream gap is observable); wraparound and corruption are silent —
 /// detecting them is the repair layer's job, as in production.
-InjectStats inject_run(RunTelemetry run, const FaultSpec& spec, std::uint64_t run_seed);
+[[nodiscard]] InjectStats inject_run(RunTelemetry run, const FaultSpec& spec, std::uint64_t run_seed);
 
 }  // namespace dfv::faults

@@ -53,7 +53,7 @@ void impute_linear(std::span<double> values, std::span<const std::uint8_t> bad);
 ///  Keep   — no-op.
 /// `expected_steps` is the dataset's nominal step count; shorter runs are
 /// treated as truncated.
-RunRepairStats repair_run(RunTelemetry run, RepairPolicy policy, const RepairOptions& opt,
+[[nodiscard]] RunRepairStats repair_run(RunTelemetry run, RepairPolicy policy, const RepairOptions& opt,
                           int expected_steps);
 
 }  // namespace dfv::faults

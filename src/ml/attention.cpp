@@ -116,6 +116,7 @@ void AttentionForecaster::forward_slab(Workspace& ws, std::size_t rows) const {
   const std::size_t m = std::size_t(m_);
   const double inv_sqrt_d = 1.0 / std::sqrt(double(d));
   const std::size_t steps = rows * m;
+  DFV_CHECK(rows >= 1 && ws.xs.size() >= steps * f);
 
   // e_(b,i) = tanh(W_e x_(b,i) + b_e + p_i): all the slab's steps go
   // through the blocked kernels as one (rows*m) x f operand.
@@ -157,6 +158,7 @@ void AttentionForecaster::backward_slab(Workspace& ws, std::size_t rows) const {
   const std::size_t m = std::size_t(m_);
   const double inv_sqrt_d = 1.0 / std::sqrt(double(d));
   const std::size_t steps = rows * m;
+  DFV_CHECK(rows >= 1 && ws.xs.size() >= steps * f);
   const GradLayout L(m, d, h, f);
   double* g = ws.grad.data();
 
@@ -216,6 +218,7 @@ void AttentionForecaster::slab_reference(Workspace& ws, std::size_t rows) const 
   const double inv_sqrt_d = 1.0 / std::sqrt(double(d));
   const GradLayout L(m, d, h, f);
   double* g = ws.grad.data();
+  DFV_CHECK(rows >= 1 && ws.xs.size() >= rows * m * f);
 
   for (std::size_t b = 0; b < rows; ++b) {
     const double* xw = ws.xs.data() + b * m * f;
@@ -449,6 +452,7 @@ void AttentionForecaster::fit_impl(const RowBatch& x, std::span<const double> y,
 }
 
 void AttentionForecaster::fit(const Matrix& x, std::span<const double> y) {
+  DFV_CHECK(x.rows() == y.size());
   const auto ptrs = row_pointers(x);
   fit_impl(RowBatch{ptrs, 1, x.cols(), x.cols()}, y, /*batched=*/true);
 }
@@ -458,6 +462,7 @@ void AttentionForecaster::fit(const RowBatch& x, std::span<const double> y) {
 }
 
 void AttentionForecaster::fit_reference(const Matrix& x, std::span<const double> y) {
+  DFV_CHECK(x.rows() == y.size());
   const auto ptrs = row_pointers(x);
   fit_impl(RowBatch{ptrs, 1, x.cols(), x.cols()}, y, /*batched=*/false);
 }
@@ -509,6 +514,7 @@ std::vector<double> AttentionForecaster::predict(const RowBatch& x) const {
 }
 
 std::vector<double> AttentionForecaster::predict(const Matrix& x) const {
+  DFV_CHECK(x.cols() == std::size_t(m_) * std::size_t(feat_dim_));
   const auto ptrs = row_pointers(x);
   return predict(RowBatch{ptrs, 1, x.cols(), x.cols()});
 }
@@ -521,6 +527,7 @@ double AttentionForecaster::predict_one(std::span<const double> window) const {
 
 std::vector<double> AttentionForecaster::attention_weights(
     std::span<const double> window) const {
+  DFV_CHECK(window.size() == std::size_t(m_) * std::size_t(feat_dim_));
   const std::size_t d = std::size_t(params_.d_model);
   const std::size_t h = std::size_t(params_.d_hidden);
   const std::size_t f = std::size_t(feat_dim_);

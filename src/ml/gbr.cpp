@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "exec/exec.hpp"
 
@@ -90,12 +91,14 @@ void GradientBoostedRegressor::fit(const BinnedDataset& data, std::span<const do
 }
 
 double GradientBoostedRegressor::predict_one(std::span<const double> x) const {
+  DFV_CHECK(params_.learning_rate > 0.0);
   double s = f0_;
   for (const auto& t : trees_) s += params_.learning_rate * t.predict_one(x);
   return s;
 }
 
 std::vector<double> GradientBoostedRegressor::predict(const Matrix& x) const {
+  DFV_CHECK(params_.learning_rate > 0.0);
   std::vector<double> out(x.rows());
   exec::parallel_for(0, x.rows(), 128, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
@@ -105,6 +108,7 @@ std::vector<double> GradientBoostedRegressor::predict(const Matrix& x) const {
 
 double GradientBoostedRegressor::predict_binned(const BinnedDataset& data,
                                                 std::size_t r) const {
+  DFV_CHECK(r < data.rows());
   double s = f0_;
   for (const auto& t : trees_) s += params_.learning_rate * t.predict_binned(data, r);
   return s;
@@ -112,6 +116,7 @@ double GradientBoostedRegressor::predict_binned(const BinnedDataset& data,
 
 std::vector<double> GradientBoostedRegressor::predict_rows(
     const BinnedDataset& data, std::span<const std::size_t> rows) const {
+  DFV_CHECK(params_.learning_rate > 0.0);
   std::vector<double> out(rows.size());
   exec::parallel_for(0, rows.size(), 128, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) out[i] = predict_binned(data, rows[i]);

@@ -8,9 +8,7 @@
 // rebinning and no column-subset matrix copies anywhere.
 #pragma once
 
-#include <memory>
 
-#include "common/rng.hpp"
 #include "ml/binned.hpp"
 #include "ml/tree.hpp"
 

@@ -57,6 +57,7 @@ std::vector<FoldSplit> group_kfold(std::span<const std::size_t> groups, std::siz
 }
 
 void run_folds(std::size_t k, const std::function<void(std::size_t)>& fn) {
+  DFV_CHECK(fn != nullptr);
   exec::parallel_for(0, k, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t f = lo; f < hi; ++f) fn(f);
   });

@@ -51,6 +51,7 @@ double LinearRegression::predict_one(std::span<const double> x) const {
 }
 
 std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  DFV_CHECK(x.cols() == w_.size());
   std::vector<double> out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
   return out;

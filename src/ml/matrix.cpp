@@ -135,6 +135,7 @@ std::vector<double> Matrix::dot(std::span<const double> w) const {
 }
 
 std::vector<const double*> row_pointers(const Matrix& x) {
+  DFV_CHECK(x.rows() == 0 || x.cols() > 0);
   std::vector<const double*> out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) out[r] = x.row(r).data();
   return out;

@@ -64,7 +64,7 @@ class Matrix {
 /// Solve A x = b for symmetric positive-definite A via Cholesky; A is
 /// modified in place. Throws ContractError if A is not SPD (after the
 /// ridge term callers add, this indicates a logic error).
-std::vector<double> cholesky_solve(Matrix& a, std::vector<double> b);
+[[nodiscard]] std::vector<double> cholesky_solve(Matrix& a, std::vector<double> b);
 
 /// Non-owning batch of equally shaped sample rows. Logical row r is
 /// `groups` chunks of `width` contiguous doubles, chunk g starting at

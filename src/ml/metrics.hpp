@@ -8,14 +8,14 @@ namespace dfv::ml {
 
 /// Mean absolute percentage error in percent. Targets with |y| below
 /// `floor` are excluded (MAPE is undefined at zero).
-double mape(std::span<const double> y_true, std::span<const double> y_pred,
+[[nodiscard]] double mape(std::span<const double> y_true, std::span<const double> y_pred,
             double floor = 1e-12);
 
-double mae(std::span<const double> y_true, std::span<const double> y_pred);
-double rmse(std::span<const double> y_true, std::span<const double> y_pred);
+[[nodiscard]] double mae(std::span<const double> y_true, std::span<const double> y_pred);
+[[nodiscard]] double rmse(std::span<const double> y_true, std::span<const double> y_pred);
 
 /// Coefficient of determination; 1 is perfect, 0 matches predicting the
 /// mean, negative is worse than the mean.
-double r2(std::span<const double> y_true, std::span<const double> y_pred);
+[[nodiscard]] double r2(std::span<const double> y_true, std::span<const double> y_pred);
 
 }  // namespace dfv::ml

@@ -40,6 +40,7 @@ double mutual_information_binary(std::span<const double> xs, std::span<const dou
   return mutual_information(xi, yi);
 }
 
+// dfv-lint: allow(contract): total over all int sequences; empty input is defined as zero entropy
 double entropy(std::span<const int> xs) {
   if (xs.empty()) return 0.0;
   std::map<int, double> p;

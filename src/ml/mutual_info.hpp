@@ -9,12 +9,12 @@ namespace dfv::ml {
 
 /// MI in nats between two samples of non-negative small-integer labels
 /// (joint distribution estimated from co-occurrence counts).
-double mutual_information(std::span<const int> xs, std::span<const int> ys);
+[[nodiscard]] double mutual_information(std::span<const int> xs, std::span<const int> ys);
 
 /// Convenience for binary vectors stored as 0/1 doubles.
-double mutual_information_binary(std::span<const double> xs, std::span<const double> ys);
+[[nodiscard]] double mutual_information_binary(std::span<const double> xs, std::span<const double> ys);
 
 /// Entropy in nats of a discrete sample.
-double entropy(std::span<const int> xs);
+[[nodiscard]] double entropy(std::span<const int> xs);
 
 }  // namespace dfv::ml

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "exec/exec.hpp"
+#include "ml/kfold.hpp"
 #include "ml/linear.hpp"
 #include "ml/metrics.hpp"
 

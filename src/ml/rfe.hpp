@@ -6,7 +6,6 @@
 #pragma once
 
 #include "ml/gbr.hpp"
-#include "ml/kfold.hpp"
 
 namespace dfv::ml {
 

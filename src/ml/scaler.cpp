@@ -8,6 +8,7 @@
 namespace dfv::ml {
 
 void StandardScaler::fit(const Matrix& x) {
+  DFV_CHECK(x.rows() == 0 || x.cols() > 0);
   const std::size_t C = x.cols(), R = x.rows();
   mean_.assign(C, 0.0);
   std_.assign(C, 1.0);
@@ -30,6 +31,7 @@ void StandardScaler::fit(const Matrix& x) {
 }
 
 void StandardScaler::fit(const RowBatch& x) {
+  DFV_CHECK(x.size() == 0 || x.row_len() > 0);
   const std::size_t C = x.row_len(), R = x.size();
   mean_.assign(C, 0.0);
   std_.assign(C, 1.0);
@@ -61,12 +63,14 @@ void StandardScaler::transform(Matrix& x) const {
 }
 
 Matrix StandardScaler::fit_transform(Matrix x) {
+  DFV_CHECK(x.rows() == 0 || x.cols() > 0);
   fit(x);
   transform(x);
   return x;
 }
 
 void StandardScaler::fit_target(std::span<const double> y) {
+  DFV_CHECK(!y.empty());
   y_mean_ = stats::mean(y);
   const double s = stats::stddev(y);
   y_std_ = s > 0.0 ? s : 1.0;

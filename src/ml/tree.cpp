@@ -63,7 +63,7 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
     root_hist = &hist_arena_[0];
     scan_hist(0, n, *root_hist);
   }
-  build(0, n, 0, sum, root_hist);
+  (void)build(0, n, 0, sum, root_hist);  // root lands at node index 0
 
   // Release fit-time references; keep nodes/gains/fitted leaves.
   hist_arena_.clear();
@@ -75,6 +75,7 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
 }
 
 void RegressionTree::scan_hist(std::size_t begin, std::size_t end, Hist& h) const {
+  DFV_CHECK(data_ != nullptr && end <= samples_.size());
   const std::size_t F = data_->features();
   h.sum.assign(F * bins_, 0.0);
   h.cnt.assign(F * bins_, 0u);
@@ -225,6 +226,7 @@ double RegressionTree::predict_binned(const BinnedDataset& data, std::size_t r) 
 }
 
 std::vector<double> RegressionTree::predict(const Matrix& x) const {
+  DFV_CHECK(!nodes_.empty());
   std::vector<double> out(x.rows());
   exec::parallel_for(0, x.rows(), 512, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));

@@ -13,7 +13,6 @@
 #include <span>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "ml/binned.hpp"
 #include "ml/matrix.hpp"
 
@@ -86,7 +85,7 @@ class RegressionTree {
   };
 
   void scan_hist(std::size_t begin, std::size_t end, Hist& h) const;
-  std::int32_t build(std::size_t begin, std::size_t end, int depth, double node_sum,
+  [[nodiscard]] std::int32_t build(std::size_t begin, std::size_t end, int depth, double node_sum,
                      Hist* hist);
 
   // Fit-time state (released after fit).

@@ -41,7 +41,7 @@ constexpr const char* kSysNames[kNumSysFeatures] = {
 }  // namespace
 
 const CounterInfo& counter_info(Counter c) {
-  const int i = static_cast<int>(c);
+  const int i = enum_int(c);
   DFV_CHECK(i >= 0 && i < kNumCounters);
   return kCatalog[i];
 }

@@ -55,7 +55,7 @@ inline void add_into(CounterVec& acc, const CounterVec& v) {
   for (int i = 0; i < kNumCounters; ++i) acc[size_t(i)] += v[size_t(i)];
 }
 
-inline CounterVec zero_counters() {
+[[nodiscard]] inline CounterVec zero_counters() {
   CounterVec v{};
   return v;
 }

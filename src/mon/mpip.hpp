@@ -3,6 +3,8 @@
 #pragma once
 
 #include <array>
+
+#include "common/check.hpp"
 #include <string>
 
 namespace dfv::mon {
@@ -31,7 +33,7 @@ struct MpiProfile {
   std::array<double, kNumRoutines> routine_s{};
 
   void add_compute(double s) noexcept { compute_s += s; }
-  void add(MpiRoutine r, double s) noexcept { routine_s[std::size_t(static_cast<int>(r))] += s; }
+  void add(MpiRoutine r, double s) noexcept { routine_s[std::size_t(enum_int(r))] += s; }
   void add(const MpiProfile& other) noexcept;
 
   [[nodiscard]] double mpi_s() const noexcept;
@@ -39,7 +41,7 @@ struct MpiProfile {
   /// Fraction of total time spent inside MPI (0 when no time recorded).
   [[nodiscard]] double mpi_fraction() const noexcept;
   [[nodiscard]] double routine(MpiRoutine r) const noexcept {
-    return routine_s[std::size_t(static_cast<int>(r))];
+    return routine_s[std::size_t(enum_int(r))];
   }
 };
 

@@ -36,7 +36,7 @@ enum class TrafficPattern : std::uint8_t {
   Hotspot,           ///< 20% of traffic to one router, rest uniform
 };
 
-const char* to_string(TrafficPattern p) noexcept;
+[[nodiscard]] const char* to_string(TrafficPattern p) noexcept;
 
 /// Aggregate results of one DES run.
 struct PacketStats {

@@ -17,7 +17,7 @@ enum class RoutingPolicy : std::uint8_t {
   Ugal,     ///< adaptive: cheapest of sampled minimal and Valiant candidates
 };
 
-const char* to_string(RoutingPolicy p) noexcept;
+[[nodiscard]] const char* to_string(RoutingPolicy p) noexcept;
 
 /// Tuning knobs for adaptive path choice.
 struct RoutingParams {

@@ -16,7 +16,7 @@ namespace dfv::net {
 /// Link color/class as in the Cray XC dragonfly (Fig. 2 of the paper).
 enum class LinkType : std::uint8_t { Green, Black, Blue };
 
-const char* to_string(LinkType t) noexcept;
+[[nodiscard]] const char* to_string(LinkType t) noexcept;
 
 /// Endpoint/metadata record for one directed link.
 struct LinkInfo {

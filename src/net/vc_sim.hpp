@@ -53,7 +53,7 @@ struct VcStats {
   /// (request vs. response) — the VcSim analogue of PT/RT stall counters.
   std::vector<double> stall_cycles_rq;
   std::vector<double> stall_cycles_rs;
-  double total_stall_cycles() const;
+  [[nodiscard]] double total_stall_cycles() const;
 };
 
 class VcPacketSim {
@@ -98,7 +98,7 @@ class VcPacketSim {
   /// Credits currently available on (link, vc).
   [[nodiscard]] int credits(LinkId link, int vc) const;
   /// Try to advance a packet; returns true if it moved (or delivered).
-  bool try_advance(std::uint32_t id, double now);
+  [[nodiscard]] bool try_advance(std::uint32_t id, double now);
   void wake_waiters(LinkId link, int vc, double now);
 
   const Topology* topo_;

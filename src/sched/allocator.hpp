@@ -19,7 +19,7 @@ enum class AllocPolicy : std::uint8_t {
                ///< (approximates Slurm's behavior on a busy system)
 };
 
-const char* to_string(AllocPolicy p) noexcept;
+[[nodiscard]] const char* to_string(AllocPolicy p) noexcept;
 
 /// Tracks free/busy nodes and serves allocations.
 class NodeAllocator {

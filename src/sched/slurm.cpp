@@ -117,7 +117,9 @@ void SlurmSim::advance_to(double t) {
 }
 
 void SlurmSim::step_intensities(double dt) {
-  for (auto& j : running_) j.log_intensity.step(dt, rng_);
+  // Advance the OU state (and consume its RNG draw); the sample itself is
+  // only needed when the job's intensity is read.
+  for (auto& j : running_) (void)j.log_intensity.step(dt, rng_);
 }
 
 std::optional<int> SlurmSim::start_instrumented_job(const std::string& name, int nodes,

@@ -67,7 +67,7 @@ class SlurmSim {
   /// Allocate and start an instrumented job right now (at current time).
   /// Returns nullopt if the machine cannot fit it; callers should advance
   /// time and retry (mirroring queue wait).
-  std::optional<int> start_instrumented_job(const std::string& name, int nodes,
+  [[nodiscard]] std::optional<int> start_instrumented_job(const std::string& name, int nodes,
                                             int user_id);
   /// Placement of a running instrumented job.
   [[nodiscard]] const Placement& placement_of(int job_id) const;

@@ -28,7 +28,7 @@ enum class BgPattern : std::uint8_t {
   IoHeavy,          ///< most traffic flows to filesystem (I/O) routers
 };
 
-const char* to_string(BgPattern p) noexcept;
+[[nodiscard]] const char* to_string(BgPattern p) noexcept;
 
 /// Sustained traffic characteristics of one user's jobs.
 struct TrafficSpec {

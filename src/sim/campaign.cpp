@@ -30,6 +30,7 @@ CampaignConfig CampaignConfig::small(std::uint64_t seed) {
   // 384-node machine running 128-node instrumented jobs: keep headroom.
   c.cluster.max_bg_utilization = 0.55;
   c.datasets = {{"AMG", 128}, {"MILC", 128}, {"miniVite", 128}, {"UMT", 128}};
+  c.validate();  // the factory guarantees a runnable config
   return c;
 }
 
@@ -67,6 +68,7 @@ void CampaignConfig::validate() const {
 }
 
 CampaignBuilder& CampaignBuilder::dataset(std::string app, int nodes) {
+  DFV_CHECK_MSG(!app.empty() && nodes >= 1, "dataset needs a name and >= 1 nodes");
   if (!datasets_replaced_) {
     cfg_.datasets.clear();
     datasets_replaced_ = true;
@@ -218,6 +220,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
 }
 
 std::uint64_t config_fingerprint(const CampaignConfig& cfg) {
+  DFV_CHECK(cfg.machine.groups >= 1);
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   auto mix = [&h](std::uint64_t v) { h = hash_combine(h, v); };
   // Doubles are mixed by bit pattern: any change to any numeric knob must
@@ -287,6 +290,7 @@ std::uint64_t config_fingerprint(const CampaignConfig& cfg) {
 }
 
 CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string& cache_dir) {
+  DFV_CHECK_MSG(!cache_dir.empty(), "cache_dir must not be empty");
   std::ostringstream dir_name;
   dir_name << cache_dir << "/campaign_" << std::hex << config_fingerprint(cfg);
   const fs::path dir(dir_name.str());

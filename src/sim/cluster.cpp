@@ -19,6 +19,7 @@ Cluster::Cluster(const net::DragonflyConfig& cfg, ClusterParams params,
       slurm_(topo_, std::move(users), ldms_.io_routers(), hash_combine(seed, 0x51ce),
              sched::AllocPolicy::Clustered),
       rng_(hash_combine(seed, 0xc1057e2)) {
+  DFV_CHECK(params_.max_bg_utilization > 0.0 && params_.max_bg_utilization <= 1.0);
   slurm_.set_max_background_utilization(params_.max_bg_utilization);
   bg_loads_.resize(topo_);
   step_loads_.resize(topo_);
@@ -121,6 +122,8 @@ CongestionView Cluster::congestion_of(std::span<const net::RouterId> routers) co
   CongestionView v;
   if (routers.empty()) return v;
   const double ep_bw = topo_.config().endpoint_bw;
+  DFV_CHECK(ep_bw > 0.0);
+  for (net::RouterId r : routers) DFV_CHECK(std::size_t(r) < bg_loads_.inject_rate.size());
   std::vector<double> stalls;
   stalls.reserve(routers.size());
   double sum = 0.0;
@@ -141,6 +144,7 @@ CongestionView Cluster::congestion_of(std::span<const net::RouterId> routers) co
   return v;
 }
 
+// dfv-lint: allow(contract): thin forwarder; congestion_of validates the placement
 CongestionView Cluster::congestion(std::span<const net::RouterId> routers) {
   refresh_background_if_needed();
   return congestion_of(routers);

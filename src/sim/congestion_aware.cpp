@@ -7,6 +7,7 @@
 namespace dfv::sim {
 
 double CongestionAwareScheduler::predicted_slowdown(const apps::AppModel& app) {
+  DFV_CHECK(cluster_ != nullptr);
   // Probe: allocate the job's nodes, read the congestion view of that
   // placement, release. This is what a resource manager with live counter
   // feeds (the paper's proposal) could evaluate before starting a job.

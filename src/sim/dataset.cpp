@@ -81,6 +81,7 @@ std::vector<double> Dataset::mean_step_curve() const {
 }
 
 std::vector<double> Dataset::mean_counter_curve(mon::Counter c) const {
+  DFV_CHECK(int(c) >= 0 && int(c) < mon::kNumCounters);
   const int T = steps_per_run();
   if (runs.empty()) return std::vector<double>(std::size_t(T), 0.0);
   return tolerant_mean_curve(*this, T, [c](const RunRecord& r, int t) {
@@ -149,7 +150,8 @@ void inject_faults(Dataset& ds, const faults::FaultSpec& spec, std::uint64_t str
   spec.validate();
   exec::parallel_for(0, ds.runs.size(), 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i)
-      faults::inject_run(ds.runs[i].telemetry(), spec, exec::substream_seed(stream_seed, i));
+      (void)faults::inject_run(ds.runs[i].telemetry(), spec,
+                               exec::substream_seed(stream_seed, i));
   });
 }
 
@@ -212,6 +214,7 @@ std::vector<int> split_ints(const std::string& s, std::size_t row) {
 }  // namespace
 
 std::string dataset_to_csv(const Dataset& ds) {
+  for (const auto& r : ds.runs) DFV_CHECK(r.step_counters.size() == r.step_times.size());
   Csv csv;
   csv.header = {"app",        "nodes",     "run",        "job_id",    "submit_s",
                 "start_s",    "end_s",     "num_routers", "num_groups", "neighborhood",
@@ -337,11 +340,12 @@ Dataset dataset_from_csv(const std::string& text, faults::RepairPolicy policy) {
       r.step_quality.push_back(std::uint8_t(q));
     }
   }
-  if (policy != faults::RepairPolicy::Keep) ds.repair(policy);
+  if (policy != faults::RepairPolicy::Keep) (void)ds.repair(policy);
   return ds;
 }
 
 bool save_dataset(const Dataset& ds, const std::string& path) {
+  DFV_CHECK_MSG(!path.empty(), "save_dataset: empty path");
   std::string text = dataset_to_csv(ds);
   append_checksum_footer(text);
   return atomic_write_file(path, text);

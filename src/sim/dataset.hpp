@@ -103,7 +103,7 @@ struct Dataset {
   /// Repair unwinds wraps and imputes gaps; Drop flags bad steps for
   /// consumers to skip; Keep is a no-op. Truncated or beyond-repair runs
   /// are removed under Repair/Drop. Deterministic and parallel-safe.
-  RepairReport repair(faults::RepairPolicy policy, const faults::RepairOptions& opt = {});
+  [[nodiscard]] RepairReport repair(faults::RepairPolicy policy, const faults::RepairOptions& opt = {});
 };
 
 /// Inject faults into every run of `ds` per `spec`. Each run draws from
@@ -125,7 +125,7 @@ void inject_faults(Dataset& ds, const faults::FaultSpec& spec, std::uint64_t str
     faults::RepairPolicy policy = faults::RepairPolicy::Strict);
 
 /// Atomic (temp + rename) write with a trailing integrity checksum.
-bool save_dataset(const Dataset& ds, const std::string& path);
+[[nodiscard]] bool save_dataset(const Dataset& ds, const std::string& path);
 /// Load and verify: a checksum mismatch always throws ContractError; a
 /// missing footer throws only when `require_checksum` is set (the
 /// campaign cache requires it; ad-hoc CSVs need not carry one).

@@ -309,7 +309,7 @@ TEST_F(FaultsTest, CleanDataIsUntouchedByRepair) {
     expect_run_bits_equal(after.runs[r], before.runs[r]);
   // Strict accepts clean data too.
   sim::Dataset strict = before;
-  EXPECT_NO_THROW(strict.repair(faults::RepairPolicy::Strict));
+  EXPECT_NO_THROW((void)strict.repair(faults::RepairPolicy::Strict));
 }
 
 TEST_F(FaultsTest, StrictThrowsOnDegradedData) {
@@ -317,7 +317,7 @@ TEST_F(FaultsTest, StrictThrowsOnDegradedData) {
   spec.rate = 0.2;
   sim::Dataset ds = make_synthetic(8, 20, 31);
   sim::inject_faults(ds, spec, 0xbad);
-  EXPECT_THROW(ds.repair(faults::RepairPolicy::Strict), ContractError);
+  EXPECT_THROW((void)ds.repair(faults::RepairPolicy::Strict), ContractError);
 }
 
 TEST_F(FaultsTest, DropPolicyExcludesSamplesFromAnalysis) {

@@ -13,7 +13,7 @@ namespace {
 TEST(OuProcess, MeanReversion) {
   Rng rng(1);
   OuProcess ou(/*theta=*/0.5, /*mu=*/10.0, /*sigma=*/0.0, /*x0=*/0.0);
-  for (int i = 0; i < 100; ++i) ou.step(1.0, rng);
+  for (int i = 0; i < 100; ++i) (void)ou.step(1.0, rng);
   EXPECT_NEAR(ou.value(), 10.0, 1e-6);  // no noise: pure decay to mu
 }
 
