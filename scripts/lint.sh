@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run dfv-lint over the tree and print per-rule violation counts.
+#
+#   scripts/lint.sh              # lint src/ tools/ tests/ bench/
+#   scripts/lint.sh src/ml       # lint a subtree
+#
+# Exit code: 0 clean, 1 violations found. Builds the linter first if the
+# build tree is missing or stale (cheap: two TUs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -d build ]]; then
+  cmake -B build -S . -G Ninja >/dev/null
+fi
+cmake --build build --target dfv_lint >/dev/null
+
+LINT=build/tools/lint/dfv-lint
+rc=0
+"$LINT" --root . "$@" || rc=$?
+
+echo
+echo "=== per-rule counts ==="
+"$LINT" --root . --counts "$@" | awk -F'\t' '{printf "  %-16s %s\n", $2, $3}' || true
+exit "$rc"

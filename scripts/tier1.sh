@@ -1,15 +1,31 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build + full ctest, then rebuild the
-# concurrency-sensitive targets under ThreadSanitizer and run the exec
-# pool and campaign determinism tests with real data races fatal.
+# Tier-1 verification: static analysis (dfv-lint + strict warnings), then
+# configure + build + full ctest, then rebuild the concurrency-sensitive
+# targets under ThreadSanitizer and run the exec pool and campaign
+# determinism tests with real data races fatal.
 #
 #   scripts/tier1.sh            # full run
-#   DFV_SKIP_TSAN=1 scripts/tier1.sh   # plain build + ctest only
+#   DFV_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -G Ninja
 cmake --build build -j
+
+# Fail-fast lint stage: the tree must be dfv-lint clean (zero violations,
+# no dead suppressions) before anything heavier runs.
+echo "=== dfv-lint ==="
+./build/tools/lint/dfv-lint --root .
+echo "dfv-lint: clean"
+
+# Strict-warning stage: src/common, src/mon, src/ml and every public
+# common/ml header (self-containment TUs) must compile warning-free under
+# the curated -Werror set (see DFV_STRICT in CMakeLists.txt).
+echo "=== strict warnings (DFV_STRICT) ==="
+cmake --preset lint >/dev/null
+cmake --build --preset lint -j
+echo "strict build: clean"
+
 (cd build && ctest --output-on-failure -j)
 
 # Benchmark smoke run: the perf binaries must build and execute (one

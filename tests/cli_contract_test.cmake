@@ -1,0 +1,19 @@
+# Drives the dfv CLI with invalid arguments and asserts the contract
+# machinery rejects them: exit code 2 and a ContractError message on
+# stderr. Usage:
+#   cmake -DDFV_BIN=<path> -DARGS="<args>" -DEXPECT="<regex>" -P cli_contract_test.cmake
+separate_arguments(args_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${DFV_BIN}" ${args_list}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "dfv ${ARGS}: expected exit code 2, got '${rc}'\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "error: contract violation")
+  message(FATAL_ERROR "dfv ${ARGS}: stderr lacks a contract violation:\n${err}")
+endif()
+if(NOT err MATCHES "${EXPECT}")
+  message(FATAL_ERROR "dfv ${ARGS}: stderr does not match '${EXPECT}':\n${err}")
+endif()

@@ -1,0 +1,6 @@
+#include <cstdlib>
+
+int fixture_allow_no_reason() {
+  // dfv-lint: allow(no-rand)
+  return std::rand();
+}

@@ -1,0 +1,7 @@
+#include "clean.hpp"
+
+namespace dfv::ml {
+
+int fixture_clean_count() noexcept { return 42; }
+
+}  // namespace dfv::ml

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace dfv::ml {
+
+[[nodiscard]] int fixture_clean_count() noexcept;
+
+}  // namespace dfv::ml

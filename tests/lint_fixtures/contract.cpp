@@ -1,0 +1,10 @@
+#include "contract.hpp"
+
+namespace dfv::analysis {
+
+double fixture_entry(double a, double b) {
+  const double scaled = a * 2.0;
+  return scaled + b;
+}
+
+}  // namespace dfv::analysis

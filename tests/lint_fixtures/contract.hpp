@@ -1,0 +1,7 @@
+#pragma once
+
+namespace dfv::analysis {
+
+double fixture_entry(double a, double b);
+
+}  // namespace dfv::analysis

@@ -1,0 +1,4 @@
+long fixture_narrow(long big) {
+  const int small = static_cast<int>(big);
+  return small + big;
+}

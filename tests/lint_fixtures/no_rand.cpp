@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+int fixture_no_rand() {
+  return std::rand();
+}

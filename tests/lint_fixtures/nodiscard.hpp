@@ -1,0 +1,7 @@
+#pragma once
+
+namespace dfv::ml {
+
+int fixture_count();
+
+}  // namespace dfv::ml

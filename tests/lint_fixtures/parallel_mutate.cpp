@@ -1,0 +1,10 @@
+#include <cstddef>
+#include <vector>
+
+#include "exec/exec.hpp"
+
+void fixture_parallel_mutate(std::vector<int>& out) {
+  dfv::exec::parallel_for(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out.push_back(int(i));
+  });
+}

@@ -1,0 +1,6 @@
+#include <random>
+
+unsigned fixture_random_device() {
+  std::random_device rd;
+  return rd();
+}

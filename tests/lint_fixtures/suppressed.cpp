@@ -1,0 +1,6 @@
+#include <cstdlib>
+
+int fixture_suppressed() {
+  // dfv-lint: allow(no-rand): fixture exercising the suppression syntax
+  return std::rand();
+}

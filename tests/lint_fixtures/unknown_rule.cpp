@@ -1,0 +1,4 @@
+int fixture_unknown_rule() {
+  // dfv-lint: allow(no-such-rule): reason text present
+  return 7;
+}

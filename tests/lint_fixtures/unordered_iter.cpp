@@ -1,0 +1,9 @@
+#include <unordered_map>
+
+int fixture_unordered_iter() {
+  std::unordered_map<int, int> scores;
+  scores[1] = 2;
+  int sum = 0;
+  for (const auto& kv : scores) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,4 @@
+int fixture_unused_allow() {
+  // dfv-lint: allow(wall-clock): nothing here actually reads a clock
+  return 7;
+}

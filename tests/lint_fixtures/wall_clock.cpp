@@ -1,0 +1,6 @@
+#include <chrono>
+
+double fixture_wall_clock() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,129 @@
+// dfv-lint self-tests: every rule fires on its fixture at the expected
+// line, clean files stay clean, and the suppression syntax behaves as
+// documented (silences its rule, demands a reason, flags dead or
+// misspelled allows). Fixtures live in tests/lint_fixtures/ and are
+// linted via lint_file() with a rel_path chosen to trigger the rule's
+// path scoping — the tree walk itself skips lint_fixtures directories.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dfv::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(DFV_LINT_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(bool(in)) << "missing fixture " << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Lint one fixture under a rel_path that places it in the wanted rule scope.
+std::vector<Diagnostic> lint_fixture(const std::string& rel_path, const std::string& name,
+                                     const std::string& header_name = {}) {
+  const std::string header = header_name.empty() ? std::string{} : read_fixture(header_name);
+  return lint_file(rel_path, read_fixture(name), header);
+}
+
+void expect_single(const std::vector<Diagnostic>& ds, const std::string& rule, int line) {
+  ASSERT_EQ(ds.size(), 1u) << "expected exactly one " << rule << " diagnostic";
+  EXPECT_EQ(ds[0].rule, rule);
+  EXPECT_EQ(ds[0].line, line);
+  EXPECT_FALSE(ds[0].message.empty());
+}
+
+TEST(LintRules, NoRand) {
+  expect_single(lint_fixture("src/sim/no_rand.cpp", "no_rand.cpp"), "no-rand", 4);
+}
+
+TEST(LintRules, RandomDeviceOutsideRngModule) {
+  expect_single(lint_fixture("src/ml/random_device.cpp", "random_device.cpp"),
+                "random-device", 4);
+}
+
+TEST(LintRules, RandomDeviceAllowedInsideRngModule) {
+  EXPECT_TRUE(lint_fixture("src/common/rng.cpp", "random_device.cpp").empty());
+}
+
+TEST(LintRules, WallClock) {
+  expect_single(lint_fixture("src/sim/wall_clock.cpp", "wall_clock.cpp"), "wall-clock", 4);
+}
+
+TEST(LintRules, UnorderedIter) {
+  expect_single(lint_fixture("src/sim/unordered_iter.cpp", "unordered_iter.cpp"),
+                "unordered-iter", 7);
+}
+
+TEST(LintRules, ParallelMutate) {
+  expect_single(lint_fixture("src/sim/parallel_mutate.cpp", "parallel_mutate.cpp"),
+                "parallel-mutate", 8);
+}
+
+TEST(LintRules, NarrowCast) {
+  expect_single(lint_fixture("src/ml/narrow.cpp", "narrow.cpp"), "narrow", 2);
+}
+
+TEST(LintRules, NarrowRuleOnlyAppliesUnderSrcAndTools) {
+  EXPECT_TRUE(lint_fixture("tests/narrow.cpp", "narrow.cpp").empty());
+}
+
+TEST(LintRules, ContractMissingValidation) {
+  expect_single(lint_fixture("src/analysis/contract.cpp", "contract.cpp", "contract.hpp"),
+                "contract", 5);
+}
+
+TEST(LintRules, ContractScopedToAnalysisMlSim) {
+  EXPECT_TRUE(lint_fixture("src/net/contract.cpp", "contract.cpp", "contract.hpp").empty());
+}
+
+TEST(LintRules, NodiscardMissingOnPublicHeader) {
+  expect_single(lint_fixture("src/ml/nodiscard.hpp", "nodiscard.hpp"), "nodiscard", 5);
+}
+
+TEST(LintRules, CleanFilesStayClean) {
+  EXPECT_TRUE(lint_fixture("src/ml/clean.hpp", "clean.hpp").empty());
+  EXPECT_TRUE(lint_fixture("src/ml/clean.cpp", "clean.cpp", "clean.hpp").empty());
+}
+
+TEST(LintSuppressions, AllowWithReasonSilencesTheRule) {
+  EXPECT_TRUE(lint_fixture("src/sim/suppressed.cpp", "suppressed.cpp").empty());
+}
+
+TEST(LintSuppressions, AllowWithoutReasonIsFlagged) {
+  // The allow still suppresses the no-rand hit, but the missing
+  // justification is itself a (non-suppressible) violation.
+  expect_single(lint_fixture("src/sim/allow_no_reason.cpp", "allow_no_reason.cpp"),
+                "allow-reason", 4);
+}
+
+TEST(LintSuppressions, UnusedAllowIsFlagged) {
+  expect_single(lint_fixture("src/sim/unused_allow.cpp", "unused_allow.cpp"),
+                "unused-allow", 2);
+}
+
+TEST(LintSuppressions, UnknownRuleIsFlagged) {
+  expect_single(lint_fixture("src/sim/unknown_rule.cpp", "unknown_rule.cpp"),
+                "unknown-rule", 2);
+}
+
+TEST(LintCatalog, RuleIdsAreUniqueAndCoverFixtures) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rule_catalog()) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    EXPECT_NE(std::string(r.summary), "");
+  }
+  for (const char* id : {"no-rand", "random-device", "wall-clock", "unordered-iter",
+                         "parallel-mutate", "contract", "narrow", "nodiscard",
+                         "allow-reason", "unused-allow", "unknown-rule"})
+    EXPECT_TRUE(ids.count(id)) << "catalog is missing " << id;
+}
+
+}  // namespace
+}  // namespace dfv::lint
