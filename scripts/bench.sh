@@ -1,23 +1,25 @@
 #!/usr/bin/env bash
-# ML perf trajectory: run the model-training microbenchmarks and refresh
-# BENCH_ml.json at the repo root.
+# Perf trajectory runners. Two modes:
 #
-#   scripts/bench.sh                     # build + run, update "current"
-#   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh   # longer per-bench min time
+#   scripts/bench.sh [ml]      # model-training microbenchmarks -> BENCH_ml.json
+#   scripts/bench.sh serve     # dfv serve load generator       -> BENCH_serve.json
+#
+#   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh        # longer per-bench min time (ml)
+#   DFV_BENCH_SECONDS=5 scripts/bench.sh serve     # longer per-phase window (serve)
 #
 # Measurements come from the Release preset (build-release/) so the
 # committed numbers reflect optimized code, and the context block records
 # the git SHA, compiler, and project build type they were taken under.
 #
-# BENCH_ml.json keeps two snapshots: "baseline" (frozen numbers from
-# before the corresponding fast path landed; a benchmark name with no
+# Both JSON files keep two snapshots: "baseline" (frozen numbers from
+# before the corresponding fast path landed; a metric name with no
 # recorded baseline is initialized from its first run) and "current"
 # (refreshed every run), so speedups are always readable from the
 # committed file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode|BM_AttentionFit|BM_BuildWindows|BM_ForecastGrid'
+MODE="${1:-ml}"
 BUILD="${BUILD:-build-release}"
 
 if [[ "$BUILD" == "build-release" ]]; then
@@ -25,7 +27,6 @@ if [[ "$BUILD" == "build-release" ]]; then
 else
   cmake -B "$BUILD" -S . -G Ninja >/dev/null
 fi
-cmake --build "$BUILD" -j --target micro_benchmarks >/dev/null
 
 build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
 compiler_path=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD/CMakeCache.txt")
@@ -34,23 +35,17 @@ git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-"./$BUILD/bench/micro_benchmarks" \
-  --benchmark_filter="$FILTER" \
-  --benchmark_min_time="${DFV_BENCH_MIN_TIME:-0.3}" \
-  --benchmark_format=json >"$raw" 2>/dev/null
 
-python3 - "$raw" BENCH_ml.json "$build_type" "$compiler" "$git_sha" <<'PY'
-import json, sys
+# Merge a {name: value} "current" snapshot into $2, preserving baselines.
+# stdin: raw JSON; argv: raw_path out_path schema note higher_is_better_regex
+merge_snapshot() {
+  python3 - "$raw" "$@" "$build_type" "$compiler" "$git_sha" "$(nproc)" <<'PY'
+import json, re, sys
 
-raw_path, out_path, build_type, compiler, git_sha = sys.argv[1:6]
+raw_path, out_path, schema, note, higher_re, build_type, compiler, git_sha, cpus = (
+    sys.argv[1:10])
 with open(raw_path) as f:
-    raw = json.load(f)
-
-current = {
-    b["name"]: {"real_time_ms": round(b["real_time"], 3)}
-    for b in raw["benchmarks"]
-    if b["time_unit"] == "ms"
-}
+    current = json.load(f)
 
 try:
     with open(out_path) as f:
@@ -58,16 +53,14 @@ try:
 except (FileNotFoundError, json.JSONDecodeError):
     doc = {}
 
-doc.setdefault("schema", "dfv-bench-ml-v1")
-doc["note"] = (
-    "baseline = pre-fast-path numbers per benchmark; current = last scripts/bench.sh run"
-)
+doc.setdefault("schema", schema)
+doc["note"] = note
 baseline = doc.setdefault("baseline", {})
 for name, v in current.items():
-    baseline.setdefault(name, dict(v))
+    baseline.setdefault(name, v if isinstance(v, dict) else v)
 doc["current"] = current
 doc["context"] = {
-    "host_cpus": raw["context"]["num_cpus"],
+    "host_cpus": int(cpus),
     "build_type": build_type or "unknown",
     "compiler": compiler,
     "git_sha": git_sha,
@@ -77,9 +70,59 @@ with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
 
+def scalar(v):
+    return list(v.values())[0] if isinstance(v, dict) else v
+
 for name, v in sorted(current.items()):
-    base = baseline.get(name, {}).get("real_time_ms")
-    speedup = f"  ({base / v['real_time_ms']:.2f}x vs baseline)" if base else ""
-    print(f"{name}: {v['real_time_ms']} ms{speedup}")
+    base = baseline.get(name)
+    line = f"{name}: {scalar(v)}"
+    if base is not None and scalar(base):
+        ratio = scalar(v) / scalar(base)
+        if not re.search(higher_re, name):
+            ratio = 1.0 / ratio if ratio else 0.0
+        line += f"  ({ratio:.2f}x vs baseline)"
+    print(line)
 PY
-echo "wrote BENCH_ml.json"
+}
+
+case "$MODE" in
+  ml)
+    FILTER='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode|BM_AttentionFit|BM_BuildWindows|BM_ForecastGrid'
+    cmake --build "$BUILD" -j --target micro_benchmarks >/dev/null
+    gbench=$(mktemp)
+    "./$BUILD/bench/micro_benchmarks" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_min_time="${DFV_BENCH_MIN_TIME:-0.3}" \
+      --benchmark_format=json >"$gbench" 2>/dev/null
+    python3 - "$gbench" >"$raw" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+print(json.dumps({
+    b["name"]: {"real_time_ms": round(b["real_time"], 3)}
+    for b in raw["benchmarks"] if b["time_unit"] == "ms"
+}))
+PY
+    rm -f "$gbench"
+    merge_snapshot BENCH_ml.json dfv-bench-ml-v1 \
+      "baseline = pre-fast-path numbers per benchmark; current = last scripts/bench.sh run" \
+      '$^'   # all ml metrics are times: lower is better
+    echo "wrote BENCH_ml.json"
+    ;;
+  serve)
+    cmake --build "$BUILD" -j --target bench_serve >/dev/null
+    "./$BUILD/bench/bench_serve" \
+      --shards "${DFV_BENCH_SHARDS:-8}" \
+      --clients "${DFV_BENCH_CLIENTS:-16}" \
+      --seconds "${DFV_BENCH_SECONDS:-3}" \
+      --json "$raw"
+    merge_snapshot BENCH_serve.json dfv-bench-serve-v1 \
+      "8-shard dfv serve over loopback TCP; qps higher is better, latency lower; current = last scripts/bench.sh serve run" \
+      '_qps$|^shards$|^clients$|_requests$'
+    echo "wrote BENCH_serve.json"
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [ml|serve]" >&2
+    exit 2
+    ;;
+esac

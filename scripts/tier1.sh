@@ -35,13 +35,18 @@ echo "strict build: clean"
 ./build/bench/micro_benchmarks \
   --benchmark_filter='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode|BM_AttentionFit|BM_BuildWindows|BM_ForecastGrid' \
   --benchmark_min_time=0.01 >/dev/null
+# Serving smoke: the sharded server must start, answer real loopback
+# traffic on both hot paths, and drain cleanly (short window; the real
+# QPS/latency trajectory comes from scripts/bench.sh serve).
+./build/bench/bench_serve --shards 4 --clients 4 --seconds 0.3 >/dev/null
 echo "bench smoke: OK"
 
 if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe, attention, forecast) ==="
+  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe, attention, forecast, api, serve) ==="
   cmake --preset tsan
   cmake --build build-tsan -j --target test_exec test_campaign test_faults \
-    test_cache_integrity test_gbr test_rfe test_attention test_forecast
+    test_cache_integrity test_gbr test_rfe test_attention test_forecast \
+    test_api test_serve
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
@@ -59,6 +64,11 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   # both are race-checked, including the 1/2/8-thread identity sweeps.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_attention
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_forecast
+  # The serve stack is the one place shard threads, the acceptor, and
+  # client threads share state (mailboxes, wake pipes, shutdown flags);
+  # the session/wire layer underneath is race-checked with it.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_api
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
 fi
 
 echo "tier-1: OK"

@@ -1,0 +1,130 @@
+// dfv::api::Session — resident query state behind Session::handle().
+//
+// A Session owns (or shares) one loaded campaign plus every model the
+// requests need: deviation GBR/RFE results, forecast evaluations, and
+// the attention forecasters behind the point-forecast hot path, all
+// memoized after first use. The CLI builds one Session per invocation;
+// `dfv serve` builds one Session per shard, all sharing one immutable
+// ResidentCampaign, so N shards hold one copy of the data and N
+// independent (shard-owned, unsynchronized) model caches.
+//
+// Determinism: handling a request mutates only the session's own caches,
+// and every cached artifact is produced by the deterministic analysis /
+// ml layers — so any two sessions over the same options answer any
+// request sequence bit-identically. This is the property that lets
+// test_serve demand byte-identical wire payloads from 1-shard and
+// 8-shard servers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/window_cache.hpp"
+#include "api/api.hpp"
+#include "sim/campaign.hpp"
+
+namespace dfv::api {
+
+/// How to build (or find in a cache directory) the resident campaign.
+struct SessionOptions {
+  sim::CampaignConfig config;
+  std::string cache_dir;
+  faults::RepairPolicy repair = faults::RepairPolicy::Repair;
+};
+
+/// One campaign loaded into memory, repaired per policy, then immutable.
+/// Shards of a server share a single instance read-only.
+class ResidentCampaign {
+ public:
+  /// Generate (or load from `opt.cache_dir`) and repair the campaign.
+  /// Validates the config; throws ContractError on nonsense.
+  [[nodiscard]] static std::shared_ptr<const ResidentCampaign> load(
+      const SessionOptions& opt);
+
+  [[nodiscard]] const sim::CampaignConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const sim::CampaignResult& result() const noexcept { return result_; }
+  /// Per-dataset repair outcomes (empty when faults are off).
+  [[nodiscard]] const std::vector<sim::RepairReport>& repair_reports() const noexcept {
+    return repair_reports_;
+  }
+  [[nodiscard]] const sim::Dataset& dataset(const std::string& app, int nodes) const {
+    return result_.dataset(app, nodes);
+  }
+
+ private:
+  ResidentCampaign() = default;
+  sim::CampaignConfig config_;
+  sim::CampaignResult result_;
+  std::vector<sim::RepairReport> repair_reports_;
+};
+
+class Session {
+ public:
+  /// A session owning its campaign (loaded lazily on the first request
+  /// that needs one — stateless requests never pay for it).
+  explicit Session(SessionOptions opt);
+
+  /// A session sharing an already-loaded campaign (the server shard
+  /// path). `campaign` may be null, in which case it loads lazily.
+  Session(SessionOptions opt, std::shared_ptr<const ResidentCampaign> campaign);
+
+  // Out-of-line: the cache values are incomplete types here.
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+
+  [[nodiscard]] const SessionOptions& options() const noexcept { return opt_; }
+
+  /// Answer any request. Never throws: a ContractError surfaces as
+  /// ErrorResponse{Contract}, anything else as ErrorResponse{Internal}.
+  [[nodiscard]] Response handle(const Request& req);
+
+  /// The resident campaign, loading it on first use.
+  [[nodiscard]] const ResidentCampaign& campaign();
+
+ private:
+  struct ResidentForecaster;
+
+  [[nodiscard]] Response dispatch(const Request& req);
+  [[nodiscard]] Response on(const CampaignSummaryRequest& q);
+  [[nodiscard]] Response on(const ExportRequest& q);
+  [[nodiscard]] Response on(const RunLookupRequest& q);
+  [[nodiscard]] Response on(const NeighborhoodRequest& q);
+  [[nodiscard]] Response on(const DeviationRequest& q);
+  [[nodiscard]] Response on(const ForecastRequest& q);
+  [[nodiscard]] Response on(const ForecastEvalRequest& q);
+  [[nodiscard]] Response on(const ForecastGridRequest& q);
+  [[nodiscard]] Response on(const TopologyRequest& q);
+  [[nodiscard]] Response on(const SimulateRequest& q);
+
+  [[nodiscard]] const sim::Dataset& dataset(const std::string& app, int nodes);
+  /// Per-dataset step-feature tables, built once and reused by every
+  /// forecast request against that dataset.
+  [[nodiscard]] const analysis::StepFeatureCache& feature_cache(const std::string& app,
+                                                                int nodes);
+  /// The resident attention model for one (app, nodes, window) key,
+  /// trained on first use.
+  [[nodiscard]] const ResidentForecaster& forecaster(const std::string& app, int nodes,
+                                                     const analysis::WindowConfig& wcfg);
+
+  SessionOptions opt_;
+  std::shared_ptr<const ResidentCampaign> campaign_;
+
+  // Model/result caches, keyed by deterministic strings. Session-owned
+  // and unsynchronized: in the server each shard has its own.
+  std::map<std::string, analysis::StepFeatureCache> feature_caches_;
+  std::map<std::string, std::unique_ptr<ResidentForecaster>> forecasters_;
+  std::map<std::string, analysis::DeviationResult> deviation_cache_;
+  std::map<std::string, analysis::ForecastEval> forecast_eval_cache_;
+};
+
+/// Server-side request path: decode `bytes`, dispatch on `session`,
+/// encode the result. A malformed payload becomes ErrorResponse
+/// {BadRequest} and a version mismatch ErrorResponse{VersionMismatch};
+/// the return value is always exactly one encoded Response.
+[[nodiscard]] std::string handle_encoded(Session& session, std::string_view bytes);
+
+}  // namespace dfv::api

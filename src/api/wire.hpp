@@ -1,0 +1,43 @@
+// Binary wire codec for dfv::api requests and responses.
+//
+// Envelope layout (all integers little-endian, doubles as IEEE-754 bit
+// patterns in a u64):
+//
+//   [u32 version = kApiVersion][u8 tag][payload…]
+//
+// Strings are u32 length + bytes; vectors are u32 count + elements. The
+// encoding is canonical: a value encodes to exactly one byte sequence,
+// so "bit-identical responses" and "byte-identical wire payloads" are
+// the same statement (test_serve compares encoded bytes across shard
+// counts).
+//
+// Decoding is defensive: a truncated or malformed buffer throws
+// ContractError ("wire: …"), and an envelope whose version differs from
+// kApiVersion throws VersionError, which carries the offending version
+// so servers can answer with a structured ErrorResponse instead of
+// guessing at an incompatible layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/api.hpp"
+
+namespace dfv::api {
+
+/// Thrown by decode_* when the envelope version is not kApiVersion.
+class VersionError : public ContractError {
+ public:
+  VersionError(std::uint32_t found_version, const std::string& what)
+      : ContractError(what), found(found_version) {}
+  std::uint32_t found = 0;
+};
+
+[[nodiscard]] std::string encode_request(const Request& req);
+[[nodiscard]] Request decode_request(std::string_view bytes);
+
+[[nodiscard]] std::string encode_response(const Response& resp);
+[[nodiscard]] Response decode_response(std::string_view bytes);
+
+}  // namespace dfv::api

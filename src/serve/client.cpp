@@ -1,0 +1,89 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/wire.hpp"
+#include "common/check.hpp"
+#include "serve/protocol.hpp"
+
+namespace dfv::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<api::ErrorResponse> Client::connect(std::uint16_t port,
+                                                  std::uint32_t version) {
+  DFV_CHECK_MSG(fd_ < 0, "serve: client already connected");
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("serve: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw std::runtime_error("serve: connect to 127.0.0.1:" + std::to_string(port) +
+                             " failed: " + why);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  write_frame(fd_, hello_payload(version));
+  auto reply = read_frame(fd_);
+  if (!reply) {
+    close();
+    throw std::runtime_error("serve: server closed during handshake");
+  }
+  if (const auto got = parse_hello(*reply); got && *got == api::kApiVersion)
+    return std::nullopt;  // handshake accepted
+
+  // Anything else must be a structured rejection.
+  api::Response resp = api::decode_response(*reply);
+  close();
+  if (auto* err = std::get_if<api::ErrorResponse>(&resp)) return *err;
+  throw std::runtime_error("serve: unexpected handshake reply");
+}
+
+api::Response Client::call(const api::Request& req) {
+  return api::decode_response(call_raw(req));
+}
+
+std::string Client::call_raw(const api::Request& req) {
+  DFV_CHECK_MSG(fd_ >= 0, "serve: call on a disconnected client");
+  write_frame(fd_, api::encode_request(req));
+  auto reply = read_frame(fd_);
+  if (!reply) {
+    close();
+    throw std::runtime_error("serve: server closed before answering");
+  }
+  return std::move(*reply);
+}
+
+}  // namespace dfv::serve

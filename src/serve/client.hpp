@@ -1,0 +1,53 @@
+// dfv::serve::Client — a blocking connection to a `dfv serve` server.
+//
+// One client is one TCP connection with strict request/response
+// alternation: call() writes one encoded api::Request frame and blocks
+// for the one api::Response frame that answers it. Wire failures
+// (refused connection, truncated frames, unexpected EOF) throw
+// std::runtime_error; application-level failures arrive as
+// api::ErrorResponse inside the returned Response, exactly as Session
+// would have produced them in-process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/api.hpp"
+
+namespace dfv::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to 127.0.0.1:port and run the hello handshake announcing
+  /// `version` (defaults to the client's own api::kApiVersion; tests
+  /// pass a wrong one to probe the mismatch path). Returns nullopt on
+  /// success, or the server's structured rejection (the connection is
+  /// closed in that case). Throws std::runtime_error on socket errors.
+  [[nodiscard]] std::optional<api::ErrorResponse> connect(
+      std::uint16_t port, std::uint32_t version = api::kApiVersion);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one request, block for its response.
+  [[nodiscard]] api::Response call(const api::Request& req);
+
+  /// Like call(), but returns the raw encoded response payload (the
+  /// determinism tests compare these bytes across shard counts).
+  [[nodiscard]] std::string call_raw(const api::Request& req);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dfv::serve

@@ -1,0 +1,99 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace dfv::serve {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+// dfv-lint: allow(contract): every u32 is a valid version to announce
+std::string hello_payload(std::uint32_t version) {
+  std::string out;
+  put_u32(out, kMagic);
+  put_u32(out, version);
+  return out;
+}
+
+// dfv-lint: allow(contract): validation IS the job; bad hellos return nullopt
+std::optional<std::uint32_t> parse_hello(std::string_view payload) {
+  if (payload.size() != kHelloBytes) return std::nullopt;
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  if (get_u32(p) != kMagic) return std::nullopt;
+  return get_u32(p + 4);
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += std::size_t(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF on a record boundary
+      throw std::runtime_error("serve: connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("serve: read failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    // send(MSG_NOSIGNAL), not write: a peer that already closed must
+    // surface as EPIPE, never as a process-killing SIGPIPE.
+    const ssize_t w = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
+    if (w >= 0) {
+      put += std::size_t(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("serve: write failed: ") + std::strerror(errno));
+  }
+}
+
+void write_frame(int fd, std::string_view payload) {
+  DFV_CHECK_MSG(payload.size() <= kMaxFrameBytes, "serve: frame payload too large");
+  std::string header;
+  put_u32(header, std::uint32_t(payload.size()));
+  write_all(fd, header.data(), header.size());
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  DFV_CHECK_MSG(fd >= 0, "serve: read_frame on a closed descriptor");
+  unsigned char header[4];
+  if (!read_exact(fd, header, 4)) return std::nullopt;
+  const std::uint32_t len = get_u32(header);
+  if (len > kMaxFrameBytes) throw std::runtime_error("serve: oversized frame announced");
+  std::string payload(len, '\0');
+  if (len > 0 && !read_exact(fd, payload.data(), len))
+    throw std::runtime_error("serve: connection closed mid-frame");
+  return payload;
+}
+
+}  // namespace dfv::serve

@@ -1,0 +1,62 @@
+// Wire protocol of `dfv serve`: length-prefixed frames over TCP.
+//
+// Frame layout (little-endian):
+//
+//   [u32 length][payload of `length` bytes]
+//
+// The first frame on a connection must be the client hello:
+//
+//   [u32 magic = kMagic][u32 version = api::kApiVersion]
+//
+// The server answers with the same 8-byte hello on success, or with one
+// encoded api::ErrorResponse (ErrorCode::VersionMismatch) and a close
+// when the version is not supported — a structured reply, never a
+// protocol guess. Every later frame is one encoded api::Request from
+// the client and one encoded api::Response from the server, strictly
+// alternating per connection (a request is answered before the next one
+// is read, so responses can never be reordered).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dfv::serve {
+
+/// "DFVS" read as a little-endian u32.
+inline constexpr std::uint32_t kMagic = 0x53564644;
+
+/// Upper bound on a frame payload; a peer announcing more is treated as
+/// malformed and disconnected (protects the 4-byte length from driving
+/// unbounded allocation).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Hello payload size (magic + version).
+inline constexpr std::size_t kHelloBytes = 8;
+
+[[nodiscard]] std::string hello_payload(std::uint32_t version);
+
+/// Parse a hello payload. Returns the announced version, or nullopt when
+/// the payload is not a hello (wrong size or magic).
+[[nodiscard]] std::optional<std::uint32_t> parse_hello(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Blocking fd helpers (client side and tests; the server shards use
+// their own non-blocking buffers).
+// ---------------------------------------------------------------------------
+
+/// Read exactly n bytes. Returns false on clean EOF before the first
+/// byte; throws std::runtime_error on errors or EOF mid-record.
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n);
+
+/// Write all n bytes (throws std::runtime_error on error).
+void write_all(int fd, const void* buf, std::size_t n);
+
+/// Write one length-prefixed frame.
+void write_frame(int fd, std::string_view payload);
+
+/// Read one frame; nullopt on clean EOF before the length prefix.
+[[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+}  // namespace dfv::serve

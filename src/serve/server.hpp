@@ -1,0 +1,124 @@
+// dfv::serve::Server — a sharded, resident query server over dfv::api.
+//
+// Architecture (DragonflyDB-style shard-per-thread, adapted to an
+// immutable store):
+//
+//  * One acceptor thread owns the listening socket and deals new
+//    connections to shards round-robin.
+//  * N shard threads each own: a slice of the run keyspace (by
+//    fingerprint hash), their connections, an api::Session whose model
+//    caches are shard-private, and a mailbox for cross-shard messages.
+//    The campaign itself is loaded once and shared read-only — the
+//    mutable state (caches, buffers, connections) is shared-nothing.
+//  * Hot path: a request whose key the receiving shard owns is decoded,
+//    handled, and answered entirely on that thread — no locks, no
+//    queues. A request owned by another shard hops to its owner via the
+//    mailbox (one mutex-guarded swap per batch) and the encoded response
+//    hops back; per-connection ordering is preserved because a
+//    connection never has more than one request in flight.
+//  * Requests with no key (topology, simulate, campaign summary) are
+//    answered by whichever shard holds the connection; they are pure
+//    functions of the immutable state, so placement cannot change bytes.
+//
+// Determinism: every response payload is a pure function of
+// (SessionOptions, request) — never of shard count, connection
+// interleaving, or timing. test_serve pins this by comparing encoded
+// payload bytes from 1-shard and 8-shard servers.
+//
+// Shutdown: stop() closes the listener, stops reads, then drains —
+// every request fully received before the stop is answered and flushed
+// (including cross-shard ones) before sockets close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+
+namespace dfv::serve {
+
+struct ServerOptions {
+  int shards = 1;
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (read back via port()).
+  std::uint16_t port = 0;
+  int listen_backlog = 128;
+  api::SessionOptions session;
+  /// Optional pre-loaded campaign matching `session` (shared read-only by
+  /// every shard); when null, start() loads it from `session`. Lets tests
+  /// and in-process embedders pay the load once across many servers.
+  std::shared_ptr<const api::ResidentCampaign> campaign;
+};
+
+/// FNV-1a 64-bit fingerprint of a routing key. Stable across runs,
+/// platforms, and shard counts (it names the owner, never the result).
+[[nodiscard]] std::uint64_t key_fingerprint(std::string_view app, int nodes) noexcept;
+[[nodiscard]] std::uint64_t key_fingerprint(std::string_view app, int nodes,
+                                            std::uint32_t run) noexcept;
+
+/// The routing key of a request: run-scoped requests hash (app, nodes,
+/// run); dataset-scoped ones hash (app, nodes); stateless ones return 0
+/// (handled wherever they arrive).
+[[nodiscard]] std::uint64_t request_key(const api::Request& req) noexcept;
+
+/// Owner shard of a key. Deterministic in (key, nshards) alone.
+[[nodiscard]] std::size_t shard_of(std::uint64_t key, std::size_t nshards);
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;        ///< decoded request frames
+  std::uint64_t local = 0;           ///< answered on the receiving shard
+  std::uint64_t forwarded = 0;       ///< hopped to the owner shard
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, load the campaign into resident memory, spawn shard threads
+  /// and the acceptor. Throws on bind failure or campaign errors.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight requests, flush,
+  /// close, join. Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Actual listening port (after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int shards() const noexcept { return int(shards_.size()); }
+  [[nodiscard]] ServerStats stats() const noexcept;
+
+ private:
+  struct Shard;
+
+  void acceptor_main();
+  void shard_main(Shard& shard);
+  void wake(Shard& shard) const noexcept;
+
+  ServerOptions opt_;
+  std::shared_ptr<const api::ResidentCampaign> campaign_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread acceptor_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  /// Lifecycle: 0 = serving, 1 = draining (no new reads), 2 = exit.
+  std::atomic<int> phase_{0};
+  /// Cross-shard operations posted but not yet answered-and-queued.
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> next_conn_shard_{0};
+
+  mutable std::atomic<std::uint64_t> stat_connections_{0};
+  mutable std::atomic<std::uint64_t> stat_requests_{0};
+  mutable std::atomic<std::uint64_t> stat_local_{0};
+  mutable std::atomic<std::uint64_t> stat_forwarded_{0};
+};
+
+}  // namespace dfv::serve

@@ -7,26 +7,31 @@
 // `--threads N` to size the deterministic parallel execution pool
 // (0 = DFV_THREADS env or hardware concurrency). Results are
 // bit-identical for any thread count.
+//
+// Every subcommand is a thin adapter over dfv::api: it builds a request,
+// hands it to an api::Session (the same session layer `dfv serve`
+// shards), and formats the structured response. The CLI owns no analysis
+// logic of its own; an ErrorResponse is re-raised so error wording and
+// exit codes are identical to calling the library directly.
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 
-#include "analysis/forecast.hpp"
-#include "analysis/neighborhood.hpp"
-#include "apps/registry.hpp"
+#include "api/session.hpp"
 #include "common/ascii_plot.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
-#include "core/study.hpp"
 #include "exec/exec.hpp"
 #include "faults/faults.hpp"
-#include "net/packet_sim.hpp"
-#include "net/vc_sim.hpp"
+#include "mon/counters.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -41,70 +46,72 @@ faults::FaultSpec parse_fault_spec(const cli::ParsedArgs& a) {
   return spec;
 }
 
-core::VariabilityStudy make_study(const cli::ParsedArgs& a) {
-  return core::VariabilityStudy(sim::CampaignConfig::cori()
-                                    .seed(20181203)
-                                    .days(a.get_int("days"))
-                                    .faults(parse_fault_spec(a)),
-                                a.get("cache"),
-                                faults::parse_repair_policy(a.get("repair-policy")));
+api::SessionOptions make_session_options(const cli::ParsedArgs& a) {
+  api::SessionOptions opt;
+  opt.config = sim::CampaignConfig::cori()
+                   .seed(20181203)
+                   .days(a.get_int("days"))
+                   .faults(parse_fault_spec(a))
+                   .build();
+  opt.cache_dir = a.get("cache");
+  opt.repair = faults::parse_repair_policy(a.get("repair-policy"));
+  return opt;
 }
 
-analysis::FeatureSet parse_feature_set(const std::string& name) {
-  for (auto cand : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacement,
-                    analysis::FeatureSet::AppPlacementIo,
-                    analysis::FeatureSet::AppPlacementIoSys})
-    if (name == analysis::to_string(cand)) return cand;
-  return analysis::FeatureSet::App;
+/// Unwrap one expected response type; an ErrorResponse is re-raised as
+/// the exception it came from so main()'s handler prints the exact text.
+template <typename R>
+R unwrap(api::Response resp) {
+  if (const auto* err = std::get_if<api::ErrorResponse>(&resp)) api::rethrow(*err);
+  return std::get<R>(std::move(resp));
 }
 
 int cmd_topology(const cli::ParsedArgs& a) {
-  net::DragonflyConfig cfg = net::DragonflyConfig::cori();
-  if (a.given("groups")) cfg = net::DragonflyConfig::small(a.get_int("groups"));
-  std::cout << net::Topology(cfg).describe();
+  api::Session session{api::SessionOptions{}};
+  const auto resp = unwrap<api::TopologyResponse>(
+      session.handle(api::TopologyRequest{}.group_count(a.get_int("groups"))));
+  std::cout << resp.description;
   return 0;
 }
 
 int cmd_campaign(const cli::ParsedArgs& a) {
   set_log_level(LogLevel::Info);
-  auto study = make_study(a);
-  const auto& result = study.campaign();
-  const auto& reports = study.repair_reports();
-  if (reports.empty()) {
+  api::Session session(make_session_options(a));
+  const auto summary =
+      unwrap<api::CampaignSummaryResponse>(session.handle(api::CampaignSummaryRequest{}));
+  if (!summary.faulted) {
     Table t({"dataset", "runs", "steps/run"});
-    for (const auto& ds : result.datasets)
-      t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
-                 std::to_string(ds.steps_per_run())});
+    for (const auto& row : summary.rows)
+      t.add_row({row.label, std::to_string(row.runs), std::to_string(row.steps_per_run)});
     std::cout << t.str();
   } else {
     Table t({"dataset", "runs", "steps/run", "dropped runs", "bad steps", "imputed",
              "wraps", "lost profiles"});
-    for (std::size_t i = 0; i < result.datasets.size(); ++i) {
-      const auto& ds = result.datasets[i];
-      const auto& rep = reports[i];
-      t.add_row({ds.spec.label(), std::to_string(ds.num_runs()),
-                 std::to_string(ds.steps_per_run()), std::to_string(rep.runs_dropped),
-                 std::to_string(rep.bad_steps), std::to_string(rep.imputed_steps),
-                 std::to_string(rep.wrapped_cells), std::to_string(rep.profiles_missing)});
-    }
+    for (const auto& row : summary.rows)
+      t.add_row({row.label, std::to_string(row.runs), std::to_string(row.steps_per_run),
+                 std::to_string(row.runs_dropped), std::to_string(row.bad_steps),
+                 std::to_string(row.imputed_steps), std::to_string(row.wrapped_cells),
+                 std::to_string(row.profiles_missing)});
     std::cout << t.str();
   }
   if (!a.get("out").empty()) {
-    for (const auto& ds : result.datasets) {
-      const std::string path = a.get("out") + "/" + ds.spec.label() + ".csv";
-      std::cout << (sim::save_dataset(ds, path) ? "wrote " : "FAILED to write ") << path
-                << "\n";
-    }
+    const auto exported = unwrap<api::ExportResponse>(
+        session.handle(api::ExportRequest{}.out_dir(a.get("out"))));
+    for (const auto& item : exported.items)
+      std::cout << (item.ok ? "wrote " : "FAILED to write ") << item.path << "\n";
   }
   return 0;
 }
 
 int cmd_blame(const cli::ParsedArgs& a) {
-  auto study = make_study(a);
-  const auto res =
-      study.neighborhood(a.get("app"), a.get_int("nodes"), a.get_double("tau"));
+  api::Session session(make_session_options(a));
+  const auto resp = unwrap<api::NeighborhoodResponse>(
+      session.handle(api::NeighborhoodRequest{}
+                         .app(a.get("app"))
+                         .nodes(a.get_int("nodes"))
+                         .threshold(a.get_double("tau"))));
   Table t({"user", "MI (nats)", "present in runs", "P(optimal|present)", "P(optimal)"});
-  for (const auto& s : res.ranked) {
+  for (const auto& s : resp.result.ranked) {
     if (s.mi < 1e-4) break;
     t.add_row({"User-" + std::to_string(s.user_id), format_double(s.mi, 4),
                format_double(100.0 * s.presence, 1) + "%",
@@ -116,8 +123,10 @@ int cmd_blame(const cli::ParsedArgs& a) {
 }
 
 int cmd_deviation(const cli::ParsedArgs& a) {
-  auto study = make_study(a);
-  const auto res = study.deviation(a.get("app"), a.get_int("nodes"));
+  api::Session session(make_session_options(a));
+  const auto resp = unwrap<api::DeviationResponse>(session.handle(
+      api::DeviationRequest{}.app(a.get("app")).nodes(a.get_int("nodes"))));
+  const analysis::DeviationResult& res = resp.result;
   std::vector<std::string> labels;
   for (int c = 0; c < mon::kNumCounters; ++c)
     labels.emplace_back(mon::counter_name(mon::counter_from_index(c)));
@@ -128,18 +137,18 @@ int cmd_deviation(const cli::ParsedArgs& a) {
 }
 
 int cmd_forecast(const cli::ParsedArgs& a) {
-  auto study = make_study(a);
-  const analysis::FeatureSet fs = parse_feature_set(a.get("features"));
+  api::Session session(make_session_options(a));
+  const analysis::FeatureSet fs = api::parse_feature_set(a.get("features"));
   if (a.flag("grid")) {
     // Fig. 8/10 ablation: sweep (m, k) x feature sets, cell-parallel.
-    std::vector<analysis::WindowConfig> cells;
+    auto req = api::ForecastGridRequest{}.app(a.get("app")).nodes(a.get_int("nodes"));
     for (int m : {3, 10, 30})
       for (int k : {5, 20, 40})
         for (auto f : {analysis::FeatureSet::App, analysis::FeatureSet::AppPlacementIoSys})
-          cells.push_back({m, k, f});
-    const auto grid = study.forecast_grid(a.get("app"), a.get_int("nodes"), cells);
+          req.cell({m, k, f});
+    const auto resp = unwrap<api::ForecastGridResponse>(session.handle(req));
     Table t({"m", "k", "features", "attention", "persistence", "mean"});
-    for (const auto& cell : grid)
+    for (const auto& cell : resp.cells)
       t.add_row({std::to_string(cell.window.m), std::to_string(cell.window.k),
                  analysis::to_string(cell.window.features),
                  format_double(cell.eval.mape_attention, 2),
@@ -148,12 +157,17 @@ int cmd_forecast(const cli::ParsedArgs& a) {
     std::cout << t.str();
     return 0;
   }
-  const analysis::WindowConfig wcfg{a.get_int("m"), a.get_int("k"), fs};
-  const auto eval = study.forecast(a.get("app"), a.get_int("nodes"), wcfg);
+  const auto resp = unwrap<api::ForecastEvalResponse>(
+      session.handle(api::ForecastEvalRequest{}
+                         .app(a.get("app"))
+                         .nodes(a.get_int("nodes"))
+                         .m(a.get_int("m"))
+                         .k(a.get_int("k"))
+                         .features(fs)));
   Table t({"model", "MAPE (%)"});
-  t.add_row({"attention", format_double(eval.mape_attention, 2)});
-  t.add_row({"persistence", format_double(eval.mape_persistence, 2)});
-  t.add_row({"dataset mean", format_double(eval.mape_mean, 2)});
+  t.add_row({"attention", format_double(resp.eval.mape_attention, 2)});
+  t.add_row({"persistence", format_double(resp.eval.mape_persistence, 2)});
+  t.add_row({"dataset mean", format_double(resp.eval.mape_mean, 2)});
   std::cout << t.str();
   return 0;
 }
@@ -177,15 +191,17 @@ int cmd_faults(const cli::ParsedArgs& a) {
   faults::FaultSpec base_spec;
   base_spec.seed = std::uint64_t(a.get_int("fault-seed"));
   base_spec.kinds = faults::parse_fault_kinds(a.get("fault-kinds"));
-  const analysis::WindowConfig wcfg{a.get_int("m"), a.get_int("k"),
-                                    analysis::FeatureSet::App};
 
-  auto make_config = [&](double rate) {
+  auto make_options = [&](double rate, faults::RepairPolicy policy) {
     auto builder = a.flag("small") ? sim::CampaignConfig::small_machine(20181203)
                                    : sim::CampaignConfig::cori().seed(20181203);
     faults::FaultSpec spec = base_spec;
     spec.rate = rate;
-    return builder.days(a.get_int("days")).faults(spec).build();
+    api::SessionOptions opt;
+    opt.config = builder.days(a.get_int("days")).faults(spec).build();
+    opt.cache_dir = a.get("cache");
+    opt.repair = policy;
+    return opt;
   };
 
   struct RowEval {
@@ -200,18 +216,35 @@ int cmd_faults(const cli::ParsedArgs& a) {
                       const std::string& label) {
     RowEval r;
     try {
-      core::VariabilityStudy study(make_config(rate), a.get("cache"), policy);
-      r.runs = std::to_string(study.dataset(app_name, nodes).num_runs());
+      api::Session session(make_options(rate, policy));
+      const auto summary = unwrap<api::CampaignSummaryResponse>(
+          session.handle(api::CampaignSummaryRequest{}));
+      const std::string ds_label = app_name + "-" + std::to_string(nodes);
+      bool found = false;
+      for (const auto& row : summary.rows)
+        if (row.label == ds_label) {
+          r.runs = std::to_string(row.runs);
+          found = true;
+        }
+      DFV_CHECK_MSG(found, "no dataset " << ds_label << " in the campaign");
       try {
-        const auto dev = study.deviation(app_name, nodes);
-        r.samples = std::to_string(dev.samples);
-        r.dev = dev.cv_mape;
+        const auto dev = unwrap<api::DeviationResponse>(session.handle(
+            api::DeviationRequest{}.app(app_name).nodes(nodes)));
+        r.samples = std::to_string(dev.result.samples);
+        r.dev = dev.result.cv_mape;
       } catch (const std::exception& e) {
         DFV_LOG_WARN("faults: rate " << rate << " policy " << label
                                      << " deviation failed: " << e.what());
       }
       try {
-        r.fc = study.forecast(app_name, nodes, wcfg).mape_attention;
+        const auto fc = unwrap<api::ForecastEvalResponse>(
+            session.handle(api::ForecastEvalRequest{}
+                               .app(app_name)
+                               .nodes(nodes)
+                               .m(a.get_int("m"))
+                               .k(a.get_int("k"))
+                               .features(analysis::FeatureSet::App)));
+        r.fc = fc.eval.mape_attention;
       } catch (const std::exception& e) {
         DFV_LOG_WARN("faults: rate " << rate << " policy " << label
                                      << " forecast failed: " << e.what());
@@ -262,40 +295,68 @@ int cmd_faults(const cli::ParsedArgs& a) {
 }
 
 int cmd_simulate(const cli::ParsedArgs& a) {
-  net::DragonflyConfig cfg = net::DragonflyConfig::small(a.get_int("groups"));
-  const net::Topology topo(cfg);
-  net::TrafficPattern pattern = net::TrafficPattern::Uniform;
-  if (a.get("pattern") == "adversarial") pattern = net::TrafficPattern::AdversarialShift;
-  else if (a.get("pattern") == "hotspot") pattern = net::TrafficPattern::Hotspot;
-  net::RoutingPolicy policy = net::RoutingPolicy::Ugal;
-  if (a.get("policy") == "minimal") policy = net::RoutingPolicy::Minimal;
-  else if (a.get("policy") == "valiant") policy = net::RoutingPolicy::Valiant;
-  const double load = a.get_double("load");
-  const int packets = a.get_int("packets");
-
+  api::Session session{api::SessionOptions{}};
+  const auto resp = unwrap<api::SimulateResponse>(
+      session.handle(api::SimulateRequest{}
+                         .group_count(a.get_int("groups"))
+                         .traffic(a.get("pattern"))
+                         .routing(a.get("policy"))
+                         .offered_load(a.get_double("load"))
+                         .packet_count(a.get_int("packets"))));
   Table t({"engine", "mean latency (us)", "p99 (us)", "mean hops", "throughput (GB/s)"});
-  {
-    net::PacketSimParams params;
-    params.policy = policy;
-    net::PacketSim sim(topo, params, 1);
-    const auto s = sim.run_synthetic(pattern, load, packets);
-    t.add_row({"source-routed", format_double(s.mean_latency * 1e6, 2),
-               format_double(s.p99_latency * 1e6, 2), format_double(s.mean_hops, 2),
-               format_double(s.throughput / 1e9, 2)});
-  }
-  {
-    net::VcSimParams params;
-    params.policy = policy;
-    net::VcPacketSim sim(topo, params, 1);
-    const auto s = sim.run_synthetic(pattern, load, packets);
-    t.add_row({std::string("credit/VC") + (s.deadlocked ? " [DEADLOCK]" : ""),
-               format_double(s.mean_latency * 1e6, 2),
-               format_double(s.p99_latency * 1e6, 2), format_double(s.mean_hops, 2),
-               format_double(s.throughput / 1e9, 2)});
-  }
-  std::cout << "pattern=" << net::to_string(pattern) << " policy=" << net::to_string(policy)
-            << " load=" << load << "\n"
+  for (const auto& e : resp.engines)
+    t.add_row({e.name + (e.deadlocked ? " [DEADLOCK]" : ""),
+               format_double(e.mean_latency_s * 1e6, 2),
+               format_double(e.p99_latency_s * 1e6, 2), format_double(e.mean_hops, 2),
+               format_double(e.throughput_bps / 1e9, 2)});
+  std::cout << "pattern=" << resp.pattern << " policy=" << resp.policy
+            << " load=" << resp.load << "\n"
             << t.str();
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Run the sharded resident query server until SIGINT/SIGTERM (or for
+/// --duration seconds; handy for smoke tests). Blocks the main thread;
+/// all serving happens on the shard threads.
+int cmd_serve(const cli::ParsedArgs& a) {
+  serve::ServerOptions opt;
+  opt.shards = a.get_int("shards");
+  const int port = a.get_int("port");
+  DFV_CHECK_MSG(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
+  opt.port = std::uint16_t(port);
+  opt.session = make_session_options(a);
+
+  serve::Server server(std::move(opt));
+  server.start();
+  std::cout << "serving on 127.0.0.1:" << server.port() << " with " << server.shards()
+            << " shard" << (server.shards() == 1 ? "" : "s") << " (api v"
+            << api::kApiVersion << ")" << std::endl;
+
+  g_stop_requested = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const double duration = a.get_double("duration");
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_stop_requested == 0) {
+    if (duration > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() >=
+            duration)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  server.stop();
+  const auto s = server.stats();
+  std::cout << "served " << s.requests << " request" << (s.requests == 1 ? "" : "s")
+            << " on " << s.connections << " connection"
+            << (s.connections == 1 ? "" : "s") << " (" << s.local << " local, "
+            << s.forwarded << " cross-shard)\n";
   return 0;
 }
 
@@ -385,6 +446,13 @@ int main(int argc, char** argv) {
                {"load", ArgType::Double, "0.3", "offered load fraction"},
                {"packets", ArgType::Int, "300", "packets per node"}},
               timed_phase("simulate", cmd_simulate));
+  app.command("serve", "sharded resident query server over the dfv::api wire protocol",
+              with_faults({days_arg,
+                           {"shards", ArgType::Int, "8", "shard threads (keyspace slices)"},
+                           {"port", ArgType::Int, "0", "TCP port (0 = kernel-assigned)"},
+                           {"duration", ArgType::Double, "0",
+                            "stop after this many seconds (0 = run until SIGINT)"}}),
+              timed_phase("serve", cmd_serve));
 
   try {
     return app.run(argc, argv);

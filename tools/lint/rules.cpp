@@ -670,7 +670,8 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path, const std::string
     rule_nodiscard(rel_path, ft.toks, raw);
   if (ends_with(rel_path, ".cpp") &&
       (starts_with(rel_path, "src/analysis/") || starts_with(rel_path, "src/ml/") ||
-       starts_with(rel_path, "src/sim/")))
+       starts_with(rel_path, "src/sim/") || starts_with(rel_path, "src/api/") ||
+       starts_with(rel_path, "src/serve/")))
     rule_contract(rel_path, ft.toks, header_content, raw);
 
   // Apply suppressions: an allow on line L covers lines L and L+1.
