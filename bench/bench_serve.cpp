@@ -23,6 +23,7 @@
 #include "api/session.hpp"
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "serve/chaos.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -131,6 +132,66 @@ PhaseResult run_phase(const std::string& name, const Options& opt, std::uint16_t
   return r;
 }
 
+/// Degraded mode: the same closed-loop lookup workload, but through a
+/// seeded chaos proxy (5% of event points delay, 1% hard-disconnect)
+/// with the retrying client absorbing the faults. The latency numbers
+/// therefore include reconnects and backoff sleeps — that is the point:
+/// this phase tracks what a caller experiences when the network
+/// misbehaves, and BENCH_serve.json keeps it honest release to release.
+PhaseResult run_degraded_phase(const Options& opt, std::uint16_t proxy_port) {
+  DFV_CHECK_MSG(opt.clients >= 1, "bench_serve needs at least one client");
+  std::atomic<bool> go{false};
+  std::atomic<bool> halt{false};
+  std::vector<std::vector<double>> latencies(std::size_t(opt.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(opt.clients));
+
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::RetryPolicy policy;
+      policy.timeout_ms = 5000;
+      policy.jitter_seed = 0x9e3779b9u + std::uint32_t(c);  // distinct backoff streams
+      serve::RetryClient client(proxy_port, policy);
+      for (std::uint64_t i = 0; i < 16; ++i)
+        (void)client.call(lookup_request(i * std::uint64_t(opt.clients) + std::uint64_t(c)));
+      auto& lat = latencies[std::size_t(c)];
+      lat.reserve(1u << 16);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t i = std::uint64_t(c);
+      while (!halt.load(std::memory_order_relaxed)) {
+        const api::Request req = lookup_request(i++);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string raw = client.call_raw(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        DFV_CHECK_MSG(!raw.empty(), "bench_serve: empty response payload");
+        lat.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  halt.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+
+  PhaseResult r;
+  r.name = "degraded_lookup";
+  r.requests = all.size();
+  r.elapsed_s = elapsed;
+  r.qps = elapsed > 0.0 ? double(all.size()) / elapsed : 0.0;
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  r.p999_us = percentile(all, 0.999);
+  return r;
+}
+
 void print_phase(const PhaseResult& r) {
   std::cout << r.name << ": " << std::uint64_t(r.qps) << " QPS (" << r.requests
             << " requests / " << r.elapsed_s << " s)  p50 " << r.p50_us << " us  p99 "
@@ -198,6 +259,23 @@ int main(int argc, char** argv) {
   print_phase(phases.back());
   phases.push_back(run_phase("forecast", opt, server.port(), forecast_request));
   print_phase(phases.back());
+
+  {
+    serve::chaos::ChaosSpec spec;
+    spec.seed = 20260808;  // fixed: the fault schedule is part of the benchmark
+    spec.delay_prob = 0.05;
+    spec.disconnect_prob = 0.01;
+    spec.delay_min_ms = 1;
+    spec.delay_max_ms = 3;
+    serve::chaos::Proxy proxy(spec, server.port());
+    proxy.start();
+    phases.push_back(run_degraded_phase(opt, proxy.port()));
+    print_phase(phases.back());
+    proxy.stop();
+    const auto ps = proxy.stats();
+    std::cout << "chaos: " << ps.connections << " connections, " << ps.delays
+              << " delays, " << ps.disconnects << " disconnects\n";
+  }
 
   server.stop();
   const auto stats = server.stats();

@@ -46,7 +46,7 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan
   cmake --build build-tsan -j --target test_exec test_campaign test_faults \
     test_cache_integrity test_gbr test_rfe test_attention test_forecast \
-    test_api test_serve
+    test_api test_serve test_serve_chaos
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
@@ -69,6 +69,11 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   # the session/wire layer underneath is race-checked with it.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_api
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
+  # Chaos stage: the retrying client against a fault-injecting proxy plus
+  # overload/deadline/eviction/drain edge paths — the harshest scheduler
+  # pressure the serve stack sees, so it runs race-checked too.
+  echo "=== chaos stage (test_serve_chaos under TSan) ==="
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve_chaos
 fi
 
 echo "tier-1: OK"

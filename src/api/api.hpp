@@ -36,7 +36,11 @@ namespace dfv::api {
 /// request/response structs or their encoding; the serve handshake and
 /// every envelope carry it, and a mismatch yields ErrorResponse
 /// (ErrorCode::VersionMismatch), never undefined decoding.
-inline constexpr std::uint32_t kApiVersion = 1;
+///
+/// v2: request envelope gained [u64 request_id][u32 deadline_ms] between
+/// the version and the tag (idempotent retries + server-side deadlines);
+/// ErrorResponse gained retry_after_ms; StatsRequest/StatsResponse added.
+inline constexpr std::uint32_t kApiVersion = 2;
 
 // ---------------------------------------------------------------------------
 // Requests. Each struct has fluent setters so call sites read like the
@@ -142,6 +146,12 @@ struct TopologyRequest {
   TopologyRequest& group_count(int v) { groups = v; return *this; }
 };
 
+/// Live serving counters (connections, shed/evicted totals). Answered by
+/// the server itself from its atomics — a bare Session knows nothing of
+/// connections and answers all-zero. Keyless, so it is never forwarded
+/// and works even when every shard is saturated.
+struct StatsRequest {};
+
 /// Packet-level engines on synthetic traffic (stateless).
 struct SimulateRequest {
   int groups = 6;
@@ -161,17 +171,20 @@ using Request =
     std::variant<CampaignSummaryRequest, ExportRequest, RunLookupRequest,
                  NeighborhoodRequest, DeviationRequest, ForecastRequest,
                  ForecastEvalRequest, ForecastGridRequest, TopologyRequest,
-                 SimulateRequest>;
+                 SimulateRequest, StatsRequest>;
 
 // ---------------------------------------------------------------------------
 // Responses.
 // ---------------------------------------------------------------------------
 
 enum class ErrorCode : std::uint32_t {
-  Contract = 1,         ///< DFV_CHECK violation while handling the request
-  BadRequest = 2,       ///< malformed/truncated wire payload
-  VersionMismatch = 3,  ///< envelope version != kApiVersion
-  Internal = 4,         ///< any other exception
+  Contract = 1,          ///< DFV_CHECK violation while handling the request
+  BadRequest = 2,        ///< malformed/truncated wire payload
+  VersionMismatch = 3,   ///< envelope version != kApiVersion
+  Internal = 4,          ///< any other exception
+  Overloaded = 5,        ///< shed by the admission gate; retry_after_ms is set
+  DeadlineExceeded = 6,  ///< the envelope deadline expired server-side
+  ShuttingDown = 7,      ///< server stopped before the response was ready
 };
 
 [[nodiscard]] const char* to_string(ErrorCode c) noexcept;
@@ -181,6 +194,9 @@ enum class ErrorCode : std::uint32_t {
 struct ErrorResponse {
   ErrorCode code = ErrorCode::Internal;
   std::string message;
+  /// Backoff hint, nonzero only for Overloaded: the server suggests the
+  /// client wait at least this long before the retry.
+  std::uint32_t retry_after_ms = 0;
 };
 
 struct CampaignSummaryRow {
@@ -261,11 +277,24 @@ struct SimulateResponse {
   std::vector<Engine> engines;
 };
 
+/// Serving counters (see StatsRequest). All totals are since start().
+struct StatsResponse {
+  std::uint32_t shards = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t local = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t shed_overload = 0;     ///< requests refused by the admission gate
+  std::uint64_t shed_deadline = 0;     ///< requests answered DeadlineExceeded
+  std::uint64_t evicted_stalled = 0;   ///< connections dropped by I/O timeouts
+  std::uint64_t shutdown_aborted = 0;  ///< requests answered ShuttingDown at drain expiry
+};
+
 using Response =
     std::variant<ErrorResponse, CampaignSummaryResponse, ExportResponse,
                  RunLookupResponse, NeighborhoodResponse, DeviationResponse,
                  ForecastResponse, ForecastEvalResponse, ForecastGridResponse,
-                 TopologyResponse, SimulateResponse>;
+                 TopologyResponse, SimulateResponse, StatsResponse>;
 
 /// Re-raise an ErrorResponse as the exception it came from: Contract ->
 /// ContractError (so CLI error paths keep their exact pre-api wording and

@@ -17,6 +17,9 @@ const char* to_string(ErrorCode c) noexcept {
     case ErrorCode::BadRequest: return "bad-request";
     case ErrorCode::VersionMismatch: return "version-mismatch";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::ShuttingDown: return "shutting-down";
   }
   return "unknown";
 }
@@ -319,6 +322,11 @@ Response Session::on(const SimulateRequest& q) {
   }
   return resp;
 }
+
+// A bare Session has no serving counters; the server intercepts
+// StatsRequest before dispatch and fills this in from its atomics. The
+// zeroed answer here keeps the in-process (CLI) path total.
+Response Session::on(const StatsRequest&) { return StatsResponse{}; }
 
 // ---------------------------------------------------------------------------
 // Encoded entry point (shared by serve shards and the protocol tests).

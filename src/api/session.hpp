@@ -99,6 +99,7 @@ class Session {
   [[nodiscard]] Response on(const ForecastGridRequest& q);
   [[nodiscard]] Response on(const TopologyRequest& q);
   [[nodiscard]] Response on(const SimulateRequest& q);
+  [[nodiscard]] Response on(const StatsRequest& q);
 
   [[nodiscard]] const sim::Dataset& dataset(const std::string& app, int nodes);
   /// Per-dataset step-feature tables, built once and reused by every

@@ -19,6 +19,7 @@ enum class ReqTag : std::uint8_t {
   ForecastGrid = 8,
   Topology = 9,
   Simulate = 10,
+  Stats = 11,
 };
 
 enum class RespTag : std::uint8_t {
@@ -33,6 +34,7 @@ enum class RespTag : std::uint8_t {
   ForecastGrid = 8,
   Topology = 9,
   Simulate = 10,
+  Stats = 11,
 };
 
 class Writer {
@@ -154,10 +156,14 @@ void put_window(Writer& w, const analysis::WindowConfig& c) {
 // Requests.
 // ---------------------------------------------------------------------------
 
+std::string encode_request(const Request& req) { return encode_request(req, {}); }
+
 // dfv-lint: allow(contract): any in-memory Request encodes; decode validates
-std::string encode_request(const Request& req) {
+std::string encode_request(const Request& req, const RequestMeta& meta) {
   Writer w;
   w.u32(kApiVersion);
+  w.u64(meta.request_id);
+  w.u32(meta.deadline_ms);
   std::visit(
       [&](const auto& q) {
         using T = std::decay_t<decltype(q)>;
@@ -207,6 +213,8 @@ std::string encode_request(const Request& req) {
           w.str(q.policy);
           w.f64(q.load);
           w.i32(q.packets);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          w.u8(std::uint8_t(ReqTag::Stats));
         }
       },
       req);
@@ -214,8 +222,15 @@ std::string encode_request(const Request& req) {
 }
 
 Request decode_request(std::string_view bytes) {
+  return decode_request_envelope(bytes).request;
+}
+
+RequestEnvelope decode_request_envelope(std::string_view bytes) {
   Reader r(bytes);
   check_version(r);
+  RequestEnvelope env;
+  env.meta.request_id = r.u64();
+  env.meta.deadline_ms = r.u32();
   const auto tag = ReqTag(r.u8());
   Request out;
   switch (tag) {
@@ -295,11 +310,15 @@ Request decode_request(std::string_view bytes) {
       out = q;
       break;
     }
+    case ReqTag::Stats:
+      out = StatsRequest{};
+      break;
     default:
       DFV_CHECK_MSG(false, "wire: unknown request tag " << int(tag));
   }
   r.done();
-  return out;
+  env.request = std::move(out);
+  return env;
 }
 
 // ---------------------------------------------------------------------------
@@ -317,6 +336,7 @@ std::string encode_response(const Response& resp) {
           w.u8(std::uint8_t(RespTag::Error));
           w.u32(std::uint32_t(p.code));
           w.str(p.message);
+          w.u32(p.retry_after_ms);
         } else if constexpr (std::is_same_v<T, CampaignSummaryResponse>) {
           w.u8(std::uint8_t(RespTag::CampaignSummary));
           w.boolean(p.faulted);
@@ -402,6 +422,17 @@ std::string encode_response(const Response& resp) {
             w.f64(e.mean_hops);
             w.f64(e.throughput_bps);
           });
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          w.u8(std::uint8_t(RespTag::Stats));
+          w.u32(p.shards);
+          w.u64(p.connections);
+          w.u64(p.requests);
+          w.u64(p.local);
+          w.u64(p.forwarded);
+          w.u64(p.shed_overload);
+          w.u64(p.shed_deadline);
+          w.u64(p.evicted_stalled);
+          w.u64(p.shutdown_aborted);
         }
       },
       resp);
@@ -417,9 +448,12 @@ Response decode_response(std::string_view bytes) {
     case RespTag::Error: {
       ErrorResponse p;
       const std::uint32_t code = r.u32();
-      DFV_CHECK_MSG(code >= 1 && code <= 4, "wire: unknown error code " << code);
+      DFV_CHECK_MSG(code >= std::uint32_t(enum_int(ErrorCode::Contract)) &&
+                        code <= std::uint32_t(enum_int(ErrorCode::ShuttingDown)),
+                    "wire: unknown error code " << code);
       p.code = ErrorCode(code);
       p.message = r.str();
+      p.retry_after_ms = r.u32();
       out = p;
       break;
     }
@@ -545,6 +579,20 @@ Response decode_response(std::string_view bytes) {
         e.mean_hops = r.f64();
         e.throughput_bps = r.f64();
       }
+      out = p;
+      break;
+    }
+    case RespTag::Stats: {
+      StatsResponse p;
+      p.shards = r.u32();
+      p.connections = r.u64();
+      p.requests = r.u64();
+      p.local = r.u64();
+      p.forwarded = r.u64();
+      p.shed_overload = r.u64();
+      p.shed_deadline = r.u64();
+      p.evicted_stalled = r.u64();
+      p.shutdown_aborted = r.u64();
       out = p;
       break;
     }

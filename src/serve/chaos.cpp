@@ -1,0 +1,331 @@
+#include "serve/chaos.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/rng.hpp"
+
+namespace dfv::serve::chaos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Fault { None, Delay, Truncate, Disconnect, Reset };
+
+/// One decision per event point, from the direction's own substream.
+[[nodiscard]] Fault draw_fault(Rng& rng, const ChaosSpec& spec) {
+  const double u = rng.uniform();
+  double acc = spec.reset_prob;
+  if (u < acc) return Fault::Reset;
+  acc += spec.disconnect_prob;
+  if (u < acc) return Fault::Disconnect;
+  acc += spec.truncate_prob;
+  if (u < acc) return Fault::Truncate;
+  acc += spec.delay_prob;
+  if (u < acc) return Fault::Delay;
+  return Fault::None;
+}
+
+/// Next event offset from the previous one — never from read_total, so
+/// the schedule is independent of TCP chunk boundaries.
+[[nodiscard]] std::uint64_t next_event_offset(Rng& rng, std::uint64_t prev,
+                                              std::uint32_t stride) {
+  return prev + stride / 2 + rng.uniform_index(std::uint64_t(stride) + 1);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DFV_CHECK_MSG(flags >= 0, "chaos: fcntl(F_GETFL) failed");
+  DFV_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "chaos: fcntl(F_SETFL) failed");
+}
+
+/// Close with SO_LINGER{on, 0}: the kernel sends RST instead of FIN.
+void close_with_reset(int fd) noexcept {
+  struct linger lg {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+/// One relay direction (client->upstream or upstream->client).
+struct Dir {
+  int src = -1;
+  int dst = -1;
+  Rng rng{1};
+  std::string buf;  ///< read from src, not yet forwarded to dst
+  std::uint64_t read_total = 0;
+  std::uint64_t sent_total = 0;
+  std::uint64_t next_event = 0;
+  Clock::time_point hold_until{};  ///< {} = not delayed
+  bool src_eof = false;
+  bool dst_shut = false;
+};
+
+struct Link {
+  int client = -1;
+  int upstream = -1;
+  Dir dir[2];  ///< [0] client->upstream, [1] upstream->client
+  bool close_after_flush = false;  ///< truncate/disconnect pending
+  bool dead = false;
+};
+
+}  // namespace
+
+void ChaosSpec::validate() const {
+  const double total = delay_prob + truncate_prob + disconnect_prob + reset_prob;
+  DFV_CHECK_MSG(delay_prob >= 0 && truncate_prob >= 0 && disconnect_prob >= 0 &&
+                    reset_prob >= 0,
+                "chaos: fault probabilities must be non-negative");
+  DFV_CHECK_MSG(total <= 1.0, "chaos: fault probabilities must sum to <= 1");
+  DFV_CHECK_MSG(delay_max_ms >= delay_min_ms, "chaos: delay_max_ms below delay_min_ms");
+  DFV_CHECK_MSG(event_stride_bytes >= 1, "chaos: event stride must be positive");
+}
+
+Proxy::Proxy(ChaosSpec spec, std::uint16_t upstream_port)
+    : spec_(spec), upstream_port_(upstream_port) {
+  spec_.validate();
+}
+
+Proxy::~Proxy() { stop(); }
+
+void Proxy::start() {
+  DFV_CHECK_MSG(!running_, "chaos: start() called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DFV_CHECK_MSG(listen_fd_ >= 0, "chaos: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // kernel-assigned
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  DFV_CHECK_MSG(
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+      "chaos: bind failed");
+  DFV_CHECK_MSG(::listen(listen_fd_, 64) == 0, "chaos: listen failed");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  DFV_CHECK_MSG(
+      ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0,
+      "chaos: getsockname failed");
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Proxy::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ProxyStats Proxy::stats() const noexcept {
+  ProxyStats s;
+  s.connections = stat_connections_.load();
+  s.bytes_forwarded = stat_bytes_.load();
+  s.delays = stat_delays_.load();
+  s.truncations = stat_truncations_.load();
+  s.disconnects = stat_disconnects_.load();
+  s.resets = stat_resets_.load();
+  return s;
+}
+
+void Proxy::loop() {
+  std::vector<Link> links;
+  std::uint64_t conn_index = 0;
+  std::vector<pollfd> fds;
+
+  const auto kill_link = [](Link& link) {
+    if (link.client >= 0) ::close(link.client);
+    if (link.upstream >= 0) ::close(link.upstream);
+    link.client = link.upstream = -1;
+    link.dead = true;
+  };
+  const auto reset_link = [](Link& link) {
+    if (link.client >= 0) close_with_reset(link.client);
+    if (link.upstream >= 0) close_with_reset(link.upstream);
+    link.client = link.upstream = -1;
+    link.dead = true;
+  };
+
+  while (running_.load()) {
+    // Accept new connections and dial the upstream for each.
+    while (true) {
+      const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+      if (cfd < 0) break;  // EAGAIN/EWOULDBLOCK (or shutdown): no more pending
+      const int ufd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in up{};
+      up.sin_family = AF_INET;
+      up.sin_port = htons(upstream_port_);
+      up.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (ufd < 0 ||
+          ::connect(ufd, reinterpret_cast<const sockaddr*>(&up), sizeof(up)) != 0) {
+        ::close(cfd);
+        if (ufd >= 0) ::close(ufd);
+        continue;  // upstream gone: the client sees a refused/odd close
+      }
+      int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::setsockopt(ufd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_nonblocking(cfd);
+      set_nonblocking(ufd);
+
+      Link link;
+      link.client = cfd;
+      link.upstream = ufd;
+      // The substream discipline of dfv::faults: one child stream per
+      // (connection, direction), so schedules never interleave.
+      for (int d = 0; d < 2; ++d) {
+        Dir& dir = link.dir[d];
+        dir.src = d == 0 ? cfd : ufd;
+        dir.dst = d == 0 ? ufd : cfd;
+        dir.rng = Rng(spec_.seed).split(conn_index * 2 + std::uint64_t(d));
+        dir.next_event = next_event_offset(dir.rng, 0, spec_.event_stride_bytes);
+      }
+      ++conn_index;
+      stat_connections_.fetch_add(1);
+      links.push_back(std::move(link));
+    }
+
+    // Relay + inject per link.
+    const auto now = Clock::now();
+    for (Link& link : links) {
+      if (link.dead) continue;
+      bool do_reset = false;
+      for (Dir& dir : link.dir) {
+        if (link.dead || do_reset) break;
+        // 1) Read whatever the source has (unless already draining out).
+        if (!dir.src_eof && !link.close_after_flush) {
+          char buf[16384];
+          while (true) {
+            const ssize_t r = ::read(dir.src, buf, sizeof(buf));
+            if (r > 0) {
+              dir.buf.append(buf, std::size_t(r));
+              dir.read_total += std::uint64_t(r);
+              continue;
+            }
+            if (r == 0) {
+              dir.src_eof = true;
+              break;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            dir.src_eof = true;  // peer reset etc.: treat as end of stream
+            break;
+          }
+        }
+        // 2) Fault decisions at every event point the stream crossed.
+        while (!link.close_after_flush && !do_reset &&
+               dir.read_total >= dir.next_event) {
+          const std::uint64_t at = dir.next_event;
+          dir.next_event =
+              next_event_offset(dir.rng, dir.next_event, spec_.event_stride_bytes);
+          switch (draw_fault(dir.rng, spec_)) {
+            case Fault::None:
+              break;
+            case Fault::Delay: {
+              const auto ms = dir.rng.uniform_int(std::int64_t(spec_.delay_min_ms),
+                                                  std::int64_t(spec_.delay_max_ms));
+              dir.hold_until = now + std::chrono::milliseconds(ms);
+              stat_delays_.fetch_add(1);
+              break;
+            }
+            case Fault::Truncate: {
+              // Forward only the prefix up to the event point, then FIN.
+              const std::uint64_t keep = at > dir.sent_total ? at - dir.sent_total : 0;
+              if (dir.buf.size() > keep) dir.buf.resize(std::size_t(keep));
+              link.close_after_flush = true;
+              stat_truncations_.fetch_add(1);
+              break;
+            }
+            case Fault::Disconnect:
+              dir.buf.clear();
+              link.close_after_flush = true;
+              stat_disconnects_.fetch_add(1);
+              break;
+            case Fault::Reset:
+              do_reset = true;
+              stat_resets_.fetch_add(1);
+              break;
+          }
+        }
+        if (do_reset) break;
+        // 3) Flush (FIFO; a delay holds the whole direction).
+        if (dir.hold_until != Clock::time_point{} && now < dir.hold_until) continue;
+        dir.hold_until = Clock::time_point{};
+        while (!dir.buf.empty()) {
+          const ssize_t w =
+              ::send(dir.dst, dir.buf.data(), dir.buf.size(), MSG_NOSIGNAL);
+          if (w > 0) {
+            dir.buf.erase(0, std::size_t(w));
+            dir.sent_total += std::uint64_t(w);
+            stat_bytes_.fetch_add(std::uint64_t(w));
+            continue;
+          }
+          if (w < 0 && errno == EINTR) continue;
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dir.src_eof = true;  // receiver gone: stop relaying this direction
+          dir.buf.clear();
+          break;
+        }
+        // 4) Propagate EOF once the buffered bytes are out.
+        if (dir.src_eof && dir.buf.empty() && !dir.dst_shut) {
+          ::shutdown(dir.dst, SHUT_WR);
+          dir.dst_shut = true;
+        }
+      }
+      if (do_reset) {
+        reset_link(link);
+        continue;
+      }
+      const bool drained =
+          link.dir[0].buf.empty() && link.dir[1].buf.empty();
+      if (link.close_after_flush && drained) {
+        kill_link(link);
+        continue;
+      }
+      if (link.dir[0].dst_shut && link.dir[1].dst_shut) kill_link(link);
+    }
+    links.erase(std::remove_if(links.begin(), links.end(),
+                               [](const Link& l) { return l.dead; }),
+                links.end());
+
+    // Poll with a short tick so hold_until expiries are honored.
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Link& link : links) {
+      for (const Dir& dir : link.dir) {
+        short events = 0;
+        if (!dir.src_eof && !link.close_after_flush) events = short(events | POLLIN);
+        if (events != 0) fds.push_back(pollfd{dir.src, events, 0});
+        if (!dir.buf.empty()) fds.push_back(pollfd{dir.dst, POLLOUT, 0});
+      }
+    }
+    (void)::poll(fds.data(), nfds_t(fds.size()), 5);
+  }
+
+  for (Link& link : links) kill_link(link);
+}
+
+}  // namespace dfv::serve::chaos

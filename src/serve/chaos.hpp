@@ -1,0 +1,95 @@
+// dfv::serve::chaos — a deterministic in-process TCP fault proxy.
+//
+// chaos::Proxy sits between a client and a dfv serve server on loopback
+// and injects network faults — delays, byte-level truncations, clean
+// mid-frame disconnects, and hard connection resets (RST) — from a
+// seeded dfv::Rng, reusing the substream discipline of dfv::faults:
+// connection i, direction d draws from Rng(seed).split(i * 2 + d), so
+// the entire fault schedule is a pure function of the spec seed and the
+// byte counts that flow, never of TCP chunk boundaries or timing.
+//
+// Determinism mechanics: fault decisions are drawn at *event points* —
+// deterministic byte offsets in each direction's stream, spaced
+// event_stride_bytes apart (half-jittered by the same substream). Each
+// event point draws exactly one decision, and the next event offset is
+// derived from the previous offset (not from however many bytes a read
+// happened to return), so a schedule replays exactly given the same
+// seed and workload. test_serve_chaos leans on this: a fault scenario
+// that fails can be re-run byte-for-byte.
+//
+// The proxy is one event-loop thread (poll over all links), so it never
+// reorders bytes within a direction; a delay holds the whole direction
+// FIFO. Faults hit both directions independently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace dfv::serve::chaos {
+
+/// Fault mix of a Proxy. Probabilities are per *event point* (roughly
+/// one per event_stride_bytes of traffic per direction), they need not
+/// sum to 1; the remainder means "no fault at this point".
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  double delay_prob = 0.0;       ///< hold the direction for a drawn interval
+  double truncate_prob = 0.0;    ///< forward a byte prefix, then close
+  double disconnect_prob = 0.0;  ///< clean close (FIN) mid-stream
+  double reset_prob = 0.0;       ///< hard close (RST via SO_LINGER{1,0})
+  std::uint32_t delay_min_ms = 1;
+  std::uint32_t delay_max_ms = 5;
+  /// Mean spacing of fault event points, in bytes per direction.
+  std::uint32_t event_stride_bytes = 1024;
+  void validate() const;
+};
+
+/// Injection accounting (atomically maintained; readable while running).
+struct ProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t resets = 0;
+};
+
+class Proxy {
+ public:
+  /// Proxies 127.0.0.1:<port()> to 127.0.0.1:<upstream_port>.
+  Proxy(ChaosSpec spec, std::uint16_t upstream_port);
+  ~Proxy();
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Bind a kernel-assigned loopback port and spawn the relay thread.
+  void start();
+  /// Close every link and join the relay thread. Idempotent.
+  void stop();
+
+  /// Listening port clients should connect to (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] ProxyStats stats() const noexcept;
+
+ private:
+  void loop();
+
+  ChaosSpec spec_;
+  std::uint16_t upstream_port_ = 0;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::uint64_t> stat_connections_{0};
+  std::atomic<std::uint64_t> stat_bytes_{0};
+  std::atomic<std::uint64_t> stat_delays_{0};
+  std::atomic<std::uint64_t> stat_truncations_{0};
+  std::atomic<std::uint64_t> stat_disconnects_{0};
+  std::atomic<std::uint64_t> stat_resets_{0};
+};
+
+}  // namespace dfv::serve::chaos

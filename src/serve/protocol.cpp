@@ -1,9 +1,10 @@
 #include "serve/protocol.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,6 +14,8 @@ namespace dfv::serve {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 void put_u32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
 }
@@ -21,6 +24,80 @@ void put_u32(std::string& out, std::uint32_t v) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
   return v;
+}
+
+[[nodiscard]] Clock::time_point deadline_from(std::int64_t timeout_ms) {
+  return timeout_ms > 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                        : Clock::time_point::max();
+}
+
+[[nodiscard]] bool peer_gone_errno(int err) noexcept {
+  return err == ECONNRESET || err == EPIPE || err == ETIMEDOUT;
+}
+
+/// Block until fd is ready for `events` or the deadline passes. A
+/// deadline of time_point::max() skips the poll entirely (the fd is
+/// blocking, so the subsequent syscall waits).
+void wait_ready(int fd, short events, Clock::time_point deadline, const char* verb) {
+  if (deadline == Clock::time_point::max()) return;
+  while (true) {
+    const auto now = Clock::now();
+    if (now >= deadline)
+      throw TimeoutError(std::string("serve: timed out waiting to ") + verb);
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, int(std::min<long long>(left + 1, 3'600'000)));
+    if (rc > 0) return;
+    if (rc == 0) continue;  // re-check the deadline
+    if (errno == EINTR) continue;
+    throw TransportError(std::string("serve: poll failed: ") + std::strerror(errno));
+  }
+}
+
+[[nodiscard]] bool read_exact_until(int fd, void* buf, std::size_t n,
+                                    Clock::time_point deadline) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    wait_ready(fd, POLLIN, deadline, "read");
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += std::size_t(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF on a record boundary
+      throw PeerGoneError("serve: peer closed the connection mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (peer_gone_errno(errno))
+      throw PeerGoneError(std::string("serve: peer died: read failed: ") +
+                          std::strerror(errno));
+    throw TransportError(std::string("serve: read failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+void write_all_until(int fd, const void* buf, std::size_t n,
+                     Clock::time_point deadline) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    wait_ready(fd, POLLOUT, deadline, "write");
+    // send(MSG_NOSIGNAL), not write: a peer that already closed must
+    // surface as EPIPE, never as a process-killing SIGPIPE.
+    const ssize_t w = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
+    if (w >= 0) {
+      put += std::size_t(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (peer_gone_errno(errno))
+      throw PeerGoneError(std::string("serve: peer died: write failed: ") +
+                          std::strerror(errno));
+    throw TransportError(std::string("serve: write failed: ") + std::strerror(errno));
+  }
 }
 
 }  // namespace
@@ -41,58 +118,38 @@ std::optional<std::uint32_t> parse_hello(std::string_view payload) {
   return get_u32(p + 4);
 }
 
-bool read_exact(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<char*>(buf);
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, p + got, n - got);
-    if (r > 0) {
-      got += std::size_t(r);
-      continue;
-    }
-    if (r == 0) {
-      if (got == 0) return false;  // clean EOF on a record boundary
-      throw std::runtime_error("serve: connection closed mid-frame");
-    }
-    if (errno == EINTR) continue;
-    throw std::runtime_error(std::string("serve: read failed: ") + std::strerror(errno));
-  }
-  return true;
+bool read_exact(int fd, void* buf, std::size_t n, std::int64_t timeout_ms) {
+  DFV_CHECK_MSG(timeout_ms >= 0, "serve: negative read timeout");
+  return read_exact_until(fd, buf, n, deadline_from(timeout_ms));
 }
 
-void write_all(int fd, const void* buf, std::size_t n) {
-  const auto* p = static_cast<const char*>(buf);
-  std::size_t put = 0;
-  while (put < n) {
-    // send(MSG_NOSIGNAL), not write: a peer that already closed must
-    // surface as EPIPE, never as a process-killing SIGPIPE.
-    const ssize_t w = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
-    if (w >= 0) {
-      put += std::size_t(w);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    throw std::runtime_error(std::string("serve: write failed: ") + std::strerror(errno));
-  }
+void write_all(int fd, const void* buf, std::size_t n, std::int64_t timeout_ms) {
+  DFV_CHECK_MSG(timeout_ms >= 0, "serve: negative write timeout");
+  write_all_until(fd, buf, n, deadline_from(timeout_ms));
 }
 
-void write_frame(int fd, std::string_view payload) {
+void write_frame(int fd, std::string_view payload, std::int64_t timeout_ms) {
   DFV_CHECK_MSG(payload.size() <= kMaxFrameBytes, "serve: frame payload too large");
+  const auto deadline = deadline_from(timeout_ms);
   std::string header;
   put_u32(header, std::uint32_t(payload.size()));
-  write_all(fd, header.data(), header.size());
-  write_all(fd, payload.data(), payload.size());
+  write_all_until(fd, header.data(), header.size(), deadline);
+  write_all_until(fd, payload.data(), payload.size(), deadline);
 }
 
-std::optional<std::string> read_frame(int fd) {
+std::optional<std::string> read_frame(int fd, std::int64_t timeout_ms) {
   DFV_CHECK_MSG(fd >= 0, "serve: read_frame on a closed descriptor");
+  const auto deadline = deadline_from(timeout_ms);
   unsigned char header[4];
-  if (!read_exact(fd, header, 4)) return std::nullopt;
+  if (!read_exact_until(fd, header, 4, deadline)) return std::nullopt;
   const std::uint32_t len = get_u32(header);
-  if (len > kMaxFrameBytes) throw std::runtime_error("serve: oversized frame announced");
+  if (len > kMaxFrameBytes)
+    throw FrameError("serve: malformed frame (protocol bug): announced length " +
+                     std::to_string(len) + " exceeds the " +
+                     std::to_string(kMaxFrameBytes) + "-byte cap");
   std::string payload(len, '\0');
-  if (len > 0 && !read_exact(fd, payload.data(), len))
-    throw std::runtime_error("serve: connection closed mid-frame");
+  if (len > 0 && !read_exact_until(fd, payload.data(), len, deadline))
+    throw PeerGoneError("serve: peer closed the connection mid-frame");
   return payload;
 }
 

@@ -15,10 +15,22 @@
 // the client and one encoded api::Response from the server, strictly
 // alternating per connection (a request is answered before the next one
 // is read, so responses can never be reordered).
+//
+// Failure taxonomy (the retry layer keys off these types):
+//
+//   PeerGoneError — the peer died: EOF or ECONNRESET/EPIPE mid-exchange.
+//     Transient from the caller's view; a retrying client reconnects.
+//   FrameError — the peer is alive but the framing is wrong (oversized
+//     length, non-decoding bytes): a protocol bug. Never retried —
+//     retrying a bug reproduces it.
+//   TimeoutError — the deadline passed while waiting for the fd.
+//     Transient; the connection is poisoned (a late reply would
+//     desynchronize the alternation) and must be closed before reuse.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -35,6 +47,33 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 /// Hello payload size (magic + version).
 inline constexpr std::size_t kHelloBytes = 8;
 
+/// Base of every blocking-helper failure below.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The peer vanished: EOF inside a record, ECONNRESET, EPIPE. The local
+/// protocol state was fine; reconnect-and-retry is sound.
+class PeerGoneError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// The peer is alive but violates the framing contract (a protocol bug,
+/// not a network fault). Retrying would reproduce it.
+class FrameError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// A read/write deadline expired. The fd may still deliver the stale
+/// bytes later, so the caller must close it before retrying.
+class TimeoutError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
 [[nodiscard]] std::string hello_payload(std::uint32_t version);
 
 /// Parse a hello payload. Returns the announced version, or nullopt when
@@ -43,20 +82,25 @@ inline constexpr std::size_t kHelloBytes = 8;
 
 // ---------------------------------------------------------------------------
 // Blocking fd helpers (client side and tests; the server shards use
-// their own non-blocking buffers).
+// their own non-blocking buffers). `timeout_ms` is an overall deadline
+// for the whole call measured from entry; 0 blocks forever.
 // ---------------------------------------------------------------------------
 
 /// Read exactly n bytes. Returns false on clean EOF before the first
-/// byte; throws std::runtime_error on errors or EOF mid-record.
-[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n);
+/// byte; throws PeerGoneError on EOF/reset mid-record, TimeoutError past
+/// the deadline, TransportError on other socket errors.
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n,
+                              std::int64_t timeout_ms = 0);
 
-/// Write all n bytes (throws std::runtime_error on error).
-void write_all(int fd, const void* buf, std::size_t n);
+/// Write all n bytes (throws PeerGoneError/TimeoutError/TransportError).
+void write_all(int fd, const void* buf, std::size_t n, std::int64_t timeout_ms = 0);
 
 /// Write one length-prefixed frame.
-void write_frame(int fd, std::string_view payload);
+void write_frame(int fd, std::string_view payload, std::int64_t timeout_ms = 0);
 
 /// Read one frame; nullopt on clean EOF before the length prefix.
-[[nodiscard]] std::optional<std::string> read_frame(int fd);
+/// Throws FrameError when the announced length exceeds kMaxFrameBytes.
+[[nodiscard]] std::optional<std::string> read_frame(int fd,
+                                                    std::int64_t timeout_ms = 0);
 
 }  // namespace dfv::serve

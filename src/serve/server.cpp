@@ -24,8 +24,16 @@ namespace dfv::serve {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Flooding cap on a connection's receive buffer: frames are consumed as
+/// they complete, so the buffer only grows while a forwarded reply is
+/// pending — a peer that pipelines past two maximal frames in that
+/// window is shedding load onto us and gets evicted instead.
+constexpr std::size_t kMaxConnBacklogBytes = std::size_t(kMaxFrameBytes) * 2;
 
 void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -133,10 +141,12 @@ struct Server::Shard {
   struct Msg {
     enum class Kind { NewConn, Work, Reply };
     Kind kind = Kind::NewConn;
-    int fd = -1;                 ///< NewConn: the accepted socket
-    std::size_t origin = 0;      ///< Work: shard to send the Reply to
-    std::uint64_t conn_id = 0;   ///< Work/Reply: connection on the origin shard
-    std::string bytes;           ///< Work: request payload; Reply: encoded response
+    int fd = -1;                ///< NewConn: the accepted socket
+    std::size_t origin = 0;     ///< Work: shard to send the Reply to
+    std::uint64_t conn_id = 0;  ///< Work/Reply: connection on the origin shard
+    std::string bytes;          ///< Work: request payload; Reply: encoded response
+    std::uint32_t deadline_ms = 0;   ///< Work: effective deadline (0 = none)
+    Clock::time_point deadline_at{};  ///< Work: absolute expiry when deadline_ms > 0
   };
 
   struct Conn {
@@ -147,6 +157,11 @@ struct Server::Shard {
     bool close_after_flush = false;
     std::string in;   ///< received, not yet framed
     std::string out;  ///< encoded frames, not yet written
+    // Stall countdowns ({} = not counting): read_start is set while a
+    // frame sits incomplete in `in`, write_start while `out` waits to
+    // drain. Both reset whenever the respective buffer empties.
+    Clock::time_point read_start{};
+    Clock::time_point write_start{};
   };
 
   Shard(Server* srv, std::size_t idx, api::Session sess)
@@ -158,6 +173,19 @@ struct Server::Shard {
       mailbox.push_back(std::move(msg));
     }
     server->wake(*this);
+  }
+
+  /// Bounded admission for Work messages: refuses (returns false) when
+  /// the mailbox is already `limit` deep, so an overwhelmed owner shard
+  /// backpressures its origins instead of queueing without bound.
+  [[nodiscard]] bool post_work(Msg msg, std::size_t limit) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (mailbox.size() >= limit) return false;
+      mailbox.push_back(std::move(msg));
+    }
+    server->wake(*this);
+    return true;
   }
 
   Server* server;
@@ -174,11 +202,17 @@ struct Server::Shard {
   // Shard-thread-private state.
   std::map<std::uint64_t, Conn> conns;
   std::uint64_t next_conn_id = 1;
+  /// Forwarded requests whose Reply has not come back yet — the
+  /// admission gate's in-flight dimension.
+  std::size_t open_forwards = 0;
 };
 
 Server::Server(ServerOptions opt) : opt_(std::move(opt)) {
   DFV_CHECK_MSG(opt_.shards >= 1, "serve: server needs at least one shard");
   DFV_CHECK_MSG(opt_.listen_backlog >= 1, "serve: listen backlog must be positive");
+  DFV_CHECK_MSG(opt_.max_inflight >= 1, "serve: max_inflight must be positive");
+  DFV_CHECK_MSG(opt_.max_mailbox >= 1, "serve: max_mailbox must be positive");
+  DFV_CHECK_MSG(opt_.drain_timeout_ms > 0, "serve: drain timeout must be positive");
 }
 
 Server::~Server() { stop(); }
@@ -254,12 +288,15 @@ void Server::stop() {
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& shard : shards_) wake(*shard);
 
-  // Wait (bounded) until every shard is quiescent and no cross-shard
-  // operation is in flight. Quiescent flags are re-read after the
-  // inflight check: a Work/Reply can only exist while inflight_ > 0, so
-  // two consistent passes mean the system is truly idle.
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (std::chrono::steady_clock::now() < deadline) {
+  // Wait (bounded by drain_timeout_ms) until every shard is quiescent and
+  // no cross-shard operation is in flight. Quiescent flags are re-read
+  // after the inflight check: a Work/Reply can only exist while
+  // inflight_ > 0, so two consistent passes mean the system is truly
+  // idle. Requests still pending past the deadline are answered with a
+  // structured ShuttingDown error in the phase-2 cleanup below.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opt_.drain_timeout_ms);
+  while (Clock::now() < deadline) {
     bool idle = inflight_.load() == 0;
     for (auto& shard : shards_) idle = idle && shard->quiescent.load();
     idle = idle && inflight_.load() == 0;
@@ -293,7 +330,25 @@ ServerStats Server::stats() const noexcept {
   s.requests = stat_requests_.load();
   s.local = stat_local_.load();
   s.forwarded = stat_forwarded_.load();
+  s.shed_overload = stat_shed_overload_.load();
+  s.shed_deadline = stat_shed_deadline_.load();
+  s.evicted_stalled = stat_evicted_.load();
+  s.shutdown_aborted = stat_shutdown_aborted_.load();
   return s;
+}
+
+std::string Server::encoded_stats_response() const {
+  api::StatsResponse s;
+  s.shards = std::uint32_t(shards_.size());
+  s.connections = stat_connections_.load();
+  s.requests = stat_requests_.load();
+  s.local = stat_local_.load();
+  s.forwarded = stat_forwarded_.load();
+  s.shed_overload = stat_shed_overload_.load();
+  s.shed_deadline = stat_shed_deadline_.load();
+  s.evicted_stalled = stat_evicted_.load();
+  s.shutdown_aborted = stat_shutdown_aborted_.load();
+  return api::encode_response(api::Response{std::move(s)});
 }
 
 void Server::acceptor_main() {
@@ -322,14 +377,29 @@ void Server::shard_main(Shard& shard) {
 
   const std::size_t nshards = shards_.size();
 
+  // Deterministic error payloads (pure functions of their inputs — the
+  // bytes never depend on timing, so shed responses are replayable too).
+  const auto overloaded_error = [&] {
+    return api::encode_response(
+        api::ErrorResponse{api::ErrorCode::Overloaded,
+                           "serve: shard overloaded; retry after backoff",
+                           opt_.retry_after_ms});
+  };
+  const auto deadline_error = [&](std::uint32_t deadline_ms, const char* when) {
+    return api::encode_response(api::ErrorResponse{
+        api::ErrorCode::DeadlineExceeded, "serve: deadline of " +
+                                              std::to_string(deadline_ms) +
+                                              "ms expired " + when});
+  };
+
   // Handle one framed request arriving on `conn` (already past hello).
   const auto route_request = [&](std::uint64_t conn_id, Shard::Conn& conn,
                                  std::string payload) {
     stat_requests_.fetch_add(1);
-    api::Request req;
+    api::RequestEnvelope env;
     bool decoded = true;
     try {
-      req = api::decode_request(payload);
+      env = api::decode_request_envelope(payload);
     } catch (...) {
       decoded = false;
     }
@@ -339,22 +409,57 @@ void Server::shard_main(Shard& shard) {
       append_frame(conn.out, api::handle_encoded(shard.session, payload));
       return;
     }
-    const std::uint64_t key = request_key(req);
+    // Keyless observability path, answered before the admission gate so
+    // overload stays visible while it is happening.
+    if (std::holds_alternative<api::StatsRequest>(env.request)) {
+      stat_local_.fetch_add(1);
+      append_frame(conn.out, encoded_stats_response());
+      return;
+    }
+    // Admission gate: a shard saturated with unanswered forwards sheds
+    // new work with a structured hint instead of queueing unboundedly.
+    if (shard.open_forwards >= std::size_t(opt_.max_inflight)) {
+      stat_shed_overload_.fetch_add(1);
+      append_frame(conn.out, overloaded_error());
+      return;
+    }
+    const std::uint32_t deadline_ms =
+        env.meta.deadline_ms != 0 ? env.meta.deadline_ms : opt_.default_deadline_ms;
+    const auto deadline_at = deadline_ms != 0
+                                 ? Clock::now() + std::chrono::milliseconds(deadline_ms)
+                                 : Clock::time_point{};
+    const std::uint64_t key = request_key(env.request);
     const std::size_t owner = key == 0 ? shard.index : shard_of(key, nshards);
     if (owner == shard.index) {
       stat_local_.fetch_add(1);
-      append_frame(conn.out, api::encode_response(shard.session.handle(req)));
+      std::string resp = api::encode_response(shard.session.handle(env.request));
+      if (deadline_ms != 0 && Clock::now() > deadline_at) {
+        // Never ship a result the caller has already given up on: the
+        // stale bytes are replaced by the structured expiry.
+        stat_shed_deadline_.fetch_add(1);
+        resp = deadline_error(deadline_ms, "while handling the request");
+      }
+      append_frame(conn.out, resp);
       return;
     }
-    stat_forwarded_.fetch_add(1);
-    inflight_.fetch_add(1);
-    conn.awaiting_remote = true;
     Shard::Msg msg;
     msg.kind = Shard::Msg::Kind::Work;
     msg.origin = shard.index;
     msg.conn_id = conn_id;
     msg.bytes = std::move(payload);
-    shards_[owner]->post(std::move(msg));
+    msg.deadline_ms = deadline_ms;
+    msg.deadline_at = deadline_at;
+    inflight_.fetch_add(1);
+    if (!shards_[owner]->post_work(std::move(msg), std::size_t(opt_.max_mailbox))) {
+      // The owner's mailbox is full: shed at the origin, same hint.
+      inflight_.fetch_sub(1);
+      stat_shed_overload_.fetch_add(1);
+      append_frame(conn.out, overloaded_error());
+      return;
+    }
+    stat_forwarded_.fetch_add(1);
+    ++shard.open_forwards;
+    conn.awaiting_remote = true;
   };
 
   // Consume complete frames buffered in conn.in. Stops while a forwarded
@@ -424,11 +529,25 @@ void Server::shard_main(Shard& shard) {
           Shard::Msg reply;
           reply.kind = Shard::Msg::Kind::Reply;
           reply.conn_id = msg.conn_id;
-          reply.bytes = api::handle_encoded(shard.session, msg.bytes);
+          if (msg.deadline_ms != 0 && Clock::now() > msg.deadline_at) {
+            // Expired while queued: don't burn owner-shard time on an
+            // answer nobody is waiting for.
+            stat_shed_deadline_.fetch_add(1);
+            reply.bytes = deadline_error(msg.deadline_ms,
+                                         "while queued for the owner shard");
+          } else {
+            reply.bytes = api::handle_encoded(shard.session, msg.bytes);
+            if (msg.deadline_ms != 0 && Clock::now() > msg.deadline_at) {
+              stat_shed_deadline_.fetch_add(1);
+              reply.bytes =
+                  deadline_error(msg.deadline_ms, "while handling the request");
+            }
+          }
           shards_[msg.origin]->post(std::move(reply));
           break;
         }
         case Shard::Msg::Kind::Reply: {
+          if (shard.open_forwards > 0) --shard.open_forwards;
           const auto it = shard.conns.find(msg.conn_id);
           if (it != shard.conns.end() && it->second.awaiting_remote) {
             append_frame(it->second.out, msg.bytes);
@@ -441,7 +560,9 @@ void Server::shard_main(Shard& shard) {
       }
     }
 
-    // Flush pending writes; reap finished connections.
+    // Flush pending writes; evict stalled peers; reap finished
+    // connections. One `now` per pass keeps the sweep cheap.
+    const auto now = Clock::now();
     for (auto it = shard.conns.begin(); it != shard.conns.end();) {
       Shard::Conn& conn = it->second;
       while (!conn.out.empty()) {
@@ -456,6 +577,35 @@ void Server::shard_main(Shard& shard) {
         conn.close_after_flush = true;  // broken pipe etc.: give up on it
         conn.out.clear();
         break;
+      }
+      // Stall countdowns run only while a frame or a flush is pending;
+      // an idle connection between frames never ticks.
+      if (conn.in.empty())
+        conn.read_start = Clock::time_point{};
+      else if (conn.read_start == Clock::time_point{})
+        conn.read_start = now;
+      if (conn.out.empty())
+        conn.write_start = Clock::time_point{};
+      else if (conn.write_start == Clock::time_point{})
+        conn.write_start = now;
+      const bool read_stalled =
+          phase == 0 && opt_.read_timeout_ms != 0 && !conn.awaiting_remote &&
+          conn.read_start != Clock::time_point{} &&
+          now - conn.read_start > std::chrono::milliseconds(opt_.read_timeout_ms);
+      const bool write_stalled =
+          phase == 0 && opt_.write_timeout_ms != 0 &&
+          conn.write_start != Clock::time_point{} &&
+          now - conn.write_start > std::chrono::milliseconds(opt_.write_timeout_ms);
+      const bool flooded = conn.in.size() > kMaxConnBacklogBytes;
+      if (read_stalled || write_stalled || flooded) {
+        // A peer that cannot complete a frame, cannot drain its
+        // responses, or floods past the backlog cap is wedging shard
+        // resources: cut it. (A pending Reply for this conn is dropped
+        // harmlessly — the Reply handler tolerates a missing conn.)
+        stat_evicted_.fetch_add(1);
+        ::close(conn.fd);
+        it = shard.conns.erase(it);
+        continue;
       }
       const bool done = conn.out.empty() && !conn.awaiting_remote &&
                         (conn.close_after_flush || conn.peer_closed);
@@ -539,8 +689,25 @@ void Server::shard_main(Shard& shard) {
     }
   }
 
+  // Phase 2 cleanup: anything still pending missed the drain window.
+  // Answer it with a structured shutdown error and flush what we can
+  // without blocking — best-effort courtesy, never a hang, and never a
+  // silent drop of a request the peer is still waiting on.
   for (auto& [id, conn] : shard.conns) {
     (void)id;
+    if (conn.awaiting_remote) {
+      stat_shutdown_aborted_.fetch_add(1);
+      conn.awaiting_remote = false;
+      append_frame(conn.out,
+                   api::encode_response(api::ErrorResponse{
+                       api::ErrorCode::ShuttingDown,
+                       "serve: server shut down before the response was ready"}));
+    }
+    while (!conn.out.empty()) {
+      const ssize_t w = ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (w <= 0) break;  // EAGAIN/EPIPE/…: best effort only
+      conn.out.erase(0, std::size_t(w));
+    }
     ::close(conn.fd);
   }
   shard.conns.clear();

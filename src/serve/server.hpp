@@ -16,18 +16,39 @@
 //    mailbox (one mutex-guarded swap per batch) and the encoded response
 //    hops back; per-connection ordering is preserved because a
 //    connection never has more than one request in flight.
-//  * Requests with no key (topology, simulate, campaign summary) are
-//    answered by whichever shard holds the connection; they are pure
+//  * Requests with no key (topology, simulate, campaign summary, stats)
+//    are answered by whichever shard holds the connection; they are pure
 //    functions of the immutable state, so placement cannot change bytes.
+//
+// Robustness layer (the failure model is DESIGN.md §12):
+//
+//  * Admission gate: a shard with max_inflight forwarded requests still
+//    unanswered, or whose target mailbox is max_mailbox deep, sheds new
+//    requests with ErrorResponse{Overloaded, retry_after_ms} instead of
+//    queueing unboundedly. StatsRequest bypasses the gate so overload is
+//    observable while it happens.
+//  * Deadlines: a request whose envelope deadline_ms (or the server's
+//    default_deadline_ms) expires before or during handling is answered
+//    ErrorResponse{DeadlineExceeded}; a stale result is never sent.
+//  * Slow-peer defense: a connection that stalls mid-frame longer than
+//    read_timeout_ms, or that does not drain its pending output within
+//    write_timeout_ms, is evicted (closed, counted), so one bad peer can
+//    never wedge a shard loop. Idle connections between frames are never
+//    evicted.
 //
 // Determinism: every response payload is a pure function of
 // (SessionOptions, request) — never of shard count, connection
 // interleaving, or timing. test_serve pins this by comparing encoded
-// payload bytes from 1-shard and 8-shard servers.
+// payload bytes from 1-shard and 8-shard servers. (StatsRequest is the
+// deliberate exception: it reports live counters and is excluded from
+// byte-identity workloads.)
 //
 // Shutdown: stop() closes the listener, stops reads, then drains —
 // every request fully received before the stop is answered and flushed
-// (including cross-shard ones) before sockets close.
+// (including cross-shard ones) before sockets close. If the drain has
+// not converged within drain_timeout_ms, the remaining connections are
+// answered with a structured ErrorResponse{ShuttingDown} (best-effort
+// flush) and closed — never silently dropped.
 #pragma once
 
 #include <atomic>
@@ -50,6 +71,29 @@ struct ServerOptions {
   /// every shard); when null, start() loads it from `session`. Lets tests
   /// and in-process embedders pay the load once across many servers.
   std::shared_ptr<const api::ResidentCampaign> campaign;
+
+  // --- robustness knobs -----------------------------------------------------
+  /// Per-shard bound on forwarded requests awaiting their owner's reply;
+  /// admissions beyond it are shed with ErrorResponse{Overloaded}.
+  int max_inflight = 64;
+  /// Per-shard bound on queued cross-shard Work messages; a full owner
+  /// mailbox sheds the request at the origin shard.
+  int max_mailbox = 1024;
+  /// Backoff hint stamped into every Overloaded response.
+  std::uint32_t retry_after_ms = 25;
+  /// Server-side deadline applied to requests whose envelope carries
+  /// none (0 = no default). The envelope value wins when nonzero.
+  std::uint32_t default_deadline_ms = 0;
+  /// Evict a connection that started a frame but has not completed it
+  /// within this window (0 = never). Granularity is the poll tick
+  /// (~200 ms), so values below ~400 ms are not meaningful.
+  std::uint32_t read_timeout_ms = 5000;
+  /// Evict a connection whose pending output has not fully drained
+  /// within this window (0 = never).
+  std::uint32_t write_timeout_ms = 5000;
+  /// Graceful-drain budget of stop(); past it, still-pending requests
+  /// are answered ShuttingDown and their connections closed.
+  std::uint32_t drain_timeout_ms = 10'000;
 };
 
 /// FNV-1a 64-bit fingerprint of a routing key. Stable across runs,
@@ -68,9 +112,16 @@ struct ServerOptions {
 
 struct ServerStats {
   std::uint64_t connections = 0;
-  std::uint64_t requests = 0;        ///< decoded request frames
-  std::uint64_t local = 0;           ///< answered on the receiving shard
-  std::uint64_t forwarded = 0;       ///< hopped to the owner shard
+  std::uint64_t requests = 0;   ///< decoded request frames
+  std::uint64_t local = 0;      ///< answered on the receiving shard
+  std::uint64_t forwarded = 0;  ///< hopped to the owner shard
+  // Robustness counters. Invariant: requests == local + forwarded +
+  // shed_overload + undecodable frames; deadline sheds are a subset of
+  // local/forwarded (the request was admitted, then expired).
+  std::uint64_t shed_overload = 0;     ///< refused by the admission gate
+  std::uint64_t shed_deadline = 0;     ///< answered DeadlineExceeded
+  std::uint64_t evicted_stalled = 0;   ///< connections dropped by I/O timeouts
+  std::uint64_t shutdown_aborted = 0;  ///< answered ShuttingDown at drain expiry
 };
 
 class Server {
@@ -85,8 +136,9 @@ class Server {
   /// and the acceptor. Throws on bind failure or campaign errors.
   void start();
 
-  /// Graceful shutdown: stop accepting, drain in-flight requests, flush,
-  /// close, join. Idempotent; also run by the destructor.
+  /// Graceful shutdown: stop accepting, drain in-flight requests
+  /// (bounded by drain_timeout_ms), flush, close, join. Idempotent;
+  /// also run by the destructor.
   void stop();
 
   [[nodiscard]] bool running() const noexcept { return running_; }
@@ -101,6 +153,7 @@ class Server {
   void acceptor_main();
   void shard_main(Shard& shard);
   void wake(Shard& shard) const noexcept;
+  [[nodiscard]] std::string encoded_stats_response() const;
 
   ServerOptions opt_;
   std::shared_ptr<const api::ResidentCampaign> campaign_;
@@ -119,6 +172,10 @@ class Server {
   mutable std::atomic<std::uint64_t> stat_requests_{0};
   mutable std::atomic<std::uint64_t> stat_local_{0};
   mutable std::atomic<std::uint64_t> stat_forwarded_{0};
+  mutable std::atomic<std::uint64_t> stat_shed_overload_{0};
+  mutable std::atomic<std::uint64_t> stat_shed_deadline_{0};
+  mutable std::atomic<std::uint64_t> stat_evicted_{0};
+  mutable std::atomic<std::uint64_t> stat_shutdown_aborted_{0};
 };
 
 }  // namespace dfv::serve

@@ -1,0 +1,33 @@
+#include <cstddef>
+
+struct Channel {
+  int send(const char* buf, std::size_t n);  // declaration: not the syscall
+  int connect();
+};
+
+int fixture_member_call(Channel& ch) {
+  return ch.send("x", 1) + ch.connect();  // member calls: not flagged
+}
+
+int fixture_namespace_qualified(Channel& ch);
+
+namespace netlib {
+int connect(int which);
+}
+
+int fixture_scoped_call() {
+  return netlib::connect(3);  // namespace-scoped: not the syscall
+}
+
+long fixture_raw_send(int fd) {
+  return ::send(fd, "x", 1, 0);  // flagged: global-qualified syscall
+}
+
+int fixture_raw_connect(int fd, const void* addr, unsigned len) {
+  return connect(fd, addr, len);  // flagged: bare syscall
+}
+
+long fixture_suppressed_recv(int fd, char* buf) {
+  // dfv-lint: allow(blocking-io): fixture exercising the reasoned escape hatch
+  return ::recv(fd, buf, 16, 0);
+}

@@ -214,9 +214,11 @@ TEST(ApiWire, UnknownVersionIsAStructuredErrorNotACrash) {
 TEST(ApiWire, TruncatedAndTrailingBytesAreBadRequests) {
   Session session(small_options());
   const std::string bytes = encode_request(Request{DeviationRequest{}});
+  // The last entry is a well-formed v2 envelope ([version][request_id]
+  // [deadline_ms]) that carries an unknown tag 0x63.
   for (const std::string& bad :
        {bytes.substr(0, 3), bytes.substr(0, bytes.size() - 1), bytes + "x",
-        std::string("\x01\x00\x00\x00\x63", 5)}) {
+        std::string("\x02\x00\x00\x00", 4) + std::string(12, '\0') + '\x63'}) {
     const auto resp = decode_response(handle_encoded(session, bad));
     const auto* err = std::get_if<ErrorResponse>(&resp);
     ASSERT_NE(err, nullptr);

@@ -87,6 +87,25 @@ TEST(LintRules, NodiscardMissingOnPublicHeader) {
   expect_single(lint_fixture("src/ml/nodiscard.hpp", "nodiscard.hpp"), "nodiscard", 5);
 }
 
+TEST(LintRules, BlockingIoFlagsRawSyscallsOnly) {
+  // Member calls, declarations, and namespace-scoped homonyms stay
+  // clean; the bare and ::-global-qualified syscalls are flagged; the
+  // reasoned allow silences its line.
+  const auto ds = lint_fixture("src/net/blocking_io.cpp", "blocking_io.cpp");
+  ASSERT_EQ(ds.size(), 2u) << "expected the ::send and bare connect hits";
+  EXPECT_EQ(ds[0].rule, "blocking-io");
+  EXPECT_EQ(ds[0].line, 23);
+  EXPECT_EQ(ds[1].rule, "blocking-io");
+  EXPECT_EQ(ds[1].line, 27);
+}
+
+TEST(LintRules, BlockingIoExemptsTheAuditedServeWrappers) {
+  // Under src/serve/ the rule does not run at all — which also turns
+  // the fixture's allow into dead weight the meta rule reports.
+  expect_single(lint_fixture("src/serve/blocking_io.cpp", "blocking_io.cpp"),
+                "unused-allow", 31);
+}
+
 TEST(LintRules, CleanFilesStayClean) {
   EXPECT_TRUE(lint_fixture("src/ml/clean.hpp", "clean.hpp").empty());
   EXPECT_TRUE(lint_fixture("src/ml/clean.cpp", "clean.cpp", "clean.hpp").empty());
@@ -121,7 +140,7 @@ TEST(LintCatalog, RuleIdsAreUniqueAndCoverFixtures) {
   }
   for (const char* id : {"no-rand", "random-device", "wall-clock", "unordered-iter",
                          "parallel-mutate", "contract", "narrow", "nodiscard",
-                         "allow-reason", "unused-allow", "unknown-rule"})
+                         "blocking-io", "allow-reason", "unused-allow", "unknown-rule"})
     EXPECT_TRUE(ids.count(id)) << "catalog is missing " << id;
 }
 

@@ -330,6 +330,14 @@ int cmd_serve(const cli::ParsedArgs& a) {
   opt.port = std::uint16_t(port);
   opt.session = make_session_options(a);
 
+  opt.max_inflight = a.get_int("max-inflight");
+  const int request_timeout = a.get_int("request-timeout-ms");
+  DFV_CHECK_MSG(request_timeout >= 0, "--request-timeout-ms must be non-negative");
+  opt.default_deadline_ms = std::uint32_t(request_timeout);
+  const int drain_timeout = a.get_int("drain-timeout-ms");
+  DFV_CHECK_MSG(drain_timeout >= 1, "--drain-timeout-ms must be positive");
+  opt.drain_timeout_ms = std::uint32_t(drain_timeout);
+
   serve::Server server(std::move(opt));
   server.start();
   std::cout << "serving on 127.0.0.1:" << server.port() << " with " << server.shards()
@@ -357,6 +365,10 @@ int cmd_serve(const cli::ParsedArgs& a) {
             << " on " << s.connections << " connection"
             << (s.connections == 1 ? "" : "s") << " (" << s.local << " local, "
             << s.forwarded << " cross-shard)\n";
+  if (s.shed_overload + s.shed_deadline + s.evicted_stalled + s.shutdown_aborted > 0)
+    std::cout << "robustness: shed " << s.shed_overload << " overloaded, "
+              << s.shed_deadline << " past-deadline; evicted " << s.evicted_stalled
+              << " stalled; aborted " << s.shutdown_aborted << " at shutdown\n";
   return 0;
 }
 
@@ -451,7 +463,13 @@ int main(int argc, char** argv) {
                            {"shards", ArgType::Int, "8", "shard threads (keyspace slices)"},
                            {"port", ArgType::Int, "0", "TCP port (0 = kernel-assigned)"},
                            {"duration", ArgType::Double, "0",
-                            "stop after this many seconds (0 = run until SIGINT)"}}),
+                            "stop after this many seconds (0 = run until SIGINT)"},
+                           {"max-inflight", ArgType::Int, "64",
+                            "per-shard forwarded requests before shedding Overloaded"},
+                           {"request-timeout-ms", ArgType::Int, "0",
+                            "server-side deadline for requests that carry none (0 = off)"},
+                           {"drain-timeout-ms", ArgType::Int, "10000",
+                            "graceful-drain budget of shutdown before ShuttingDown errors"}}),
               timed_phase("serve", cmd_serve));
 
   try {

@@ -351,6 +351,45 @@ void rule_banned_ids(const std::string& rel, const Toks& t, std::vector<Diagnost
 }
 
 // ---------------------------------------------------------------------------
+// Rule: blocking-io (raw socket syscalls outside the audited wrappers).
+//
+// serve/protocol.cpp owns the only audited recv/send/connect call sites:
+// its helpers add deadlines, EINTR handling, MSG_NOSIGNAL, and the typed
+// failure taxonomy (PeerGone/Frame/Timeout). A bare syscall anywhere else
+// silently reintroduces unbounded blocking and SIGPIPE exposure, so it is
+// flagged; genuinely raw peers (chaos staging in tests) carry a reasoned
+// `dfv-lint: allow(blocking-io)` suppression.
+
+void rule_blocking_io(const std::string& rel, const Toks& t,
+                      std::vector<Diagnostic>& out) {
+  static const std::set<std::string> socket_fns = {
+      "recv", "send", "connect", "accept", "recvfrom", "sendto", "recvmsg", "sendmsg"};
+  // Keywords that precede an *expression*, so an Id after one is a call,
+  // not a declaration (`return connect(...)`), and `return ::send(...)`
+  // is the global-qualified syscall, not `ns::send`.
+  static const std::set<std::string> expr_keywords = {"return", "co_return", "throw",
+                                                      "case",   "co_yield",  "co_await"};
+  const auto is_type_like = [&](std::size_t j) {
+    return t[j].kind == TokKind::Id && !expr_keywords.count(t[j].text);
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Id || !socket_fns.count(t[i].text)) continue;
+    if (!is(t, i + 1, "(")) continue;       // not a call
+    if (member_access(t, i)) continue;      // x.send(...): a method, not the syscall
+    if (i > 0 && t[i - 1].text == "::") {
+      // `foo::connect` is namespace-scoped; bare `::connect` is the syscall.
+      if (i >= 2 && is_type_like(i - 2)) continue;
+    } else if (decl_position(t, i) && !(i > 0 && expr_keywords.count(t[i - 1].text))) {
+      continue;                             // declaring a same-named function
+    }
+    out.push_back({rel, t[i].line, "blocking-io",
+                   "raw '" + t[i].text +
+                       "' outside src/serve: route socket I/O through the audited "
+                       "serve/protocol wrappers (deadlines, EINTR, MSG_NOSIGNAL)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: unordered-iter.
 
 void rule_unordered_iter(const std::string& rel, const Toks& t,
@@ -649,6 +688,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"contract", "public analysis/ml/sim entry points must DFV_CHECK their inputs"},
       {"narrow", "narrow integral casts must use DFV_NARROW / dfv::enum_int"},
       {"nodiscard", "value-returning functions in public headers need [[nodiscard]]"},
+      {"blocking-io",
+       "raw socket syscalls (recv/send/connect/...) outside the audited "
+       "src/serve wrappers"},
       {"allow-reason", "suppression comments must explain why (meta)"},
       {"unused-allow", "suppression comments must actually suppress something (meta)"},
       {"unknown-rule", "suppression names a rule that does not exist (meta)"},
@@ -664,6 +706,8 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path, const std::string
   rule_banned_ids(rel_path, ft.toks, raw);
   rule_unordered_iter(rel_path, ft.toks, raw);
   rule_parallel_mutate(rel_path, ft.toks, raw);
+  if (!starts_with(rel_path, "src/serve/"))
+    rule_blocking_io(rel_path, ft.toks, raw);
   if (starts_with(rel_path, "src/") || starts_with(rel_path, "tools/"))
     rule_narrow(rel_path, ft.toks, raw);
   if (starts_with(rel_path, "src/") && ends_with(rel_path, ".hpp"))
