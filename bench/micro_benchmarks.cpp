@@ -9,11 +9,13 @@
 #include <thread>
 
 #include "analysis/forecast.hpp"
+#include "api/session.hpp"
 #include "apps/registry.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "exec/exec.hpp"
 #include "ml/attention.hpp"
+#include "ml/compiled.hpp"
 #include "ml/gbr.hpp"
 #include "ml/rfe.hpp"
 #include "mon/counter_model.hpp"
@@ -326,6 +328,172 @@ void BM_ForecastGrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForecastGrid)->Unit(benchmark::kMillisecond);
+
+// ---- compiled inference (ROADMAP item 3) ----------------------------------
+//
+// The serve-side budget: >= 100k deviation predictions/sec/core and
+// sub-millisecond single-forecast latency. These benches measure the
+// CompiledGbr/CompiledAttention fast path on the same model shapes the
+// deviation and forecast pipelines serve; scripts/bench.sh ml-predict
+// records them in BENCH_ml.json.
+
+/// Fitted GBR at the deviation-pipeline shape (fit once; the benches
+/// below measure inference only).
+class GbrPredictBench {
+ public:
+  GbrPredictBench()
+      : x(make_design(y)), binned(x, params.tree.histogram_bins), gbr(params) {
+    rows.resize(x.rows());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    gbr.fit(binned, y, rows, ml::FeatureMask::all(x.cols()));
+  }
+
+  std::vector<double> y;  ///< filled by make_design (declared before x)
+  ml::Matrix x;
+  std::vector<std::size_t> rows;
+  ml::GbrParams params;
+  ml::BinnedDataset binned;
+  ml::GradientBoostedRegressor gbr;
+
+ private:
+  static ml::Matrix make_design(std::vector<double>& y_out) {
+    Rng rng(8);
+    ml::Matrix m(4000, 13);
+    y_out.resize(4000);
+    for (std::size_t i = 0; i < 4000; ++i) {
+      for (std::size_t c = 0; c < 13; ++c) m(i, c) = rng.normal();
+      y_out[i] = m(i, 3) * 2.0 + std::sin(m(i, 7));
+    }
+    return m;
+  }
+};
+
+const GbrPredictBench& gbr_predict_bench() {
+  static const GbrPredictBench b;
+  return b;
+}
+
+void BM_GbrPredictOne(benchmark::State& state) {
+  const GbrPredictBench& b = gbr_predict_bench();
+  const ml::CompiledGbr compiled = b.gbr.compile();
+  std::size_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.predict_one(b.x.row(r)));
+    r = r + 1 == b.x.rows() ? 0 : r + 1;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_GbrPredictOne)->Unit(benchmark::kMicrosecond);
+
+void BM_GbrPredictMany(benchmark::State& state) {
+  // The RFE/deviation batch shape: every row of the binned view in one
+  // predict_many call (items/sec is the headline predictions-per-second
+  // number).
+  const GbrPredictBench& b = gbr_predict_bench();
+  const ml::CompiledGbr compiled = b.gbr.compile();
+  for (auto _ : state) {
+    const std::vector<double> out = compiled.predict_many(b.binned, b.rows);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(b.rows.size()));
+}
+BENCHMARK(BM_GbrPredictMany)->Unit(benchmark::kMicrosecond);
+
+/// Fitted attention forecaster at the fig08 grid shape (m=8, all 23
+/// features), compiled once.
+struct AttnPredictBench {
+  analysis::WindowData wd;
+  ml::AttentionForecaster model;
+  ml::CompiledAttention compiled;
+
+  AttnPredictBench(analysis::WindowData w, ml::AttentionForecaster mod)
+      : wd(std::move(w)), model(std::move(mod)), compiled(model.compile()) {}
+};
+
+const AttnPredictBench& attn_predict_bench() {
+  static const AttnPredictBench* b = [] {
+    const auto& ds = forecast_bench_dataset();
+    analysis::WindowConfig wcfg;
+    wcfg.m = 8;
+    wcfg.k = 5;
+    wcfg.features = analysis::FeatureSet::AppPlacementIoSys;
+    analysis::WindowData wd = analysis::build_windows(ds, wcfg);
+    const analysis::ForecastConfig fcfg;
+    ml::AttentionForecaster model(wcfg.m, analysis::feature_count(wcfg.features),
+                                  fcfg.attention);
+    model.fit(wd.x, wd.y);
+    return new AttnPredictBench(std::move(wd), std::move(model));
+  }();
+  return *b;
+}
+
+void BM_AttentionPredictOne(benchmark::State& state) {
+  // The serve ForecastRequest inner call: one window through the
+  // pre-packed forward pass with a resident scratch arena.
+  const AttnPredictBench& b = attn_predict_bench();
+  ml::CompiledAttention::Scratch ws;
+  std::size_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.compiled.predict_one(b.wd.x.row(r), ws));
+    r = r + 1 == b.wd.x.rows() ? 0 : r + 1;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_AttentionPredictOne)->Unit(benchmark::kMicrosecond);
+
+void BM_AttentionPredictMany(benchmark::State& state) {
+  // The forecast-eval batch shape: every window of the dataset in one
+  // slab-batched predict_many call.
+  const AttnPredictBench& b = attn_predict_bench();
+  const auto ptrs = ml::row_pointers(b.wd.x);
+  const ml::RowBatch rb{ptrs, 1, b.wd.x.cols(), b.wd.x.cols()};
+  for (auto _ : state) {
+    const std::vector<double> out = b.compiled.predict_many(rb);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(b.wd.x.rows()));
+}
+BENCHMARK(BM_AttentionPredictMany)->Unit(benchmark::kMicrosecond);
+
+api::Session& forecast_bench_session() {
+  // The serve shard shape: one resident campaign + pinned forecaster;
+  // the first request pays campaign generation and model training, so
+  // build (and warm) outside the timed loop.
+  static api::Session* session = [] {
+    set_log_level(LogLevel::Warn);
+    api::SessionOptions opt;
+    sim::CampaignConfig cfg = sim::CampaignConfig::small(2026);
+    cfg.days = 8;
+    cfg.datasets = {{"MILC", 128}};
+    opt.config = cfg;
+    auto* s = new api::Session(std::move(opt));
+    const api::Response warm = s->handle(api::ForecastRequest{}.center(10).m(10).k(20));
+    DFV_CHECK(!std::holds_alternative<api::ErrorResponse>(warm));
+    return s;
+  }();
+  return *session;
+}
+
+void BM_ForecastOne(benchmark::State& state) {
+  // End-to-end Session::handle(ForecastRequest) — the dfv serve hot path
+  // minus the socket: cache lookups, window gather, compiled predict,
+  // persistence baseline.
+  api::Session& session = forecast_bench_session();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const api::Response resp = session.handle(api::ForecastRequest{}
+                                                  .run(std::uint32_t(i % 8))
+                                                  .center(10 + int(i % 20))
+                                                  .m(10)
+                                                  .k(20));
+    benchmark::DoNotOptimize(&resp);
+    ++i;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_ForecastOne)->Unit(benchmark::kMicrosecond);
 
 void BM_ClusterMilcStep(benchmark::State& state) {
   // One full instrumented MILC-128 run on a loaded Cori: the unit of

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Perf trajectory runners. Two modes:
+# Perf trajectory runners. Three modes:
 #
-#   scripts/bench.sh [ml]      # model-training microbenchmarks -> BENCH_ml.json
-#   scripts/bench.sh serve     # dfv serve load generator       -> BENCH_serve.json
+#   scripts/bench.sh [ml]        # model-training microbenchmarks  -> BENCH_ml.json
+#   scripts/bench.sh ml-predict  # compiled-inference benchmarks   -> BENCH_ml.json
+#   scripts/bench.sh serve       # dfv serve load generator        -> BENCH_serve.json
 #
-#   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh        # longer per-bench min time (ml)
+#   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh        # longer per-bench min time (ml*)
 #   DFV_BENCH_SECONDS=5 scripts/bench.sh serve     # longer per-phase window (serve)
 #
 # Measurements come from the Release preset (build-release/) so the
@@ -58,7 +59,10 @@ doc["note"] = note
 baseline = doc.setdefault("baseline", {})
 for name, v in current.items():
     baseline.setdefault(name, v if isinstance(v, dict) else v)
-doc["current"] = current
+# Per-key merge, not replacement: modes that share one file (ml and
+# ml-predict both land in BENCH_ml.json) must not wipe each other's
+# latest numbers.
+doc.setdefault("current", {}).update(current)
 doc["context"] = {
     "host_cpus": int(cpus),
     "build_type": build_type or "unknown",
@@ -106,7 +110,38 @@ PY
     rm -f "$gbench"
     merge_snapshot BENCH_ml.json dfv-bench-ml-v1 \
       "baseline = pre-fast-path numbers per benchmark; current = last scripts/bench.sh run" \
-      '$^'   # all ml metrics are times: lower is better
+      '_items_per_sec$'
+    echo "wrote BENCH_ml.json"
+    ;;
+  ml-predict)
+    # Compiled-inference benches (ml/compiled.{hpp,cpp}); all run in
+    # microseconds, and the batch benches also report predictions/sec as
+    # separate _items_per_sec metrics (kept as their own top-level names
+    # so the one-value-per-metric snapshot schema stays intact).
+    FILTER='BM_GbrPredict|BM_AttentionPredict|BM_ForecastOne'
+    cmake --build "$BUILD" -j --target micro_benchmarks >/dev/null
+    gbench=$(mktemp)
+    "./$BUILD/bench/micro_benchmarks" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_min_time="${DFV_BENCH_MIN_TIME:-0.3}" \
+      --benchmark_format=json >"$gbench" 2>/dev/null
+    python3 - "$gbench" >"$raw" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+out = {}
+for b in raw["benchmarks"]:
+    if b["time_unit"] != "us":
+        continue
+    out[b["name"]] = {"real_time_us": round(b["real_time"], 3)}
+    if "items_per_second" in b:
+        out[b["name"] + "_items_per_sec"] = round(b["items_per_second"])
+print(json.dumps(out))
+PY
+    rm -f "$gbench"
+    merge_snapshot BENCH_ml.json dfv-bench-ml-v1 \
+      "baseline = pre-fast-path numbers per benchmark; current = last scripts/bench.sh run" \
+      '_items_per_sec$'
     echo "wrote BENCH_ml.json"
     ;;
   serve)
@@ -122,7 +157,7 @@ PY
     echo "wrote BENCH_serve.json"
     ;;
   *)
-    echo "usage: scripts/bench.sh [ml|serve]" >&2
+    echo "usage: scripts/bench.sh [ml|ml-predict|serve]" >&2
     exit 2
     ;;
 esac

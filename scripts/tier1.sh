@@ -35,6 +35,11 @@ echo "strict build: clean"
 ./build/bench/micro_benchmarks \
   --benchmark_filter='BM_RfeCv|BM_GbrFit$|BM_GbrFitBinned|BM_TreeFitNode|BM_AttentionFit|BM_BuildWindows|BM_ForecastGrid' \
   --benchmark_min_time=0.01 >/dev/null
+# Compiled-inference smoke (BM_ForecastOne is excluded: it would build a
+# second campaign; the serve smoke below covers that path end to end).
+./build/bench/micro_benchmarks \
+  --benchmark_filter='BM_GbrPredict|BM_AttentionPredict' \
+  --benchmark_min_time=0.01 >/dev/null
 # Serving smoke: the sharded server must start, answer real loopback
 # traffic on both hot paths, and drain cleanly (short window; the real
 # QPS/latency trajectory comes from scripts/bench.sh serve).
@@ -42,11 +47,11 @@ echo "strict build: clean"
 echo "bench smoke: OK"
 
 if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe, attention, forecast, api, serve) ==="
+  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe, attention, compiled, forecast, api, serve) ==="
   cmake --preset tsan
   cmake --build build-tsan -j --target test_exec test_campaign test_faults \
-    test_cache_integrity test_gbr test_rfe test_attention test_forecast \
-    test_api test_serve test_serve_chaos
+    test_cache_integrity test_gbr test_rfe test_attention test_compiled \
+    test_forecast test_api test_serve test_serve_chaos
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
@@ -63,6 +68,10 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   # forecast grid nests cell/fold tasks over the shared window cache;
   # both are race-checked, including the 1/2/8-thread identity sweeps.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_attention
+  # Compiled inference fans predict_many chunks across the pool and flips
+  # the route toggle concurrently with readers; race-checked with the
+  # 1/2/8-thread bit-identity sweeps.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_compiled
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_forecast
   # The serve stack is the one place shard threads, the acceptor, and
   # client threads share state (mailboxes, wake pipes, shutdown flags);

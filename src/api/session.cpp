@@ -5,6 +5,7 @@
 #include "api/wire.hpp"
 #include "common/log.hpp"
 #include "ml/attention.hpp"
+#include "ml/compiled.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
 #include "net/vc_sim.hpp"
@@ -69,13 +70,19 @@ std::shared_ptr<const ResidentCampaign> ResidentCampaign::load(
 // ---------------------------------------------------------------------------
 
 /// A trained attention model pinned in the session, plus the training
-/// metadata the response reports.
+/// metadata the response reports. Compiling at build time moves the
+/// operand packing out of the per-request path; the scratch arena makes
+/// a steady-state forecast allocation-free. Requests on one session are
+/// serialized (each serve shard owns its session), so the mutable
+/// scratch is only ever touched by one request at a time.
 struct Session::ResidentForecaster {
   ml::AttentionForecaster model;
+  ml::CompiledAttention compiled;
   std::uint32_t windows = 0;
+  mutable ml::CompiledAttention::Scratch scratch;
 
   ResidentForecaster(ml::AttentionForecaster m, std::uint32_t w)
-      : model(std::move(m)), windows(w) {}
+      : model(std::move(m)), compiled(model.compile()), windows(w) {}
 };
 
 Session::~Session() = default;
@@ -250,7 +257,11 @@ Response Session::on(const ForecastRequest& q) {
   }
 
   ForecastResponse resp;
-  resp.predicted = rf.model.predict_one(window);
+  // Compiled and reference paths are bit-identical (pinned by
+  // test_compiled and the serve A/B goldens); the compiled one skips the
+  // per-call operand packing and reuses the resident scratch arena.
+  resp.predicted = ml::compiled_enabled() ? rf.compiled.predict_one(window, rf.scratch)
+                                          : rf.model.predict_one(window);
   // Persistence baseline, summed in the same (reverse) order as the
   // window index builds it so the two paths agree bitwise.
   const sim::RunRecord& run = ds.runs[q.run_index];

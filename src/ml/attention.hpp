@@ -19,6 +19,8 @@
 
 namespace dfv::ml {
 
+class CompiledAttention;
+
 struct AttentionParams {
   int d_model = 12;   ///< embedding width per time step
   int d_hidden = 16;  ///< FC head width
@@ -71,7 +73,16 @@ class AttentionForecaster {
   /// for inspecting what the model attends to).
   [[nodiscard]] std::vector<double> attention_weights(std::span<const double> window) const;
 
+  /// Snapshot the fitted model into the pre-packed inference layout
+  /// (see ml/compiled.hpp); predictions are bit-identical to this
+  /// model's predict_* methods. Requires a fitted model. The batch
+  /// predict path takes this route itself while `compiled_enabled()`
+  /// (the default).
+  [[nodiscard]] CompiledAttention compile() const;
+
  private:
+  friend class CompiledAttention;
+
   struct Workspace;  // per-slab forward/backward arena (defined in .cpp)
 
   void fit_impl(const RowBatch& x, std::span<const double> y, bool batched);

@@ -6,8 +6,53 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "exec/exec.hpp"
+#include "ml/compiled.hpp"
 
 namespace dfv::ml {
+
+namespace {
+
+// At -O3, GCC's -fsplit-paths duplicates the join after the child-select
+// ternary, which replaces the cmov with data-dependent branches and makes
+// interleaved tree traversal ~3x slower (bin codes are effectively random,
+// so the branches mispredict constantly). Pin the kernel to branchless
+// codegen; this is pure instruction selection, never a numeric change.
+#if defined(__GNUC__) && !defined(__clang__)
+#define DFV_ML_TRAVERSAL __attribute__((optimize("no-split-paths")))
+#else
+#define DFV_ML_TRAVERSAL
+#endif
+
+/// Advance a block of rows through one fitted tree in lock step and
+/// accumulate `scale` x leaf value into f[rows[j]]. The per-row
+/// dependent-load chains are independent, so interleaving them hides
+/// node/code load latency (~1.6x over per-row predict_binned here).
+/// Bit-identical to the per-row path: same leaf per row, same add.
+DFV_ML_TRAVERSAL
+void add_scaled_leaves(const RegressionTree& tree, const BinnedDataset& data,
+                       std::span<const std::size_t> rows, std::size_t lo, std::size_t hi,
+                       double scale, double* f) {
+  const auto nodes = tree.nodes();
+  const int depth = tree.fitted_depth();
+  const std::uint8_t* codes = data.feature_codes(0).data();
+  const std::size_t R = data.rows();
+  constexpr std::size_t kBlock = 16;
+  std::int32_t cur[kBlock];
+  for (std::size_t j0 = lo; j0 < hi; j0 += kBlock) {
+    const std::size_t cnt = std::min(kBlock, hi - j0);
+    for (std::size_t i = 0; i < cnt; ++i) cur[i] = 0;
+    for (int d = 0; d < depth; ++d)
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const auto& nd = nodes[std::size_t(cur[i])];
+        const std::size_t c = std::size_t(nd.feature >= 0 ? nd.feature : 0);
+        cur[i] = codes[c * R + rows[j0 + i]] <= nd.bin ? nd.left : nd.right;
+      }
+    for (std::size_t i = 0; i < cnt; ++i)
+      f[rows[j0 + i]] += scale * nodes[std::size_t(cur[i])].value;
+  }
+}
+
+}  // namespace
 
 void GradientBoostedRegressor::fit(const Matrix& x, std::span<const double> y) {
   DFV_CHECK(x.rows() == y.size());
@@ -42,9 +87,6 @@ void GradientBoostedRegressor::fit(const BinnedDataset& data, std::span<const do
   std::vector<double> residual(data.rows(), 0.0);
   std::vector<double> f(data.rows(), 0.0);
   for (std::size_t r : rows) f[r] = f0_;
-  // Per-tree in-sample marker (tick = tree index + 1): avoids clearing a
-  // bitmap between trees.
-  std::vector<std::uint32_t> stamp(data.rows(), 0);
   Rng rng(params_.seed);
 
   const auto sub_n =
@@ -54,9 +96,6 @@ void GradientBoostedRegressor::fit(const BinnedDataset& data, std::span<const do
                                       // (no per-tree identity rebuild).
 
   for (int t = 0; t < params_.n_trees; ++t) {
-    // Negative gradient of squared loss = residual.
-    for (std::size_t r : rows) residual[r] = y[r] - f[r];
-
     std::span<const std::size_t> idx = rows;
     if (sub_n < n) {
       const std::vector<std::size_t> pick = rng.sample_without_replacement(n, sub_n);
@@ -64,25 +103,20 @@ void GradientBoostedRegressor::fit(const BinnedDataset& data, std::span<const do
       for (std::size_t k = 0; k < sub_n; ++k) sub_rows[k] = rows[pick[k]];
       idx = sub_rows;
     }
+    // Negative gradient of squared loss = residual, needed only at the
+    // rows this tree trains on (the fit never reads any other entry).
+    for (std::size_t r : idx) residual[r] = y[r] - f[r];
 
     RegressionTree tree;
     tree.fit(data, residual, idx, mask, params_.tree);
 
-    // In-sample rows take their leaf output straight from the partition
-    // the tree just computed — no traversal. Out-of-sample rows walk the
-    // tree on uint8 codes. Row-disjoint writes either way.
-    const auto leaves = tree.fitted_leaves();
-    const std::uint32_t tick = std::uint32_t(t) + 1;
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      f[idx[k]] += params_.learning_rate * tree.leaf_value(leaves[k]);
-      stamp[idx[k]] = tick;
-    }
+    // Boosted-prediction update: every row walks the tree on uint8
+    // codes via the interleaved fixed-depth traversal. That beats the
+    // old stamp-and-skip scheme (its per-row in-sample test mispredicted
+    // constantly); in-sample rows land in exactly the leaf the partition
+    // assigned them, so the update is bit-identical either way.
     exec::parallel_for(0, n, 256, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t j = lo; j < hi; ++j) {
-        const std::size_t r = rows[j];
-        if (stamp[r] != tick)
-          f[r] += params_.learning_rate * tree.predict_binned(data, r);
-      }
+      add_scaled_leaves(tree, data, rows, lo, hi, params_.learning_rate, f.data());
     });
     for (std::size_t c = 0; c < data.features(); ++c)
       gain_acc_[c] += tree.feature_gains()[c];
@@ -99,6 +133,9 @@ double GradientBoostedRegressor::predict_one(std::span<const double> x) const {
 
 std::vector<double> GradientBoostedRegressor::predict(const Matrix& x) const {
   DFV_CHECK(params_.learning_rate > 0.0);
+  // Flatten-then-predict is bit-identical to the per-tree walk below and
+  // pays for the one-pass compile after a few dozen rows.
+  if (compiled_enabled()) return compile().predict(x);
   std::vector<double> out(x.rows());
   exec::parallel_for(0, x.rows(), 128, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
@@ -117,6 +154,7 @@ double GradientBoostedRegressor::predict_binned(const BinnedDataset& data,
 std::vector<double> GradientBoostedRegressor::predict_rows(
     const BinnedDataset& data, std::span<const std::size_t> rows) const {
   DFV_CHECK(params_.learning_rate > 0.0);
+  if (compiled_enabled()) return compile().predict_many(data, rows);
   std::vector<double> out(rows.size());
   exec::parallel_for(0, rows.size(), 128, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) out[i] = predict_binned(data, rows[i]);

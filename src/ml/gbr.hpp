@@ -14,6 +14,8 @@
 
 namespace dfv::ml {
 
+class CompiledGbr;
+
 struct GbrParams {
   int n_trees = 60;
   double learning_rate = 0.10;
@@ -53,7 +55,15 @@ class GradientBoostedRegressor {
   [[nodiscard]] const GbrParams& params() const noexcept { return params_; }
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
 
+  /// Snapshot the fitted ensemble into the flattened inference layout
+  /// (see ml/compiled.hpp); predictions are bit-identical to this
+  /// model's predict_* methods. The batch predict paths take this route
+  /// themselves while `compiled_enabled()` (the default).
+  [[nodiscard]] CompiledGbr compile() const;
+
  private:
+  friend class CompiledGbr;
+
   GbrParams params_;
   double f0_ = 0.0;
   std::vector<RegressionTree> trees_;

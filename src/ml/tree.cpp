@@ -46,6 +46,7 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
   params_ = params;
   bins_ = std::size_t(params.histogram_bins);
   nodes_.clear();
+  fit_depth_ = 0;
   gains_.assign(data.features(), 0.0);
 
   const std::size_t n = rows.size();
@@ -69,26 +70,39 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
   hist_arena_.clear();
   local_rows_.clear();
   samples_.clear();
+  scan_rows_.clear();
+  scan_y_.clear();
   data_ = nullptr;
   mask_ = nullptr;
   y_ = {};
 }
 
-void RegressionTree::scan_hist(std::size_t begin, std::size_t end, Hist& h) const {
+void RegressionTree::scan_hist(std::size_t begin, std::size_t end, Hist& h) {
   DFV_CHECK(data_ != nullptr && end <= samples_.size());
   const std::size_t F = data_->features();
   h.sum.assign(F * bins_, 0.0);
   h.cnt.assign(F * bins_, 0u);
+  // Gather the node's matrix rows and targets once; every feature scan
+  // then reads them sequentially instead of re-chasing samples_ ->
+  // local_rows_ -> y_ per feature. Same per-feature addition order, so
+  // the histograms (and everything downstream) are bit-identical.
+  const std::size_t n = end - begin;
+  scan_rows_.resize(n);
+  scan_y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t row = local_rows_[samples_[begin + i]];
+    scan_rows_[i] = row;
+    scan_y_[i] = y_[row];
+  }
   const auto scan_feature_range = [&](std::size_t f_lo, std::size_t f_hi) {
     for (std::size_t f = f_lo; f < f_hi; ++f) {
       if (!mask_->test(f)) continue;
       const std::uint8_t* codes = data_->feature_codes(f).data();
       double* sum = h.sum.data() + f * bins_;
       std::uint32_t* cnt = h.cnt.data() + f * bins_;
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::uint32_t row = local_rows_[samples_[i]];
-        const std::uint8_t b = codes[row];
-        sum[b] += y_[row];
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t b = codes[scan_rows_[i]];
+        sum[b] += scan_y_[i];
         ++cnt[b];
       }
     }
@@ -109,6 +123,10 @@ std::int32_t RegressionTree::build(std::size_t begin, std::size_t end, int depth
   nodes_[std::size_t(node_id)].value = node_sum / double(n);
 
   const auto make_leaf = [&] {
+    // Leaves self-loop so fixed-depth traversal can overshoot safely.
+    nodes_[std::size_t(node_id)].left = node_id;
+    nodes_[std::size_t(node_id)].right = node_id;
+    fit_depth_ = std::max(fit_depth_, depth);
     for (std::size_t i = begin; i < end; ++i)
       fitted_leaf_[samples_[i]] = node_id;
     return node_id;
@@ -205,12 +223,17 @@ std::int32_t RegressionTree::build(std::size_t begin, std::size_t end, int depth
 
 double RegressionTree::predict_one(std::span<const double> x) const {
   DFV_CHECK(!nodes_.empty());
+  // Fixed-depth descent: every path reaches its leaf within fit_depth_
+  // steps and then self-loops, so the loop has no data-dependent exit
+  // branch to mispredict. Leaves keep feature == -1; reading slot 0 for
+  // them is harmless because both children point back at the leaf.
   std::int32_t cur = 0;
-  while (nodes_[std::size_t(cur)].feature >= 0) {
+  for (int d = 0; d < fit_depth_; ++d) {
     const Node& nd = nodes_[std::size_t(cur)];
+    const std::size_t f = std::size_t(nd.feature >= 0 ? nd.feature : 0);
     // Binning used lower_bound (code = #edges < v), so "code <= b" is
     // exactly "v <= edges[b]"; predict consistently.
-    cur = x[std::size_t(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+    cur = x[f] <= nd.threshold ? nd.left : nd.right;
   }
   return nodes_[std::size_t(cur)].value;
 }
@@ -218,9 +241,10 @@ double RegressionTree::predict_one(std::span<const double> x) const {
 double RegressionTree::predict_binned(const BinnedDataset& data, std::size_t r) const {
   DFV_CHECK(!nodes_.empty());
   std::int32_t cur = 0;
-  while (nodes_[std::size_t(cur)].feature >= 0) {
+  for (int d = 0; d < fit_depth_; ++d) {
     const Node& nd = nodes_[std::size_t(cur)];
-    cur = data.code(r, std::size_t(nd.feature)) <= nd.bin ? nd.left : nd.right;
+    const std::size_t f = std::size_t(nd.feature >= 0 ? nd.feature : 0);
+    cur = data.code(r, f) <= nd.bin ? nd.left : nd.right;
   }
   return nodes_[std::size_t(cur)].value;
 }

@@ -26,6 +26,15 @@ struct TreeParams {
 
 class RegressionTree {
  public:
+  struct Node {
+    int feature = -1;          ///< -1 for leaves
+    double threshold = 0.0;    ///< go left if x[feature] <= threshold
+    std::uint8_t bin = 0;      ///< go left if code(feature) <= bin
+    std::int32_t left = -1;    ///< leaves self-loop (left == right == self)
+    std::int32_t right = -1;
+    double value = 0.0;        ///< leaf prediction
+  };
+
   /// Fit on rows `idx` of `x` against `y` (convenience path: builds a
   /// private BinnedDataset over `x` and delegates to the shared-view
   /// overload with every feature active). The tree may be refit;
@@ -66,17 +75,15 @@ class RegressionTree {
     return gains_;
   }
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Depth of the deepest fitted leaf (0 = the root is a leaf). Every
+  /// root-to-leaf path ends within this many steps; leaves self-loop, so
+  /// fixed-depth traversal is safe and branch-free.
+  [[nodiscard]] int fitted_depth() const noexcept { return fit_depth_; }
+  /// Immutable node table (preorder is not guaranteed; children are
+  /// absolute indices). The compiled-inference flattener consumes this.
+  [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
 
  private:
-  struct Node {
-    int feature = -1;          ///< -1 for leaves
-    double threshold = 0.0;    ///< go left if x[feature] <= threshold
-    std::uint8_t bin = 0;      ///< go left if code(feature) <= bin
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    double value = 0.0;        ///< leaf prediction
-  };
-
   /// Per-node histogram over the active features: flat [feature * bins]
   /// slabs of target sums and sample counts.
   struct Hist {
@@ -84,7 +91,7 @@ class RegressionTree {
     std::vector<std::uint32_t> cnt;
   };
 
-  void scan_hist(std::size_t begin, std::size_t end, Hist& h) const;
+  void scan_hist(std::size_t begin, std::size_t end, Hist& h);
   [[nodiscard]] std::int32_t build(std::size_t begin, std::size_t end, int depth, double node_sum,
                      Hist* hist);
 
@@ -97,10 +104,13 @@ class RegressionTree {
   std::vector<std::uint32_t> local_rows_;  ///< local sample id -> matrix row
   std::vector<std::uint32_t> samples_;     ///< partition-ordered local ids
   std::vector<Hist> hist_arena_;           ///< one buffer per depth level
+  std::vector<std::uint32_t> scan_rows_;   ///< per-scan gathered matrix rows
+  std::vector<double> scan_y_;             ///< per-scan gathered targets
 
   std::vector<Node> nodes_;
   std::vector<double> gains_;
   std::vector<std::int32_t> fitted_leaf_;  ///< local sample id -> leaf node
+  int fit_depth_ = 0;                      ///< depth of the deepest leaf
 };
 
 }  // namespace dfv::ml

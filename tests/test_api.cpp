@@ -15,9 +15,24 @@
 #include "analysis/neighborhood.hpp"
 #include "api/wire.hpp"
 #include "common/log.hpp"
+#include "ml/compiled.hpp"
 
 namespace dfv::api {
 namespace {
+
+/// Pin the compiled-inference toggle for a scope, restoring on exit.
+class CompiledToggleGuard {
+ public:
+  explicit CompiledToggleGuard(bool on) : prev_(ml::compiled_enabled()) {
+    ml::set_compiled_enabled(on);
+  }
+  ~CompiledToggleGuard() { ml::set_compiled_enabled(prev_); }
+  CompiledToggleGuard(const CompiledToggleGuard&) = delete;
+  CompiledToggleGuard& operator=(const CompiledToggleGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 SessionOptions small_options() {
   SessionOptions opt;
@@ -152,6 +167,31 @@ TEST_F(ApiSession, TwoSessionsAnswerByteIdentically) {
   };
   for (const Request& req : reqs)
     EXPECT_EQ(encode_response(other.handle(req)), encode_response(session_->handle(req)));
+}
+
+TEST_F(ApiSession, CompiledInferenceToggleIsByteInvisible) {
+  // Golden A/B for the compiled fast path (ml/compiled.hpp): a session
+  // answering with the reference predict routes (toggle off) must
+  // produce byte-identical responses to one answering with the compiled
+  // path, across every request type whose handler runs model inference
+  // (point forecast -> CompiledAttention; eval + deviation -> GBR
+  // predict_rows inside RFE/CV).
+  const Request reqs[] = {
+      Request{ForecastRequest{}.app("MILC").nodes(128).run(2).center(12).m(3).k(5)},
+      Request{ForecastRequest{}.app("UMT").nodes(128).run(0).center(14).m(5).k(9)},
+      Request{ForecastEvalRequest{}.app("UMT").nodes(128).m(3).k(5)},
+      Request{DeviationRequest{}.app("MILC").nodes(128)},
+  };
+  std::vector<std::string> want;
+  {
+    CompiledToggleGuard off(false);
+    Session reference(small_options());
+    for (const Request& req : reqs)
+      want.push_back(encode_response(reference.handle(req)));
+  }
+  CompiledToggleGuard on(true);
+  for (std::size_t i = 0; i < std::size(reqs); ++i)
+    EXPECT_EQ(encode_response(session_->handle(reqs[i])), want[i]) << "request " << i;
 }
 
 // ---------------------------------------------------------------------------

@@ -83,6 +83,16 @@ TEST(LintRules, ContractScopedToAnalysisMlSim) {
   EXPECT_TRUE(lint_fixture("src/net/contract.cpp", "contract.cpp", "contract.hpp").empty());
 }
 
+TEST(LintRules, CompiledInferencePathIsCovered) {
+  // The compiled fast path (src/ml/compiled.*) sits inside both rule
+  // scopes: contract (ml .cpp path) and parallel-mutate (all files).
+  // Pin that so a future rescoping cannot silently drop the hot path.
+  expect_single(lint_fixture("src/ml/compiled.cpp", "contract.cpp", "contract.hpp"),
+                "contract", 5);
+  expect_single(lint_fixture("src/ml/compiled.cpp", "parallel_mutate.cpp"),
+                "parallel-mutate", 8);
+}
+
 TEST(LintRules, NodiscardMissingOnPublicHeader) {
   expect_single(lint_fixture("src/ml/nodiscard.hpp", "nodiscard.hpp"), "nodiscard", 5);
 }
