@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Perf trajectory runners. Three modes:
+# Perf trajectory runners. Four modes:
 #
 #   scripts/bench.sh [ml]        # model-training microbenchmarks  -> BENCH_ml.json
 #   scripts/bench.sh ml-predict  # compiled-inference benchmarks   -> BENCH_ml.json
 #   scripts/bench.sh serve       # dfv serve load generator        -> BENCH_serve.json
+#   scripts/bench.sh store       # out-of-core column store        -> BENCH_store.json
 #
 #   DFV_BENCH_MIN_TIME=1.0 scripts/bench.sh        # longer per-bench min time (ml*)
 #   DFV_BENCH_SECONDS=5 scripts/bench.sh serve     # longer per-phase window (serve)
+#   DFV_BENCH_STORE_RUNS=100000 scripts/bench.sh store   # smaller longitudinal store
 #
 # Measurements come from the Release preset (build-release/) so the
 # committed numbers reflect optimized code, and the context block records
@@ -156,8 +158,19 @@ PY
       '_qps$|^shards$|^clients$|_requests$'
     echo "wrote BENCH_serve.json"
     ;;
+  store)
+    cmake --build "$BUILD" -j --target bench_store >/dev/null
+    "./$BUILD/bench/bench_store" \
+      --runs "${DFV_BENCH_STORE_RUNS:-1000000}" \
+      --campaign-days "${DFV_BENCH_STORE_DAYS:-120}" \
+      --json "$raw"
+    merge_snapshot BENCH_store.json dfv-bench-store-v1 \
+      "out-of-core column store vs in-RAM: append throughput, cold-open latency, OOC training time + peak RSS; current = last scripts/bench.sh store run" \
+      '_per_sec$|_speedup$|_identical$|^runs$|^features$|^campaign_runs$|^rss_reset_ok$'
+    echo "wrote BENCH_store.json"
+    ;;
   *)
-    echo "usage: scripts/bench.sh [ml|ml-predict|serve]" >&2
+    echo "usage: scripts/bench.sh [ml|ml-predict|serve|store]" >&2
     exit 2
     ;;
 esac

@@ -44,14 +44,19 @@ echo "strict build: clean"
 # traffic on both hot paths, and drain cleanly (short window; the real
 # QPS/latency trajectory comes from scripts/bench.sh serve).
 ./build/bench/bench_serve --shards 4 --clients 4 --seconds 0.3 >/dev/null
+# Out-of-core store smoke: generate a small longitudinal store, train
+# off the mmap'd codes, and require GBR bit-identity with the in-RAM
+# path (bench_store aborts on divergence). Real numbers come from
+# scripts/bench.sh store.
+./build/bench/bench_store --runs 20000 --campaign-days 3 >/dev/null
 echo "bench smoke: OK"
 
 if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, gbr, rfe, attention, compiled, forecast, api, serve) ==="
+  echo "=== ThreadSanitizer pass (exec, campaign, faults, cache, store, gbr, rfe, attention, compiled, forecast, api, serve) ==="
   cmake --preset tsan
   cmake --build build-tsan -j --target test_exec test_campaign test_faults \
-    test_cache_integrity test_gbr test_rfe test_attention test_compiled \
-    test_forecast test_api test_serve test_serve_chaos
+    test_cache_integrity test_store test_gbr test_rfe test_attention \
+    test_compiled test_forecast test_api test_serve test_serve_chaos
   # TSan needs real concurrency to observe races; force an oversubscribed
   # pool so worker interleavings actually happen even on small machines.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_exec
@@ -60,6 +65,9 @@ if [[ "${DFV_SKIP_TSAN:-0}" != "1" ]]; then
   # corrupt-cache detect/evict/regenerate path, also race-checked.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_cache_integrity
+  # The column store pairs one live appender with concurrent snapshot
+  # pins (the snapshot-under-append test); race-checked end to end.
+  DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_store
   # Tree node scans, binning, and the boosting update are parallel; the
   # GBR/RFE suites race-check them end to end.
   DFV_THREADS=4 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_gbr

@@ -50,8 +50,9 @@ std::shared_ptr<const ResidentCampaign> ResidentCampaign::load(
   opt.config.validate();
   auto rc = std::shared_ptr<ResidentCampaign>(new ResidentCampaign());
   rc->config_ = opt.config;
-  rc->result_ = opt.cache_dir.empty() ? sim::run_campaign(opt.config)
-                                      : sim::run_campaign_cached(opt.config, opt.cache_dir);
+  rc->result_ = opt.cache_dir.empty()
+                    ? sim::run_campaign(opt.config)
+                    : sim::run_campaign_cached(opt.config, opt.cache_dir, opt.cache_format);
   // Apply the degraded-data policy at the load boundary so every request
   // downstream sees repaired (or flagged) telemetry, exactly like
   // core::VariabilityStudy does for the batch pipeline.

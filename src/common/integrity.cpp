@@ -8,12 +8,17 @@
 namespace dfv {
 
 std::uint64_t fnv1a64(std::string_view data) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x100000001b3ull;
+  return fnv1a64_update(kFnvBasis, data.data(), data.size());
+}
+
+std::uint64_t fnv1a64_update(std::uint64_t state, const void* data,
+                             std::size_t n) noexcept {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= 0x100000001b3ull;
   }
-  return h;
+  return state;
 }
 
 void append_checksum_footer(std::string& content) {

@@ -3,6 +3,7 @@
 // write-to-temp + rename so readers never observe a half-written file.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -11,6 +12,16 @@ namespace dfv {
 
 /// FNV-1a 64-bit hash (dependency-free, stable across platforms).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// FNV-1a offset basis: the running-hash seed for an empty prefix.
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+
+/// Incremental FNV-1a: fold `n` bytes into a running hash state. Seeding
+/// with `kFnvBasis` and chaining calls over consecutive chunks yields
+/// exactly `fnv1a64` of the concatenation, which lets the column store
+/// keep a running CRC for its unsealed tail segment across appends.
+[[nodiscard]] std::uint64_t fnv1a64_update(std::uint64_t state, const void* data,
+                                           std::size_t n) noexcept;
 
 /// Footer line marker; the full footer is "#dfv-crc <16 hex digits>\n".
 inline constexpr std::string_view kChecksumPrefix = "#dfv-crc ";

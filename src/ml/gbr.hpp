@@ -39,6 +39,12 @@ class GradientBoostedRegressor {
   void fit(const BinnedDataset& data, std::span<const double> y,
            std::span<const std::size_t> rows, const FeatureMask& mask);
 
+  /// All-rows variant: identical to passing the identity row list, but
+  /// never materializes it — subsampled picks are already row ids. For
+  /// million-row out-of-core fits this trims O(rows) from peak RSS.
+  void fit(const BinnedDataset& data, std::span<const double> y,
+           const FeatureMask& mask);
+
   [[nodiscard]] double predict_one(std::span<const double> x) const;
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
   /// Predict row `r` of the binned view the model was trained on
@@ -63,6 +69,11 @@ class GradientBoostedRegressor {
 
  private:
   friend class CompiledGbr;
+
+  /// Shared boosting loop; an empty `rows` means the identity row list
+  /// (every row of `data`, in order) without materializing it.
+  void fit_impl(const BinnedDataset& data, std::span<const double> y,
+                std::span<const std::size_t> rows, const FeatureMask& mask);
 
   GbrParams params_;
   double f0_ = 0.0;

@@ -35,7 +35,15 @@ void RegressionTree::fit(const Matrix& x, std::span<const double> y,
 void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
                          std::span<const std::size_t> rows, const FeatureMask& mask,
                          const TreeParams& params) {
+  fit(data, y, {}, rows, mask, params);
+}
+
+void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
+                         std::span<const double> baseline,
+                         std::span<const std::size_t> rows, const FeatureMask& mask,
+                         const TreeParams& params) {
   DFV_CHECK(data.rows() == y.size());
+  DFV_CHECK(baseline.empty() || baseline.size() == y.size());
   DFV_CHECK(!rows.empty());
   DFV_CHECK(mask.active.size() == data.features());
   DFV_CHECK(params.max_depth >= 1 && params.histogram_bins >= 2 &&
@@ -43,6 +51,7 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
   data_ = &data;
   mask_ = &mask;
   y_ = y;
+  baseline_ = baseline;
   params_ = params;
   bins_ = std::size_t(params.histogram_bins);
   nodes_.clear();
@@ -53,10 +62,20 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
   local_rows_.assign(rows.begin(), rows.end());
   samples_.resize(n);
   for (std::size_t i = 0; i < n; ++i) samples_[i] = std::uint32_t(i);
-  fitted_leaf_.assign(n, -1);
+  if (record_leaves_)
+    fitted_leaf_.assign(n, -1);
+  else
+    fitted_leaf_ = std::vector<std::int32_t>();
 
   double sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) sum += y_[local_rows_[i]];
+  if (const double* base = baseline.empty() ? nullptr : baseline.data()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = local_rows_[i];
+      sum += y_[r] - base[r];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) sum += y_[local_rows_[i]];
+  }
 
   Hist* root_hist = nullptr;
   if (can_split(n, 0, params_)) {
@@ -66,15 +85,21 @@ void RegressionTree::fit(const BinnedDataset& data, std::span<const double> y,
   }
   (void)build(0, n, 0, sum, root_hist);  // root lands at node index 0
 
-  // Release fit-time references; keep nodes/gains/fitted leaves.
-  hist_arena_.clear();
-  local_rows_.clear();
-  samples_.clear();
-  scan_rows_.clear();
-  scan_y_.clear();
+  // Release fit-time references AND their capacity; keep nodes/gains/
+  // fitted leaves. clear() — and `v = {}`, which resolves to the
+  // initializer-list assign, not a move — would retain ~O(rows) of dead
+  // capacity per tree; an ensemble holding hundreds of trees would pin
+  // hundreds of MB of scratch for million-row fits. Move-assigning a
+  // typed empty vector is guaranteed to free the buffer.
+  hist_arena_ = std::vector<Hist>();
+  local_rows_ = std::vector<std::uint32_t>();
+  samples_ = std::vector<std::uint32_t>();
+  scan_rows_ = std::vector<std::uint32_t>();
+  scan_y_ = std::vector<double>();
   data_ = nullptr;
   mask_ = nullptr;
   y_ = {};
+  baseline_ = {};
 }
 
 void RegressionTree::scan_hist(std::size_t begin, std::size_t end, Hist& h) {
@@ -84,15 +109,21 @@ void RegressionTree::scan_hist(std::size_t begin, std::size_t end, Hist& h) {
   h.cnt.assign(F * bins_, 0u);
   // Gather the node's matrix rows and targets once; every feature scan
   // then reads them sequentially instead of re-chasing samples_ ->
-  // local_rows_ -> y_ per feature. Same per-feature addition order, so
-  // the histograms (and everything downstream) are bit-identical.
+  // local_rows_ -> y_ per feature. The gather is deliberately NOT
+  // chunked: sample order is a random permutation, so each feature's
+  // code slab only stays cache-resident if it is scanned over the whole
+  // node in one pass — fixed-size chunks force the slab to be refetched
+  // per chunk and cost >50% on million-row fits for a few MB of buffer.
+  // Same per-feature addition order, so the histograms (and everything
+  // downstream) are bit-identical.
   const std::size_t n = end - begin;
+  const double* base = baseline_.empty() ? nullptr : baseline_.data();
   scan_rows_.resize(n);
   scan_y_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t row = local_rows_[samples_[begin + i]];
     scan_rows_[i] = row;
-    scan_y_[i] = y_[row];
+    scan_y_[i] = base ? y_[row] - base[row] : y_[row];
   }
   const auto scan_feature_range = [&](std::size_t f_lo, std::size_t f_hi) {
     for (std::size_t f = f_lo; f < f_hi; ++f) {
@@ -127,8 +158,9 @@ std::int32_t RegressionTree::build(std::size_t begin, std::size_t end, int depth
     nodes_[std::size_t(node_id)].left = node_id;
     nodes_[std::size_t(node_id)].right = node_id;
     fit_depth_ = std::max(fit_depth_, depth);
-    for (std::size_t i = begin; i < end; ++i)
-      fitted_leaf_[samples_[i]] = node_id;
+    if (record_leaves_)
+      for (std::size_t i = begin; i < end; ++i)
+        fitted_leaf_[samples_[i]] = node_id;
     return node_id;
   };
   if (hist == nullptr) return make_leaf();

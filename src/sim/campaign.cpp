@@ -11,6 +11,8 @@
 #include "common/integrity.hpp"
 #include "common/log.hpp"
 #include "exec/exec.hpp"
+#include "sim/cache_gc.hpp"
+#include "sim/campaign_store.hpp"
 
 namespace dfv::sim {
 
@@ -289,14 +291,40 @@ std::uint64_t config_fingerprint(const CampaignConfig& cfg) {
   return h;
 }
 
-CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string& cache_dir) {
+/// Auto-format threshold: campaigns at or above this many total runs are
+/// published as column stores (mmap open amortizes the extra files).
+constexpr std::size_t kStoreAutoRuns = 4096;
+
+CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string& cache_dir,
+                                   CacheFormat format) {
   DFV_CHECK_MSG(!cache_dir.empty(), "cache_dir must not be empty");
   std::ostringstream dir_name;
   dir_name << cache_dir << "/campaign_" << std::hex << config_fingerprint(cfg);
   const fs::path dir(dir_name.str());
   const fs::path meta = dir / "META";
+  const std::string store_dir = dir_name.str() + ".store";
 
-  if (fs::exists(meta)) {
+  // Store-format entries are preferred on read: they carry the same
+  // content and open by mmap instead of a full text parse.
+  if (format != CacheFormat::Csv && campaign_store_exists(store_dir)) {
+    try {
+      DFV_LOG_INFO("loading campaign store from " << store_dir);
+      CampaignResult result = CampaignStorePin::open(store_dir).load_all();
+      DFV_CHECK_MSG(result.datasets.size() == cfg.datasets.size(),
+                    "campaign store: dataset count does not match the config");
+      for (std::size_t i = 0; i < result.datasets.size(); ++i)
+        result.datasets[i].spec = cfg.datasets[i];
+      touch_cache_entry(store_dir);
+      return result;
+    } catch (const ContractError& e) {
+      DFV_LOG_WARN("campaign store entry " << store_dir << " is corrupt (" << e.what()
+                                           << "); evicting and regenerating");
+      std::error_code ec;
+      fs::remove_all(store_dir, ec);
+    }
+  }
+
+  if (format != CacheFormat::Store && fs::exists(meta)) {
     // Trust nothing: every entry must carry a matching integrity footer.
     // Any corruption (bit flips, partial writes, zero-byte files) evicts
     // the whole entry and regenerates it from scratch.
@@ -311,6 +339,7 @@ CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string&
         ds.spec = spec;
         result.datasets.push_back(std::move(ds));
       }
+      touch_cache_entry(dir.string());
       return result;
     } catch (const ContractError& e) {
       DFV_LOG_WARN("campaign cache entry " << dir.string() << " is corrupt ("
@@ -321,24 +350,35 @@ CampaignResult run_campaign_cached(const CampaignConfig& cfg, const std::string&
   }
 
   CampaignResult result = run_campaign(cfg);
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (!ec) {
-    // Publish datasets first (each one atomically), then META last: the
-    // META file is the commit point a reader keys on, so a crash mid-
-    // publish leaves no entry rather than a half-written one.
-    bool ok = true;
-    for (const auto& ds : result.datasets)
-      ok = ok && save_dataset(ds, (dir / (ds.spec.label() + ".csv")).string());
-    if (ok) {
-      std::ostringstream m;
-      m << "format=dfc0de08\n";
-      m << "datasets=" << result.datasets.size() << "\n";
-      ok = atomic_write_file(meta.string(), m.str());
+  std::size_t total_runs = 0;
+  for (const auto& ds : result.datasets) total_runs += ds.runs.size();
+  const bool as_store =
+      format == CacheFormat::Store ||
+      (format == CacheFormat::Auto && total_runs >= kStoreAutoRuns);
+  if (as_store) {
+    if (!save_campaign_store(result, store_dir))
+      DFV_LOG_WARN("failed to publish campaign store entry " << store_dir);
+  } else {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (!ec) {
+      // Publish datasets first (each one atomically), then META last: the
+      // META file is the commit point a reader keys on, so a crash mid-
+      // publish leaves no entry rather than a half-written one.
+      bool ok = true;
+      for (const auto& ds : result.datasets)
+        ok = ok && save_dataset(ds, (dir / (ds.spec.label() + ".csv")).string());
+      if (ok) {
+        std::ostringstream m;
+        m << "format=dfc0de08\n";
+        m << "datasets=" << result.datasets.size() << "\n";
+        ok = atomic_write_file(meta.string(), m.str());
+      }
+      if (!ok)
+        DFV_LOG_WARN("failed to publish campaign cache entry " << dir.string());
     }
-    if (!ok)
-      DFV_LOG_WARN("failed to publish campaign cache entry " << dir.string());
   }
+  enforce_cache_budget_from_env(cache_dir);
   return result;
 }
 

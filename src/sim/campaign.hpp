@@ -98,10 +98,23 @@ struct CampaignResult {
 /// Run the full campaign.
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
 
+/// On-disk format for campaign cache entries.
+enum class CacheFormat {
+  Auto,   ///< read whichever format exists; write the column store for
+          ///< large campaigns (>= 4096 runs total), CSV otherwise
+  Csv,    ///< one checksummed CSV blob per dataset (the legacy format)
+  Store,  ///< mmap'd column-store entry (see sim/campaign_store.hpp)
+};
+
 /// Run the campaign, or load it from `cache_dir` if a cache produced with
 /// an identical configuration exists there (benches share one campaign).
+/// Store-format entries open by mmap and materialize per dataset; both
+/// formats verify integrity and evict+regenerate corrupt entries. After a
+/// publish the DFV_CACHE_MAX_BYTES budget (if set) is enforced by LRU
+/// eviction over the cache directory.
 [[nodiscard]] CampaignResult run_campaign_cached(const CampaignConfig& config,
-                                                 const std::string& cache_dir);
+                                                 const std::string& cache_dir,
+                                                 CacheFormat format = CacheFormat::Auto);
 
 /// Stable hash of a configuration (names the cache directory entry).
 [[nodiscard]] std::uint64_t config_fingerprint(const CampaignConfig& config);

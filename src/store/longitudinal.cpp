@@ -1,0 +1,168 @@
+#include "store/longitudinal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dfv::store {
+
+namespace {
+
+constexpr std::size_t kCounters = 13;  ///< matches mon::CounterVec width
+constexpr double kTwoPi = 6.283185307179586;
+constexpr std::size_t kGenChunkRows = 1u << 16;
+
+[[nodiscard]] std::string idx2(const char* prefix, std::size_t k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%02zu", prefix, k);
+  return buf;
+}
+
+/// One generated run row: the feature vector (longitudinal_features()
+/// order), the target, and the telemetry-quality flag.
+struct RunRow {
+  std::vector<double> features;
+  double run_time_s = 0.0;
+  std::uint8_t quality = 1;
+};
+
+/// Draw run `i` from its own substream. The dependence of run time on
+/// the features is deliberately nonlinear (saturating congestion,
+/// multiplicative placement interaction, heavy-tailed I/O excursions):
+/// a GBR finds it, the ridge baseline mostly cannot — mirroring the
+/// paper's Fig. 9 setting at longitudinal scale.
+[[nodiscard]] RunRow generate_run(const LongitudinalSpec& spec, std::uint64_t i) {
+  Rng g = Rng(spec.seed).split(i);
+  RunRow row;
+  row.features.reserve(7 + 2 * kCounters + 8);
+
+  const double day = double(i / spec.runs_per_day);
+  const double season = std::sin(kTwoPi * day / 28.0);
+  const double daily =
+      std::sin(kTwoPi * double(i % spec.runs_per_day) / double(spec.runs_per_day));
+  const double background =
+      std::clamp(0.45 + 0.18 * season + 0.10 * daily +
+                     0.20 * std::tanh(spec.drift_per_day * day) + 0.08 * g.normal(),
+                 0.02, 0.98);
+
+  const double num_groups = double(g.uniform_int(4, 16));
+  const double num_routers = double(g.uniform_int(8, 96));
+  const double alloc_spread = g.uniform();
+  const double neighbor_pressure = background * g.uniform(0.5, 1.5);
+  const double inj_rate = g.uniform(0.05, 0.9);
+  const double msg_bytes = g.lognormal(8.0, 1.2);
+
+  const double congestion = std::max(
+      0.0, background * (0.4 + 0.6 * alloc_spread) + 0.3 * inj_rate +
+               0.05 * neighbor_pressure + 0.04 * g.normal());
+  const double stall = congestion / (1.0 + congestion);  // saturating
+
+  row.features.push_back(day);
+  row.features.push_back(num_routers);
+  row.features.push_back(num_groups);
+  row.features.push_back(alloc_spread);
+  row.features.push_back(neighbor_pressure);
+  row.features.push_back(inj_rate);
+  row.features.push_back(msg_bytes);
+
+  std::vector<double> cmean(kCounters);
+  for (std::size_t k = 0; k < kCounters; ++k) {
+    cmean[k] = std::max(0.0, stall * (0.5 + 0.5 * std::sin(1.7 * double(k) + 0.9)) +
+                                 0.2 * inj_rate * std::cos(0.6 * double(k)) +
+                                 0.05 * g.normal());
+    row.features.push_back(cmean[k]);
+  }
+  for (std::size_t k = 0; k < kCounters; ++k)
+    row.features.push_back(cmean[k] * (1.5 + 0.2 * g.pareto(1.0, 3.0)));
+
+  const double io_read = g.lognormal(4.0, 1.0);
+  const double io_write = g.lognormal(3.5, 1.1);
+  const double io_meta = g.lognormal(1.0, 0.8);
+  const double io_wait = std::max(0.0, background * g.uniform(0.0, 0.6) +
+                                           0.02 * g.normal());
+  row.features.push_back(io_read);
+  row.features.push_back(io_write);
+  row.features.push_back(io_meta);
+  row.features.push_back(io_wait);
+  row.features.push_back(background + 0.05 * g.normal());   // sys_load
+  row.features.push_back(g.uniform(0.2, 0.9));              // sys_mem
+  row.features.push_back(background * g.uniform(0.3, 1.2)); // sys_net
+  row.features.push_back(g.uniform(0.0, 0.15));             // sys_irq
+
+  const double slowdown = 1.0 + 1.8 * stall * stall + 0.6 * io_wait +
+                          0.25 * stall * alloc_spread +
+                          0.15 * cmean[5] * neighbor_pressure;
+  row.run_time_s = spec.base_time_s * slowdown * g.lognormal(0.0, 0.03);
+  row.quality = g.bernoulli(0.01) ? std::uint8_t(2) : std::uint8_t(1);
+  return row;
+}
+
+}  // namespace
+
+std::vector<std::string> longitudinal_features() {
+  std::vector<std::string> names = {"day",          "num_routers", "num_groups",
+                                    "alloc_spread", "neigh_press", "inj_rate",
+                                    "msg_bytes"};
+  for (std::size_t k = 0; k < kCounters; ++k) names.push_back(idx2("cmean_", k));
+  for (std::size_t k = 0; k < kCounters; ++k) names.push_back(idx2("cmax_", k));
+  for (const char* n : {"io_read", "io_write", "io_meta", "io_wait", "sys_load",
+                        "sys_mem", "sys_net", "sys_irq"})
+    names.push_back(n);
+  return names;
+}
+
+std::string longitudinal_target() { return "run_time_s"; }
+
+std::vector<ColumnSpec> longitudinal_schema() {
+  std::vector<ColumnSpec> specs;
+  for (const std::string& n : longitudinal_features())
+    specs.push_back({n, ColumnKind::F64});
+  specs.push_back({longitudinal_target(), ColumnKind::F64});
+  specs.push_back({"quality", ColumnKind::U8});
+  return specs;
+}
+
+ColumnStore open_longitudinal_store(const std::string& dir, const StoreOptions& opts) {
+  return ColumnStore::open_or_create(dir, longitudinal_schema(), opts);
+}
+
+void append_longitudinal_runs(ColumnStore& cs, const LongitudinalSpec& spec,
+                              std::uint64_t first_run, std::uint64_t count) {
+  DFV_CHECK_MSG(spec.runs_per_day > 0, "longitudinal: runs_per_day must be positive");
+  DFV_CHECK_MSG(cs.rows() == first_run,
+                "longitudinal: append must continue at the store's row count");
+  const std::size_t n_features = longitudinal_features().size();
+
+  std::vector<std::vector<double>> f64(n_features + 1);  // features + target
+  std::vector<std::uint8_t> quality;
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::size_t n =
+        std::size_t(std::min<std::uint64_t>(kGenChunkRows, count - done));
+    for (auto& col : f64) {
+      col.clear();
+      col.reserve(n);
+    }
+    quality.clear();
+    quality.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const RunRow row = generate_run(spec, first_run + done + r);
+      DFV_CHECK(row.features.size() == n_features);
+      for (std::size_t f = 0; f < n_features; ++f) f64[f].push_back(row.features[f]);
+      f64[n_features].push_back(row.run_time_s);
+      quality.push_back(row.quality);
+    }
+    AppendChunk chunk;
+    chunk.rows = n;
+    for (const auto& col : f64) chunk.f64.emplace_back(col.data(), col.size());
+    chunk.u8.emplace_back(quality.data(), quality.size());
+    cs.append(chunk);
+    done += n;
+  }
+  cs.publish();
+}
+
+}  // namespace dfv::store

@@ -1,0 +1,47 @@
+// Seeded synthetic longitudinal campaign: the months-of-telemetry
+// workload the Costello–Bhatele monitoring setting implies, generated as
+// a stream of per-run aggregate feature rows (counter means/maxes, LDMS
+// I/O and system telemetry, placement and workload descriptors) plus a
+// run-time target with genuine nonlinear structure for GBR/RFE to find.
+//
+// Every run is drawn from a per-run substream of a single campaign seed,
+// so the content of run i depends only on (seed, i): appending runs
+// [0,1M) in one chunk or in a thousand uneven increments produces
+// byte-identical column files — the property the `dfv campaign --append`
+// path and the snapshot byte-stability tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/column_store.hpp"
+
+namespace dfv::store {
+
+struct LongitudinalSpec {
+  std::uint64_t seed = 0x10d6;  ///< campaign seed (per-run substreams)
+  std::uint32_t runs_per_day = 4096;
+  double base_time_s = 120.0;   ///< congestion-free run time
+  double drift_per_day = 0.02;  ///< slow background-load drift
+};
+
+/// Column names of the longitudinal schema: `features()` (all F64), the
+/// run-time target, and a per-run u8 quality flag.
+[[nodiscard]] std::vector<std::string> longitudinal_features();
+[[nodiscard]] std::string longitudinal_target();
+/// Full schema in store column order (features, target, quality).
+[[nodiscard]] std::vector<ColumnSpec> longitudinal_schema();
+
+/// Open (or create) the longitudinal store at `dir`.
+[[nodiscard]] ColumnStore open_longitudinal_store(const std::string& dir,
+                                                  const StoreOptions& opts = {});
+
+/// Append runs [first_run, first_run + count) and publish. Content is a
+/// pure function of (spec.seed, run index); batching only affects how
+/// many publish points exist, never the bytes.
+void append_longitudinal_runs(ColumnStore& cs, const LongitudinalSpec& spec,
+                              std::uint64_t first_run, std::uint64_t count);
+
+}  // namespace dfv::store

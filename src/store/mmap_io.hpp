@@ -1,0 +1,101 @@
+// Audited low-level file primitives for the out-of-core column store:
+// read-only memory mappings, positioned reads, and append-only writes.
+// This is the one module allowed to touch the raw mmap/pread/pwrite
+// syscall family (dfv-lint `blocking-io` enforces that); everything
+// above it works in terms of these RAII wrappers, so lifetime, error
+// handling, and truncation semantics are centralized here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dfv::store {
+
+/// Read-only memory mapping of a file prefix. Movable, not copyable;
+/// unmaps on destruction. An empty mapping (size 0) holds no resources.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Map the first `length` bytes of `path` read-only. The file must be
+  /// at least `length` bytes long (a shorter file is a truncated-segment
+  /// corruption: throws ContractError). length == 0 yields an empty map.
+  [[nodiscard]] static MappedFile map_prefix(const std::string& path,
+                                             std::size_t length);
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Positioned (pread) access to a file, for streaming passes that must
+/// not grow the process mapping — quantile sampling and code building
+/// read through a small fixed buffer instead of faulting columns in.
+class RandomReadFile {
+ public:
+  RandomReadFile() = default;
+  RandomReadFile(RandomReadFile&& other) noexcept;
+  RandomReadFile& operator=(RandomReadFile&& other) noexcept;
+  RandomReadFile(const RandomReadFile&) = delete;
+  RandomReadFile& operator=(const RandomReadFile&) = delete;
+  ~RandomReadFile();
+
+  /// Open for reading; throws ContractError when the file cannot be opened.
+  [[nodiscard]] static RandomReadFile open(const std::string& path);
+
+  /// Read exactly `n` bytes at `offset`; throws ContractError on a short
+  /// read (EOF inside the requested range) or I/O error.
+  void read_at(std::uint64_t offset, void* dst, std::size_t n) const;
+
+  [[nodiscard]] std::uint64_t size() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Append-only writer with explicit truncation, used for column segment
+/// files. Appends are buffered by the kernel only (no user-space buffer),
+/// so a crash can leave a partial tail — the store's MANIFEST records the
+/// committed extent and open-for-append truncates anything beyond it.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// Open (creating if needed) for writing; throws ContractError on failure.
+  [[nodiscard]] static AppendFile open(const std::string& path);
+
+  /// Append `n` bytes at the current end; throws ContractError on failure.
+  void append(const void* data, std::size_t n);
+  /// Truncate the file to exactly `length` bytes (drops torn tails).
+  void truncate_to(std::uint64_t length);
+  /// Flush file data to stable storage (fdatasync).
+  void sync();
+  [[nodiscard]] std::uint64_t size() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Size of `path` in bytes, or 0 when it does not exist / is unreadable.
+[[nodiscard]] std::uint64_t file_size_or_zero(const std::string& path) noexcept;
+
+}  // namespace dfv::store

@@ -1,0 +1,261 @@
+#include "store/training_view.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/integrity.hpp"
+#include "common/rng.hpp"
+
+namespace dfv::store {
+
+namespace {
+
+constexpr std::string_view kEdgesMagic = "dfv-view";
+constexpr std::uint64_t kCodesMagic = 0x3145444f43564644ull;  // "DFVCODE1" LE
+constexpr std::size_t kCodesHeader = 3 * sizeof(std::uint64_t);
+constexpr std::size_t kChunkRows = 1u << 16;  ///< pread streaming buffer
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+[[nodiscard]] std::uint64_t spec_fingerprint(const TrainingSpec& spec) {
+  std::uint64_t h = fnv1a64(spec.target);
+  h = hash_combine(h, std::uint64_t(spec.bins));
+  for (const std::string& f : spec.features) h = hash_combine(h, fnv1a64(f));
+  return h;
+}
+
+[[nodiscard]] std::string view_stem(const StorePin& pin, const TrainingSpec& spec) {
+  return pin.dir() + "/view_" + hex64(pin.content_fingerprint()) + "_" +
+         hex64(spec_fingerprint(spec));
+}
+
+/// Quantile edges for one column, reproducing BinnedDataset(Matrix, bins)
+/// bit for bit: sample every `stride`-th row, sort, take value at index
+/// min(size-1, q*size) per candidate quantile, keep strictly ascending.
+/// Samples arrive via pread so the column never enters our resident set.
+[[nodiscard]] std::vector<double> column_edges(const RandomReadFile& file,
+                                               std::uint64_t rows, int bins) {
+  const std::uint64_t stride = std::max<std::uint64_t>(1, rows / 4096);
+  std::vector<double> vals;
+  vals.reserve(std::size_t(rows / stride) + 1);
+  for (std::uint64_t r = 0; r < rows; r += stride) {
+    double v = 0.0;
+    file.read_at(r * sizeof(double), &v, sizeof v);
+    vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  std::vector<double> edges;
+  for (std::size_t b = 1; b < std::size_t(bins); ++b) {
+    const double q = double(b) / double(bins);
+    const double v =
+        vals[std::min(vals.size() - 1, std::size_t(q * double(vals.size())))];
+    if (edges.empty() || v > edges.back()) edges.push_back(v);
+  }
+  return edges;
+}
+
+[[nodiscard]] std::string edges_to_text(const StorePin& pin, const TrainingSpec& spec,
+                                        const std::vector<std::vector<double>>& edges) {
+  std::ostringstream os;
+  os << kEdgesMagic << " 1\n";
+  os << "store " << hex64(pin.content_fingerprint()) << '\n';
+  os << "rows " << pin.rows() << '\n';
+  os << "bins " << spec.bins << '\n';
+  os << "target " << spec.target << '\n';
+  os << "features " << spec.features.size() << '\n';
+  for (std::size_t f = 0; f < spec.features.size(); ++f) {
+    os << "feature " << spec.features[f] << ' ' << edges[f].size();
+    for (double e : edges[f]) os << ' ' << hex64(std::bit_cast<std::uint64_t>(e));
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// Parse and validate an edges sidecar against (pin, spec). Returns an
+/// empty vector when the sidecar is absent, stale, or corrupt — the
+/// caller rebuilds in all three cases.
+[[nodiscard]] std::vector<std::vector<double>> try_load_edges(
+    const std::string& path, const StorePin& pin, const TrainingSpec& spec) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  if (verify_and_strip_checksum(text) != ChecksumStatus::Ok) return {};
+
+  std::istringstream is(text);
+  std::string kw, tok;
+  int version = 0;
+  is >> kw >> version;
+  if (kw != kEdgesMagic || version != 1) return {};
+  is >> kw >> tok;
+  if (kw != "store" || tok != hex64(pin.content_fingerprint())) return {};
+  std::uint64_t rows = 0;
+  int bins = 0;
+  is >> kw >> rows;
+  if (kw != "rows" || rows != pin.rows()) return {};
+  is >> kw >> bins;
+  if (kw != "bins" || bins != spec.bins) return {};
+  is >> kw >> tok;
+  if (kw != "target" || tok != spec.target) return {};
+  std::size_t features = 0;
+  is >> kw >> features;
+  if (kw != "features" || features != spec.features.size()) return {};
+
+  std::vector<std::vector<double>> edges(features);
+  for (std::size_t f = 0; f < features; ++f) {
+    std::size_t n = 0;
+    is >> kw >> tok >> n;
+    if (!is || kw != "feature" || tok != spec.features[f] || n >= 256) return {};
+    edges[f].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      is >> tok;
+      if (!is || tok.size() != 16) return {};
+      edges[f][i] = std::bit_cast<double>(std::strtoull(tok.c_str(), nullptr, 16));
+    }
+  }
+  return edges;
+}
+
+/// Build and atomically publish the feature-major code region:
+/// header (magic, rows, features), F*rows codes, trailing FNV of all
+/// preceding bytes. Streams each column through a fixed chunk buffer.
+void build_codes_file(const std::string& final_path, const StorePin& pin,
+                      const TrainingSpec& spec,
+                      const std::vector<std::vector<double>>& edges) {
+  const std::string tmp_path = final_path + ".tmp";
+  std::uint64_t crc = kFnvBasis;
+  {
+    AppendFile out = AppendFile::open(tmp_path);
+    out.truncate_to(0);
+    const std::uint64_t header[3] = {kCodesMagic, pin.rows(), spec.features.size()};
+    out.append(header, sizeof header);
+    crc = fnv1a64_update(crc, header, sizeof header);
+
+    std::vector<double> vals(kChunkRows);
+    std::vector<std::uint8_t> codes(kChunkRows);
+    for (std::size_t f = 0; f < spec.features.size(); ++f) {
+      const RandomReadFile col = RandomReadFile::open(
+          pin.dir() + "/" + spec.features[f] + ".col");
+      const std::vector<double>& e = edges[f];
+      for (std::uint64_t r = 0; r < pin.rows(); r += kChunkRows) {
+        const std::size_t n =
+            std::size_t(std::min<std::uint64_t>(kChunkRows, pin.rows() - r));
+        col.read_at(r * sizeof(double), vals.data(), n * sizeof(double));
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto it = std::lower_bound(e.begin(), e.end(), vals[i]);
+          codes[i] = std::uint8_t(it - e.begin());
+        }
+        out.append(codes.data(), n);
+        crc = fnv1a64_update(crc, codes.data(), n);
+      }
+    }
+    out.append(&crc, sizeof crc);
+    out.sync();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  DFV_CHECK_MSG(!ec, "store: code region publish failed for " + final_path);
+}
+
+/// Map and validate a code region; empty mapping when absent or corrupt.
+[[nodiscard]] MappedFile try_map_codes(const std::string& path, std::uint64_t rows,
+                                       std::size_t features) {
+  const std::uint64_t want = kCodesHeader + rows * features + sizeof(std::uint64_t);
+  if (file_size_or_zero(path) != want) return {};
+  MappedFile m = MappedFile::map_prefix(path, std::size_t(want));
+  std::uint64_t header[3];
+  std::memcpy(header, m.data(), sizeof header);
+  if (header[0] != kCodesMagic || header[1] != rows || header[2] != features)
+    return {};
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, m.data() + want - sizeof stored, sizeof stored);
+  if (fnv1a64_update(kFnvBasis, m.data(), std::size_t(want) - sizeof stored) != stored)
+    return {};
+  return m;
+}
+
+}  // namespace
+
+TrainingView TrainingView::build(std::shared_ptr<const StorePin> pin,
+                                 const TrainingSpec& spec) {
+  DFV_CHECK(pin != nullptr);
+  DFV_CHECK_MSG(pin->rows() > 0, "store: cannot build a training view over 0 rows");
+  DFV_CHECK_MSG(!spec.features.empty(), "store: training view needs features");
+  DFV_CHECK(spec.bins >= 2 && spec.bins <= 256);
+  for (const std::string& f : spec.features)
+    DFV_CHECK_MSG(pin->columns()[pin->column_index(f)].kind == ColumnKind::F64,
+                  "store: feature column must be f64: " + f);
+  (void)pin->f64(spec.target);  // validates presence + kind
+
+  const std::string stem = view_stem(*pin, spec);
+  const std::string edges_path = stem + ".edges";
+  const std::string codes_path = stem + ".codes";
+
+  TrainingView view;
+  view.spec_ = spec;
+
+  std::vector<std::vector<double>> edges = try_load_edges(edges_path, *pin, spec);
+  bool reused = !edges.empty();
+  if (!reused) {
+    edges.resize(spec.features.size());
+    for (std::size_t f = 0; f < spec.features.size(); ++f) {
+      const RandomReadFile col =
+          RandomReadFile::open(pin->dir() + "/" + spec.features[f] + ".col");
+      edges[f] = column_edges(col, pin->rows(), spec.bins);
+    }
+    std::string text = edges_to_text(*pin, spec, edges);
+    append_checksum_footer(text);
+    DFV_CHECK_MSG(atomic_write_file(edges_path, text),
+                  "store: edges sidecar publish failed: " + edges_path);
+  }
+
+  MappedFile codes = try_map_codes(codes_path, pin->rows(), spec.features.size());
+  if (codes.empty()) {
+    build_codes_file(codes_path, *pin, spec, edges);
+    codes = try_map_codes(codes_path, pin->rows(), spec.features.size());
+    DFV_CHECK_MSG(!codes.empty(), "store: rebuilt code region failed validation: " +
+                                      codes_path);
+    reused = false;
+  }
+
+  view.reused_ = reused;
+  view.binned_ = ml::BinnedDataset(std::move(edges), codes.data() + kCodesHeader,
+                                   std::size_t(pin->rows()));
+  view.codes_map_ = std::move(codes);
+  view.pin_ = std::move(pin);
+  return view;
+}
+
+std::size_t TrainingView::gc_stale_views(const StorePin& pin) {
+  namespace fs = std::filesystem;
+  DFV_CHECK_MSG(!pin.dir().empty(), "store pin has no directory");
+  const std::string live_prefix = "view_" + hex64(pin.content_fingerprint()) + "_";
+  std::size_t removed = 0;
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(pin.dir())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("view_", 0) != 0) continue;
+    if (name.rfind(live_prefix, 0) == 0) continue;
+    stale.push_back(entry.path());
+  }
+  for (const fs::path& p : stale) {
+    std::error_code ec;
+    if (fs::remove(p, ec)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace dfv::store

@@ -1,0 +1,71 @@
+// Zero-copy training views over a pinned column store: a quantile-edge
+// sidecar plus a feature-major uint8 bin-code region, both derived files
+// keyed by (store content fingerprint, feature selection, bins) and
+// published atomically next to the columns. `ml::BinnedDataset` is
+// handed the mmap'd code block directly, so GBR/RFE training reads bin
+// codes straight off disk — no row materialization, no code copy.
+//
+// Bit-identity contract: edges are computed with exactly the in-RAM
+// `BinnedDataset(Matrix, bins)` scheme (stride-subsampled quantile
+// sketch, identical tie handling), and codes with the same lower_bound
+// rule — so a fit over this view EXPECT_EQ-matches a fit over the same
+// rows materialized in RAM. The builder samples and streams through
+// pread, keeping resident set bounded by its fixed chunk buffer instead
+// of the column size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/binned.hpp"
+#include "store/column_store.hpp"
+
+namespace dfv::store {
+
+struct TrainingSpec {
+  std::vector<std::string> features;  ///< F64 column names, feature order
+  std::string target;                 ///< F64 column name
+  int bins = 24;                      ///< quantile bins (TreeParams default)
+};
+
+class TrainingView {
+ public:
+  /// Open (or build and publish) the sidecars for `spec` over the pinned
+  /// content, then map them. Sidecars from an older store content or a
+  /// different spec are ignored; corrupt sidecars are rebuilt in place.
+  [[nodiscard]] static TrainingView build(std::shared_ptr<const StorePin> pin,
+                                          const TrainingSpec& spec);
+
+  /// External-memory binned view (has_source() == false) over the codes.
+  [[nodiscard]] const ml::BinnedDataset& binned() const noexcept { return binned_; }
+  /// The target column, straight off the store mapping.
+  [[nodiscard]] std::span<const double> y() const { return pin_->f64(spec_.target); }
+  /// Streaming mean of the target from the zone maps (mean-centering
+  /// without a column scan; deterministic per the store's combine order).
+  [[nodiscard]] double y_mean() const { return pin_->mean(spec_.target); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return binned_.rows(); }
+  [[nodiscard]] std::size_t features() const noexcept { return binned_.features(); }
+  [[nodiscard]] const StorePin& pin() const noexcept { return *pin_; }
+  /// True when existing sidecars were reused (the cold-open fast path).
+  [[nodiscard]] bool reused_sidecars() const noexcept { return reused_; }
+
+  /// Drop view sidecars in the store directory that no longer match the
+  /// pinned content (stale after appends); returns files removed.
+  [[nodiscard]] static std::size_t gc_stale_views(const StorePin& pin);
+
+ private:
+  TrainingView() = default;
+
+  std::shared_ptr<const StorePin> pin_;
+  TrainingSpec spec_;
+  MappedFile codes_map_;
+  ml::BinnedDataset binned_;
+  bool reused_ = false;
+};
+
+}  // namespace dfv::store

@@ -1,0 +1,31 @@
+#include <cstddef>
+
+struct Region {
+  int msync(int flags);  // declaration: not the syscall
+  int madvise();
+};
+
+int fixture_member_call(Region& r) {
+  return r.msync(0) + r.madvise();  // member calls: not flagged
+}
+
+namespace vm {
+int mmap(int which);
+}
+
+int fixture_scoped_call() {
+  return vm::mmap(3);  // namespace-scoped: not the syscall
+}
+
+long fixture_raw_pread(int fd, void* buf) {
+  return ::pread(fd, buf, 16, 0);  // flagged: global-qualified syscall
+}
+
+int fixture_raw_fdatasync(int fd) {
+  return fdatasync(fd);  // flagged: bare syscall
+}
+
+int fixture_suppressed_ftruncate(int fd) {
+  // dfv-lint: allow(blocking-io): fixture exercising the reasoned escape hatch
+  return ::ftruncate(fd, 0);
+}

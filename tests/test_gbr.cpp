@@ -128,6 +128,34 @@ TEST(Gbr, PredictBinnedMatchesPredictOne) {
     EXPECT_DOUBLE_EQ(model.predict_binned(binned, r), model.predict_one(x.row(r)));
 }
 
+TEST(Gbr, AllRowsOverloadMatchesExplicitIdentityRows) {
+  // The row-free overload keeps the identity row list implicit (no 8
+  // bytes/row index array); it must reproduce the explicit-rows fit bit
+  // for bit — same RNG consumption, same residuals, same splits — for
+  // both the subsampled and the full-row (subsample == 1.0) configs.
+  Rng rng(11);
+  Matrix x;
+  std::vector<double> y;
+  make_nonlinear(700, x, y, rng, 0.05);
+  std::vector<std::size_t> rows(700);
+  for (std::size_t i = 0; i < 700; ++i) rows[i] = i;
+  for (const double subsample : {0.4, 1.0}) {
+    GbrParams params;
+    params.n_trees = 20;
+    params.subsample = subsample;
+    const BinnedDataset binned(x, params.tree.histogram_bins);
+    GradientBoostedRegressor implicit_rows(params), explicit_rows(params);
+    implicit_rows.fit(binned, y, FeatureMask::all(4));
+    explicit_rows.fit(binned, y, rows, FeatureMask::all(4));
+    ASSERT_EQ(implicit_rows.tree_count(), explicit_rows.tree_count());
+    for (std::size_t r = 0; r < 700; ++r)
+      EXPECT_EQ(implicit_rows.predict_one(x.row(r)), explicit_rows.predict_one(x.row(r)));
+    const auto ia = implicit_rows.feature_importances();
+    const auto ea = explicit_rows.feature_importances();
+    for (std::size_t f = 0; f < ia.size(); ++f) EXPECT_EQ(ia[f], ea[f]);
+  }
+}
+
 TEST(Gbr, MaskedFitMatchesMaterializedSubmatrix) {
   // Boosting under a feature mask must reproduce, bit for bit, the fit
   // on the materialized column subset: the same rows produce the same

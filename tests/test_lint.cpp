@@ -110,10 +110,38 @@ TEST(LintRules, BlockingIoFlagsRawSyscallsOnly) {
 }
 
 TEST(LintRules, BlockingIoExemptsTheAuditedServeWrappers) {
-  // Under src/serve/ the rule does not run at all — which also turns
+  // Under src/serve/ the socket family does not run — which also turns
   // the fixture's allow into dead weight the meta rule reports.
   expect_single(lint_fixture("src/serve/blocking_io.cpp", "blocking_io.cpp"),
                 "unused-allow", 31);
+}
+
+TEST(LintRules, BlockingIoFlagsRawMmapFamilyOnly) {
+  // The mapped-file family mirrors the socket family: member calls and
+  // namespace-scoped homonyms stay clean, bare and ::-qualified syscalls
+  // are flagged, the reasoned allow silences its line.
+  const auto ds = lint_fixture("src/sim/blocking_mmap.cpp", "blocking_mmap.cpp");
+  ASSERT_EQ(ds.size(), 2u) << "expected the ::pread and bare fdatasync hits";
+  EXPECT_EQ(ds[0].rule, "blocking-io");
+  EXPECT_EQ(ds[0].line, 21);
+  EXPECT_EQ(ds[1].rule, "blocking-io");
+  EXPECT_EQ(ds[1].line, 25);
+}
+
+TEST(LintRules, BlockingIoExemptsTheAuditedStoreWrappers) {
+  // Under src/store/ the mmap family does not run, but sockets still do
+  // — and vice versa under src/serve/, where mmap calls stay flagged.
+  expect_single(lint_fixture("src/store/blocking_mmap.cpp", "blocking_mmap.cpp"),
+                "unused-allow", 29);
+  const auto sockets_in_store = lint_fixture("src/store/blocking_io.cpp", "blocking_io.cpp");
+  ASSERT_EQ(sockets_in_store.size(), 2u) << "socket family must still fire in src/store";
+  const auto mmap_in_serve = lint_fixture("src/serve/blocking_mmap.cpp", "blocking_mmap.cpp");
+  ASSERT_EQ(mmap_in_serve.size(), 2u) << "mmap family must still fire in src/serve";
+}
+
+TEST(LintRules, ContractCoversStoreModule) {
+  expect_single(lint_fixture("src/store/contract.cpp", "contract.cpp", "contract.hpp"),
+                "contract", 5);
 }
 
 TEST(LintRules, CleanFilesStayClean) {

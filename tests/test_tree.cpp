@@ -123,6 +123,32 @@ TEST(Tree, MinSamplesLeafRespected) {
   EXPECT_EQ(tree.node_count(), 1u);
 }
 
+TEST(Tree, BaselineFitMatchesMaterializedResidual) {
+  // The baseline overload fits y[r] - baseline[r] without the caller
+  // materializing the difference; it must reproduce the precomputed-
+  // residual fit bit for bit (same subtraction, same accumulation
+  // order). This is boosting's no-residual-array path.
+  Rng rng(6);
+  Matrix x(400, 3);
+  std::vector<double> y(400), base(400), resid(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.uniform(-1, 1);
+    y[i] = std::sin(2.0 * x(i, 0)) + 0.3 * x(i, 1);
+    base[i] = rng.normal() * 0.1;
+    resid[i] = y[i] - base[i];
+  }
+  const BinnedDataset binned(x, TreeParams{}.histogram_bins);
+  const std::vector<std::size_t> rows = all_rows(400);
+  const FeatureMask mask = FeatureMask::all(3);
+  RegressionTree with_baseline, precomputed;
+  with_baseline.fit(binned, y, base, rows, mask, TreeParams{});
+  precomputed.fit(binned, resid, rows, mask, TreeParams{});
+  ASSERT_EQ(with_baseline.node_count(), precomputed.node_count());
+  for (std::size_t i = 0; i < 400; ++i)
+    EXPECT_EQ(with_baseline.predict_one(x.row(i)), precomputed.predict_one(x.row(i)));
+  EXPECT_EQ(with_baseline.feature_gains(), precomputed.feature_gains());
+}
+
 TEST(Tree, ParamValidation) {
   Matrix x(10, 1);
   std::vector<double> y(10, 1.0);

@@ -32,6 +32,8 @@
 #include "faults/faults.hpp"
 #include "mon/counters.hpp"
 #include "serve/server.hpp"
+#include "sim/cache_gc.hpp"
+#include "store/longitudinal.hpp"
 
 namespace {
 
@@ -55,6 +57,7 @@ api::SessionOptions make_session_options(const cli::ParsedArgs& a) {
                    .build();
   opt.cache_dir = a.get("cache");
   opt.repair = faults::parse_repair_policy(a.get("repair-policy"));
+  if (a.flag("store")) opt.cache_format = sim::CacheFormat::Store;
   return opt;
 }
 
@@ -76,6 +79,23 @@ int cmd_topology(const cli::ParsedArgs& a) {
 
 int cmd_campaign(const cli::ParsedArgs& a) {
   set_log_level(LogLevel::Info);
+  // Incremental longitudinal path: append N more runs to the mmap'd
+  // column store under the cache directory and publish. Run content is a
+  // pure function of (seed, run index), so any append cadence converges
+  // on byte-identical column files.
+  if (const int append = a.get_int("append"); append > 0) {
+    store::LongitudinalSpec spec;
+    spec.seed = std::uint64_t(a.get_int("append-seed"));
+    std::ostringstream dir;
+    dir << a.get("cache") << "/longitudinal_" << std::hex << spec.seed << ".store";
+    store::ColumnStore cs = store::open_longitudinal_store(dir.str());
+    const std::uint64_t first = cs.rows();
+    store::append_longitudinal_runs(cs, spec, first, std::uint64_t(append));
+    sim::enforce_cache_budget_from_env(a.get("cache"));
+    std::cout << "appended runs [" << first << ", " << cs.rows() << ") to " << dir.str()
+              << "\n";
+    return 0;
+  }
   api::Session session(make_session_options(a));
   const auto summary =
       unwrap<api::CampaignSummaryResponse>(session.handle(api::CampaignSummaryRequest{}));
@@ -294,6 +314,34 @@ int cmd_faults(const cli::ParsedArgs& a) {
   return 0;
 }
 
+/// Inspect and garbage-collect the on-disk cache: `--ls` lists entries
+/// with format, size, and recency; `--evict-lru --max-bytes N` evicts
+/// least-recently-used entries until the directory fits the budget.
+int cmd_cache(const cli::ParsedArgs& a) {
+  const std::string cache_dir = a.get("cache");
+  if (a.flag("evict-lru")) {
+    const double budget = a.get_double("max-bytes");
+    DFV_CHECK_MSG(budget >= 0.0, "--max-bytes must be non-negative");
+    const auto evicted = sim::evict_cache_lru(cache_dir, std::uintmax_t(budget));
+    for (const auto& name : evicted) std::cout << "evicted " << name << "\n";
+    std::cout << evicted.size() << " entr" << (evicted.size() == 1 ? "y" : "ies")
+              << " evicted\n";
+    return 0;
+  }
+  // Default action is --ls.
+  const auto entries = sim::list_cache_entries(cache_dir);
+  Table t({"entry", "kind", "bytes"});
+  std::uintmax_t total = 0;
+  for (const auto& e : entries) {
+    t.add_row({e.name, e.kind, std::to_string(e.bytes)});
+    total += e.bytes;
+  }
+  std::cout << t.str();
+  std::cout << entries.size() << " entr" << (entries.size() == 1 ? "y" : "ies") << ", "
+            << total << " bytes in " << cache_dir << "\n";
+  return 0;
+}
+
 int cmd_simulate(const cli::ParsedArgs& a) {
   api::Session session{api::SessionOptions{}};
   const auto resp = unwrap<api::SimulateResponse>(
@@ -410,8 +458,11 @@ int main(int argc, char** argv) {
                            "degraded-data policy: strict | repair | drop"};
   const std::vector<ArgSpec> fault_args{fault_rate_arg, fault_seed_arg, fault_kinds_arg,
                                         repair_arg};
-  auto with_faults = [&fault_args](std::vector<ArgSpec> args) {
+  const ArgSpec store_arg{"store", ArgType::Flag, "",
+                          "cache the campaign as an mmap'd column store"};
+  auto with_faults = [&fault_args, &store_arg](std::vector<ArgSpec> args) {
     args.insert(args.end(), fault_args.begin(), fault_args.end());
+    args.push_back(store_arg);
     return args;
   };
 
@@ -423,10 +474,15 @@ int main(int argc, char** argv) {
   app.command("topology", "describe the dragonfly topology",
               {{"groups", ArgType::Int, "0", "use a small machine with N groups"}},
               timed_phase("topology", cmd_topology));
-  app.command("campaign", "generate (or load) the run campaign",
-              with_faults({days_arg,
-                           {"out", ArgType::String, "", "also export dataset CSVs here"}}),
-              timed_phase("campaign", cmd_campaign));
+  app.command(
+      "campaign", "generate (or load) the run campaign",
+      with_faults({days_arg,
+                   {"out", ArgType::String, "", "also export dataset CSVs here"},
+                   {"append", ArgType::Int, "0",
+                    "append N runs to the longitudinal column store and exit"},
+                   {"append-seed", ArgType::Int, "4310",
+                    "longitudinal campaign seed (names the store entry)"}}),
+      timed_phase("campaign", cmd_campaign));
   app.command("blame", "Table III: rank neighbor users by blame for slow runs",
               with_faults({app_arg, nodes_arg, days_arg,
                            {"tau", ArgType::Double, "1.0", "slowdown threshold"}}),
@@ -451,6 +507,13 @@ int main(int argc, char** argv) {
        {"k", ArgType::Int, "20", "forecast horizon (steps)"},
        {"small", ArgType::Flag, "", "use the small test machine (fast smoke run)"}},
       timed_phase("faults", cmd_faults));
+  app.command("cache", "list or LRU-evict on-disk cache entries",
+              {{"ls", ArgType::Flag, "", "list cache entries (the default action)"},
+               {"evict-lru", ArgType::Flag, "",
+                "evict least-recently-used entries until under --max-bytes"},
+               {"max-bytes", ArgType::Double, "0",
+                "cache size budget in bytes for --evict-lru"}},
+              timed_phase("cache", cmd_cache));
   app.command("simulate", "packet-level engines on synthetic traffic",
               {{"groups", ArgType::Int, "6", "small machine group count"},
                {"pattern", ArgType::String, "uniform", "uniform | adversarial | hotspot"},

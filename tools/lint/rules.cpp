@@ -351,19 +351,28 @@ void rule_banned_ids(const std::string& rel, const Toks& t, std::vector<Diagnost
 }
 
 // ---------------------------------------------------------------------------
-// Rule: blocking-io (raw socket syscalls outside the audited wrappers).
+// Rule: blocking-io (raw socket / mapped-file syscalls outside the
+// audited wrappers).
 //
 // serve/protocol.cpp owns the only audited recv/send/connect call sites:
 // its helpers add deadlines, EINTR handling, MSG_NOSIGNAL, and the typed
-// failure taxonomy (PeerGone/Frame/Timeout). A bare syscall anywhere else
-// silently reintroduces unbounded blocking and SIGPIPE exposure, so it is
+// failure taxonomy (PeerGone/Frame/Timeout). Likewise store/mmap_io.cpp
+// owns the only audited mmap/pread/fdatasync sites: its RAII types keep
+// mappings paired with munmap, retry EINTR, and turn short reads into
+// ContractError. A bare syscall anywhere else silently reintroduces
+// unbounded blocking, SIGPIPE exposure, or leaked mappings, so it is
 // flagged; genuinely raw peers (chaos staging in tests) carry a reasoned
-// `dfv-lint: allow(blocking-io)` suppression.
+// `dfv-lint: allow(blocking-io)` suppression. `check_socket` is off under
+// src/serve/ and `check_mmap` under src/store/ (each module's wrappers
+// are the exemption, not the whole rule).
 
-void rule_blocking_io(const std::string& rel, const Toks& t,
-                      std::vector<Diagnostic>& out) {
+void rule_blocking_io(const std::string& rel, const Toks& t, bool check_socket,
+                      bool check_mmap, std::vector<Diagnostic>& out) {
   static const std::set<std::string> socket_fns = {
       "recv", "send", "connect", "accept", "recvfrom", "sendto", "recvmsg", "sendmsg"};
+  static const std::set<std::string> mmap_fns = {
+      "mmap",   "munmap", "msync",     "mremap",    "madvise",
+      "pread",  "pwrite", "ftruncate", "fdatasync", "fsync"};
   // Keywords that precede an *expression*, so an Id after one is a call,
   // not a declaration (`return connect(...)`), and `return ::send(...)`
   // is the global-qualified syscall, not `ns::send`.
@@ -373,7 +382,10 @@ void rule_blocking_io(const std::string& rel, const Toks& t,
     return t[j].kind == TokKind::Id && !expr_keywords.count(t[j].text);
   };
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != TokKind::Id || !socket_fns.count(t[i].text)) continue;
+    if (t[i].kind != TokKind::Id) continue;
+    const bool is_socket = check_socket && socket_fns.count(t[i].text) > 0;
+    const bool is_mmap = check_mmap && mmap_fns.count(t[i].text) > 0;
+    if (!is_socket && !is_mmap) continue;
     if (!is(t, i + 1, "(")) continue;       // not a call
     if (member_access(t, i)) continue;      // x.send(...): a method, not the syscall
     if (i > 0 && t[i - 1].text == "::") {
@@ -382,10 +394,16 @@ void rule_blocking_io(const std::string& rel, const Toks& t,
     } else if (decl_position(t, i) && !(i > 0 && expr_keywords.count(t[i - 1].text))) {
       continue;                             // declaring a same-named function
     }
-    out.push_back({rel, t[i].line, "blocking-io",
-                   "raw '" + t[i].text +
-                       "' outside src/serve: route socket I/O through the audited "
-                       "serve/protocol wrappers (deadlines, EINTR, MSG_NOSIGNAL)"});
+    out.push_back(
+        {rel, t[i].line, "blocking-io",
+         is_socket
+             ? "raw '" + t[i].text +
+                   "' outside src/serve: route socket I/O through the audited "
+                   "serve/protocol wrappers (deadlines, EINTR, MSG_NOSIGNAL)"
+             : "raw '" + t[i].text +
+                   "' outside src/store: route mapped-file and positioned I/O "
+                   "through the audited store/mmap_io wrappers (RAII unmap, "
+                   "EINTR, exact-length reads)"});
   }
 }
 
@@ -685,12 +703,13 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"wall-clock", "wall-clock reads (system_clock, time(), localtime, ...)"},
       {"unordered-iter", "iteration over unordered containers (nondeterministic order)"},
       {"parallel-mutate", "mutating captured state inside exec::parallel_* bodies"},
-      {"contract", "public analysis/ml/sim entry points must DFV_CHECK their inputs"},
+      {"contract",
+       "public analysis/ml/sim/store entry points must DFV_CHECK their inputs"},
       {"narrow", "narrow integral casts must use DFV_NARROW / dfv::enum_int"},
       {"nodiscard", "value-returning functions in public headers need [[nodiscard]]"},
       {"blocking-io",
-       "raw socket syscalls (recv/send/connect/...) outside the audited "
-       "src/serve wrappers"},
+       "raw socket syscalls (recv/send/...) outside the audited src/serve "
+       "wrappers; raw mapped-file syscalls (mmap/pread/...) outside src/store"},
       {"allow-reason", "suppression comments must explain why (meta)"},
       {"unused-allow", "suppression comments must actually suppress something (meta)"},
       {"unknown-rule", "suppression names a rule that does not exist (meta)"},
@@ -706,8 +725,12 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path, const std::string
   rule_banned_ids(rel_path, ft.toks, raw);
   rule_unordered_iter(rel_path, ft.toks, raw);
   rule_parallel_mutate(rel_path, ft.toks, raw);
-  if (!starts_with(rel_path, "src/serve/"))
-    rule_blocking_io(rel_path, ft.toks, raw);
+  {
+    const bool check_socket = !starts_with(rel_path, "src/serve/");
+    const bool check_mmap = !starts_with(rel_path, "src/store/");
+    if (check_socket || check_mmap)
+      rule_blocking_io(rel_path, ft.toks, check_socket, check_mmap, raw);
+  }
   if (starts_with(rel_path, "src/") || starts_with(rel_path, "tools/"))
     rule_narrow(rel_path, ft.toks, raw);
   if (starts_with(rel_path, "src/") && ends_with(rel_path, ".hpp"))
@@ -715,7 +738,7 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path, const std::string
   if (ends_with(rel_path, ".cpp") &&
       (starts_with(rel_path, "src/analysis/") || starts_with(rel_path, "src/ml/") ||
        starts_with(rel_path, "src/sim/") || starts_with(rel_path, "src/api/") ||
-       starts_with(rel_path, "src/serve/")))
+       starts_with(rel_path, "src/serve/") || starts_with(rel_path, "src/store/")))
     rule_contract(rel_path, ft.toks, header_content, raw);
 
   // Apply suppressions: an allow on line L covers lines L and L+1.
